@@ -1,0 +1,25 @@
+// Shared helpers for the paper-figure bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "src/util/strings.h"
+#include "src/util/table.h"
+
+namespace offload::bench {
+
+inline void print_banner(const std::string& title,
+                         const std::string& expectation) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("--------------------------------------------------------------\n");
+  std::printf("Expected shape (from the paper): %s\n", expectation.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline std::string fmt_s(double seconds) {
+  return util::format_fixed(seconds, seconds < 0.1 ? 4 : 2);
+}
+
+}  // namespace offload::bench

@@ -1,0 +1,56 @@
+// Fig. 1: GoogLeNet architecture and intermediate feature-data dimensions.
+// Prints every trunk (cut-point) layer with its output dimensions, raw
+// bytes, and the snapshot-text bytes the feature would occupy — the
+// quantities behind the paper's conv-vs-pool feature-size discussion.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/core/experiment.h"
+#include "src/nn/models.h"
+
+int main() {
+  using namespace offload;
+  bench::print_banner(
+      "Fig. 1 — GoogLeNet architecture & feature data dimensions",
+      "224x224x3 input -> 56x56x64 after the stem -> inception stacks -> "
+      "1x1x1024 -> fc1000; conv outputs balloon, pool outputs shrink");
+
+  auto net = nn::build_googlenet();
+  const auto& analysis = net->analyze();
+
+  util::TextTable table;
+  table.header({"layer", "kind", "output (CxHxW)", "raw bytes",
+                "~snapshot text", "cum. GFLOPs"});
+  // Walk trunk cut points in order, accumulating FLOPs over *all* nodes.
+  std::size_t next_node = 0;
+  std::uint64_t flops_acc = 0;
+  for (std::size_t cut : net->cut_points()) {
+    while (next_node <= cut) {
+      flops_acc += analysis.flops[next_node];
+      ++next_node;
+    }
+    const nn::Layer& layer = net->layer(cut);
+    std::uint64_t raw = analysis.output_bytes[cut];
+    // Decimal text costs ~3.4 bytes per raw byte (measured by the
+    // snapshot micro bench); report the estimate the partitioner uses.
+    auto text = static_cast<std::uint64_t>(static_cast<double>(raw) * 3.4);
+    table.row({layer.name(), nn::layer_kind_name(layer.kind()),
+               analysis.shapes[cut].str(), util::format_bytes(
+                   static_cast<double>(raw)),
+               util::format_bytes(static_cast<double>(text)),
+               util::format_fixed(static_cast<double>(flops_acc) / 1e9, 3)});
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf("\nTotals: %zu layers, %.2fM parameters (%s), %.2f GFLOPs/forward\n",
+              net->size(),
+              static_cast<double>(net->param_count()) / 1e6,
+              util::format_bytes(static_cast<double>(net->param_bytes()))
+                  .c_str(),
+              static_cast<double>(analysis.total_flops) / 1e9);
+  std::printf(
+      "Paper check: conv1 out 64x112x112 (raw %.1f MB -> ~14.7 MB text), "
+      "pool1 out 64x56x56 (~2.9 MB text)\n",
+      static_cast<double>(analysis.output_bytes[net->index_of("conv1")]) /
+          1e6);
+  return 0;
+}

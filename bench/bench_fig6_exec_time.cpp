@@ -1,0 +1,51 @@
+// Fig. 6: execution time of inference for the three web apps under the
+// five configurations — Client only, Server only, snapshot offloading
+// before the model ACK, after the ACK, and partial inference (at the
+// first pooling layer, per Section IV.B).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/core/offload.h"
+
+int main() {
+  using namespace offload;
+  bench::print_banner(
+      "Fig. 6 — Execution time of inference in three web apps (seconds)",
+      "Server << Client; after-ACK ~= Server + sub-second snapshot "
+      "overhead; before-ACK adds the model transfer (slower than local "
+      "for AgeNet/GenderNet); partial slower than full offload but "
+      "cheaper than Client");
+
+  util::TextTable table;
+  table.header({"App", "Client", "Server", "Offload (before ACK)",
+                "Offload (after ACK)", "Offload (partial @1st_pool)"});
+
+  for (const auto& model : nn::benchmark_models()) {
+    std::fprintf(stderr, "[fig6] running %s...\n", model.app_name);
+    core::ScenarioOptions opts;
+    double client_s =
+        core::run_scenario(model, core::Scenario::kClientOnly, opts)
+            .inference_seconds;
+    double server_s =
+        core::run_scenario(model, core::Scenario::kServerOnly, opts)
+            .inference_seconds;
+    double before_s =
+        core::run_scenario(model, core::Scenario::kOffloadBeforeAck, opts)
+            .inference_seconds;
+    double after_s =
+        core::run_scenario(model, core::Scenario::kOffloadAfterAck, opts)
+            .inference_seconds;
+    double partial_s =
+        core::run_scenario(model, core::Scenario::kOffloadPartial, opts)
+            .inference_seconds;
+    table.row({model.app_name, bench::fmt_s(client_s), bench::fmt_s(server_s),
+               bench::fmt_s(before_s), bench::fmt_s(after_s),
+               bench::fmt_s(partial_s)});
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf(
+      "\nNotes: 30 Mbps link, 1 ms latency (the paper's netem setup). "
+      "Offloaded runs produce bit-identical classification results to "
+      "local runs (asserted by tests/integration_test.cpp).\n");
+  return 0;
+}

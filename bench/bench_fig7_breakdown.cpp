@@ -1,0 +1,59 @@
+// Fig. 7: breakdown of the inference time. For each app and offloading
+// configuration (full after-ACK, partial after-ACK), where the time goes:
+// snapshot capture/restore on each side, transmission, and DNN execution.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/core/offload.h"
+
+int main() {
+  using namespace offload;
+  bench::print_banner(
+      "Fig. 7 — Breakdown of the inference time (seconds)",
+      "snapshot capture/restore overheads are negligible next to DNN "
+      "execution; server execution dominates in both configurations");
+
+  struct Config {
+    core::Scenario scenario;
+    const char* label;
+  };
+  const Config configs[] = {
+      {core::Scenario::kOffloadAfterAck, "full"},
+      {core::Scenario::kOffloadPartial, "partial"},
+  };
+
+  util::TextTable table;
+  std::vector<std::string> header = {"Component"};
+  std::vector<core::InferenceBreakdown> breakdowns;
+  for (const auto& model : nn::benchmark_models()) {
+    for (const auto& config : configs) {
+      std::fprintf(stderr, "[fig7] %s (%s)...\n", model.app_name,
+                   config.label);
+      core::RunResult result =
+          core::run_scenario(model, config.scenario, core::ScenarioOptions{});
+      breakdowns.push_back(result.breakdown);
+      header.push_back(std::string(model.app_name) + " (" + config.label +
+                       ")");
+    }
+  }
+  table.header(header);
+
+  const auto& labels = core::InferenceBreakdown::labels();
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    std::vector<std::string> row = {labels[i]};
+    for (const auto& b : breakdowns) {
+      row.push_back(bench::fmt_s(b.values()[i]));
+    }
+    table.row(std::move(row));
+  }
+  std::vector<std::string> total_row = {"TOTAL"};
+  for (const auto& b : breakdowns) total_row.push_back(bench::fmt_s(b.total()));
+  table.row(std::move(total_row));
+
+  std::printf("%s", table.str().c_str());
+  std::printf(
+      "\nNote: '(C)' rows execute on the client, '(S)' rows on the "
+      "server; partial configurations add client-side DNN execution for "
+      "the front part of the network.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Fig. 8: inference time with partial inference at various offloading
+// points. For each model, sweeps the labeled cut points (input, 1st_conv,
+// 1st_pool, 2nd_conv, ...) and runs the full end-to-end protocol at each,
+// reporting the per-point inference time, client-side share, and the
+// feature-data snapshot size — reproducing the paper's sawtooth (conv
+// points are expensive: big features + heavy client compute; pool points
+// are cheap) and its conclusion that 1st_pool is the sweet spot.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/core/offload.h"
+
+int main() {
+  using namespace offload;
+  bench::print_banner(
+      "Fig. 8 — Inference time with partial inference at various "
+      "offloading points (seconds)",
+      "time does not grow monotonically: it jumps at conv points (feature "
+      "data surges, e.g. GoogLeNet 1st_conv ~14.7 MB vs 1st_pool ~2.9 MB) "
+      "and drops at pool points; 1st_pool minimizes time among denaturing "
+      "points");
+
+  for (const auto& model : nn::benchmark_models()) {
+    auto net = model.build(model.seed);
+    auto points = core::labeled_cut_points(*net);
+    // The paper sweeps the early part of the network; cap at the first
+    // five labeled points past the input plus every later pool, so the
+    // GoogLeNet stem is covered without sweeping all nine inceptions.
+    std::vector<core::CutLabel> sweep;
+    for (const auto& p : points) {
+      bool early = sweep.size() < 6;
+      bool pool = p.kind == nn::LayerKind::kMaxPool ||
+                  p.kind == nn::LayerKind::kAvgPool;
+      if (early || pool) sweep.push_back(p);
+      if (sweep.size() >= 9) break;
+    }
+
+    util::TextTable table;
+    table.header({"offload point", "inference (s)", "client DNN (s)",
+                  "server DNN (s)", "transmit (s)", "feature snapshot"});
+    for (const auto& point : sweep) {
+      std::fprintf(stderr, "[fig8] %s @ %s...\n", model.app_name,
+                   point.label.c_str());
+      core::ScenarioOptions opts;
+      opts.partial_cut = point.cut;
+      core::RunResult r =
+          core::run_scenario(model, core::Scenario::kOffloadPartial, opts);
+      table.row({point.label, bench::fmt_s(r.inference_seconds),
+                 bench::fmt_s(r.breakdown.dnn_execution_client),
+                 bench::fmt_s(r.breakdown.dnn_execution_server),
+                 bench::fmt_s(r.breakdown.transmission_up +
+                              r.breakdown.transmission_down),
+                 util::format_bytes(static_cast<double>(
+                     r.timeline.snapshot_stats.typed_array_bytes))});
+    }
+    std::printf("\n--- %s ---\n%s", model.app_name, table.str().c_str());
+  }
+  std::printf(
+      "\nNote: 'input' = full-inference offloading through the partial "
+      "app (no denaturing). Feature snapshot = decimal-text encoding of "
+      "the transferred tensor, as in the paper's snapshots.\n");
+  return 0;
+}

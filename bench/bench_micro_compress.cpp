@@ -1,0 +1,77 @@
+// Microbenchmarks (google-benchmark) for the mlzma compressor used by VM
+// overlays: throughput and ratio across content redundancy levels.
+#include <benchmark/benchmark.h>
+
+#include "src/vmsynth/compress.h"
+#include "src/vmsynth/overlay.h"
+#include "src/vmsynth/vmimage.h"
+
+namespace {
+
+using namespace offload;
+
+void BM_Compress(benchmark::State& state) {
+  const double redundancy = static_cast<double>(state.range(0)) / 100.0;
+  util::Bytes input =
+      vmsynth::synthetic_file_content(4'000'000, redundancy, 7);
+  std::size_t out_size = 0;
+  for (auto _ : state) {
+    auto c = vmsynth::compress(std::span<const std::uint8_t>(input));
+    out_size = c.size();
+    benchmark::DoNotOptimize(c);
+  }
+  state.counters["MB/s"] = benchmark::Counter(
+      static_cast<double>(input.size()) *
+          static_cast<double>(state.iterations()) / 1e6,
+      benchmark::Counter::kIsRate);
+  state.counters["ratio"] =
+      static_cast<double>(input.size()) / static_cast<double>(out_size);
+}
+BENCHMARK(BM_Compress)->Arg(0)->Arg(40)->Arg(57)->Arg(80)->Unit(
+    benchmark::kMillisecond);
+
+void BM_Decompress(benchmark::State& state) {
+  util::Bytes input = vmsynth::synthetic_file_content(4'000'000, 0.57, 7);
+  util::Bytes compressed =
+      vmsynth::compress(std::span<const std::uint8_t>(input));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        vmsynth::decompress(std::span<const std::uint8_t>(compressed)));
+  }
+  state.counters["MB/s"] = benchmark::Counter(
+      static_cast<double>(input.size()) *
+          static_cast<double>(state.iterations()) / 1e6,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Decompress)->Unit(benchmark::kMillisecond);
+
+void BM_OverlayCreate(benchmark::State& state) {
+  vmsynth::VmImage base = vmsynth::make_base_image();
+  vmsynth::SystemBundleSizes sizes;
+  sizes.browser_bytes = 2'000'000;
+  sizes.libraries_bytes = 2'000'000;
+  sizes.server_program_bytes = 100'000;
+  vmsynth::VmImage target = vmsynth::make_customized_image(base, sizes, {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vmsynth::create_overlay(base, target));
+  }
+}
+BENCHMARK(BM_OverlayCreate)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_OverlaySynthesize(benchmark::State& state) {
+  vmsynth::VmImage base = vmsynth::make_base_image();
+  vmsynth::SystemBundleSizes sizes;
+  sizes.browser_bytes = 2'000'000;
+  sizes.libraries_bytes = 2'000'000;
+  sizes.server_program_bytes = 100'000;
+  vmsynth::VmImage target = vmsynth::make_customized_image(base, sizes, {});
+  vmsynth::VmOverlay overlay = vmsynth::create_overlay(base, target);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vmsynth::synthesize(base, overlay));
+  }
+}
+BENCHMARK(BM_OverlaySynthesize)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+// Microbenchmarks (google-benchmark) for the DNN engine kernels: the
+// GoogLeNet stem conv, pooling, fc, LRN, and whole-network forwards.
+// These measure *wall-clock* engine speed (the simulated device times used
+// by the experiments are derived from FLOP counts, not from these).
+#include <benchmark/benchmark.h>
+
+#include "src/nn/activation.h"
+#include "src/nn/conv.h"
+#include "src/nn/dense.h"
+#include "src/nn/lrn.h"
+#include "src/nn/models.h"
+#include "src/nn/pool.h"
+
+namespace {
+
+using namespace offload;
+using nn::Shape;
+using nn::Tensor;
+
+Tensor make_input(Shape shape, std::uint64_t seed = 1) {
+  util::Pcg32 rng(seed);
+  return Tensor::random_uniform(std::move(shape), rng, 0.0f, 1.0f);
+}
+
+void BM_ConvGoogLeNetStem(benchmark::State& state) {
+  // conv1 of GoogLeNet: 7x7/2 pad 3, 3→64 channels on 224².
+  nn::ConvLayer conv("conv1", {.in_channels = 3, .out_channels = 64,
+                               .kernel = 7, .stride = 2, .pad = 3});
+  util::Pcg32 rng(2);
+  conv.init_params(rng);
+  Tensor in = make_input(Shape{3, 224, 224});
+  const Tensor* ins[] = {&in};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(ins));
+  }
+  Shape shapes[] = {in.shape()};
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(conv.flops(shapes)) * static_cast<double>(
+          state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ConvGoogLeNetStem)->Unit(benchmark::kMillisecond);
+
+void BM_Conv3x3(benchmark::State& state) {
+  const auto channels = state.range(0);
+  nn::ConvLayer conv("c", {.in_channels = channels, .out_channels = channels,
+                           .kernel = 3, .stride = 1, .pad = 1});
+  util::Pcg32 rng(2);
+  conv.init_params(rng);
+  Tensor in = make_input(Shape{channels, 56, 56});
+  const Tensor* ins[] = {&in};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(ins));
+  }
+}
+BENCHMARK(BM_Conv3x3)->Arg(32)->Arg(64)->Arg(128)->Unit(
+    benchmark::kMillisecond);
+
+void BM_MaxPool(benchmark::State& state) {
+  nn::PoolLayer pool("p", {.kernel = 3, .stride = 2, .pad = 0}, false);
+  Tensor in = make_input(Shape{64, 112, 112});
+  const Tensor* ins[] = {&in};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.forward(ins));
+  }
+}
+BENCHMARK(BM_MaxPool)->Unit(benchmark::kMillisecond);
+
+void BM_FullyConnected(benchmark::State& state) {
+  nn::FullyConnectedLayer fc("fc", 18816, 512);  // AgeNet fc6
+  util::Pcg32 rng(2);
+  fc.init_params(rng);
+  Tensor in = make_input(Shape{18816});
+  const Tensor* ins[] = {&in};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fc.forward(ins));
+  }
+}
+BENCHMARK(BM_FullyConnected)->Unit(benchmark::kMillisecond);
+
+void BM_Lrn(benchmark::State& state) {
+  nn::LrnLayer lrn("n", nn::LrnConfig{});
+  Tensor in = make_input(Shape{64, 56, 56});
+  const Tensor* ins[] = {&in};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lrn.forward(ins));
+  }
+}
+BENCHMARK(BM_Lrn)->Unit(benchmark::kMillisecond);
+
+void BM_TinyCnnForward(benchmark::State& state) {
+  auto net = nn::build_tiny_cnn(17);
+  Tensor in = make_input(Shape{3, 32, 32});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net->forward(in));
+  }
+}
+BENCHMARK(BM_TinyCnnForward)->Unit(benchmark::kMillisecond);
+
+void BM_AgeNetForward(benchmark::State& state) {
+  auto net = nn::build_agenet(11);
+  Tensor in = make_input(Shape{3, 227, 227});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net->forward(in));
+  }
+}
+BENCHMARK(BM_AgeNetForward)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_GoogLeNetForward(benchmark::State& state) {
+  auto net = nn::build_googlenet(7);
+  Tensor in = make_input(Shape{3, 224, 224});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net->forward(in));
+  }
+}
+BENCHMARK(BM_GoogLeNetForward)->Unit(benchmark::kMillisecond)->Iterations(2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// Supporting experiment for Section III.B.1: model pre-sending time across
+// network bandwidths ("it will take about 12 seconds for transmitting the
+// model even under the good Wi-Fi network whose bandwidth is 30 Mbps"),
+// plus the rear-only upload used by the privacy scheme.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/core/offload.h"
+#include "src/nn/model_io.h"
+
+int main() {
+  using namespace offload;
+  bench::print_banner(
+      "Pre-sending — model upload time vs bandwidth (seconds to ACK)",
+      "~12 s for the 44 MB AgeNet/GenderNet model at 30 Mbps; inversely "
+      "proportional to bandwidth. Rear-only uploads (privacy mode) are "
+      "only marginally smaller at the shallow 1st_pool cut — withholding "
+      "the front weights is about privacy, not bytes");
+
+  const double bandwidths[] = {5e6, 10e6, 20e6, 30e6, 50e6, 100e6};
+
+  for (const auto& model : nn::benchmark_models()) {
+    auto net = model.build(model.seed);
+    std::size_t pool_cut = core::first_pool_cut(*net);
+    double full_mb =
+        static_cast<double>(nn::total_size(nn::model_files(*net))) / 1e6;
+    double rear_mb = static_cast<double>(nn::total_size(
+                         nn::model_files_rear_only(*net, pool_cut))) /
+                     1e6;
+
+    util::TextTable table;
+    table.header({"bandwidth", "full model upload (s)",
+                  "rear-only upload (s)"});
+    for (double bw : bandwidths) {
+      std::fprintf(stderr, "[presend] %s @ %.0f Mbps...\n", model.app_name,
+                   bw / 1e6);
+      core::ScenarioOptions opts;
+      opts.bandwidth_bps = bw;
+      core::RunResult full =
+          core::run_scenario(model, core::Scenario::kOffloadAfterAck, opts);
+      core::RunResult rear =
+          core::run_scenario(model, core::Scenario::kOffloadPartial, opts);
+      table.row({util::format_fixed(bw / 1e6, 0) + " Mbps",
+                 bench::fmt_s(full.model_upload_seconds),
+                 bench::fmt_s(rear.model_upload_seconds)});
+    }
+    std::printf("\n--- %s (full %.1f MB, rear-only %.1f MB) ---\n%s",
+                model.app_name, full_mb, rear_mb, table.str().c_str());
+  }
+  return 0;
+}

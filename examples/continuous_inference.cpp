@@ -1,0 +1,104 @@
+// Continuous inference: an IoT-style app (the paper's intro motivation)
+// that classifies a stream of frames, offloading each one. Demonstrates
+// the differential-snapshot extension end to end: after the first offload
+// installs the app state on the edge server, every further frame ships as
+// a tiny diff (new frame pixels + the event) instead of a full snapshot.
+//
+//   ./build/examples/continuous_inference [frames] [--no-diff]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/core/offload.h"
+#include "src/util/strings.h"
+#include "src/util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace offload;
+  int frames = argc > 1 ? std::atoi(argv[1]) : 5;
+  if (frames < 1 || frames > 50) frames = 5;
+  bool use_diff = !(argc > 2 && std::strcmp(argv[2], "--no-diff") == 0);
+
+  // A camera app: each click grabs the next frame into the canvas and
+  // classifies it. Frames come from the host's image registry.
+  nn::BenchmarkModel tiny{"TinyCNN", &nn::build_tiny_cnn_default, 17, 32};
+  edge::AppBundle app = core::make_benchmark_app(tiny, /*partial=*/false);
+  app.source =
+      "var model = loadModel(\"tinycnn\");\n"
+      "var canvas = document.createElement('canvas');\n"
+      "canvas.id = 'canvas';\n"
+      "document.body.appendChild(canvas);\n"
+      "var btn = document.createElement('button');\n"
+      "btn.id = 'btn';\n"
+      "document.body.appendChild(btn);\n"
+      "var result = document.createElement('div');\n"
+      "result.id = 'result';\n"
+      "document.body.appendChild(result);\n"
+      "var frame = 0;\n"
+      "// The click handler grabs the next frame ON THE CLIENT (the edge\n"
+      "// server has no camera), then raises 'classify' — the offload\n"
+      "// point — so the pixels ride the snapshot, Fig. 5 style.\n"
+      "btn.addEventListener('click', function() {\n"
+      "  canvas.setImageData(loadImage('frame' + frame));\n"
+      "  frame = frame + 1;\n"
+      "  btn.dispatchEvent('classify');\n"
+      "});\n"
+      "btn.addEventListener('classify', function() {\n"
+      "  var scores = model.inference(canvas.getImageData());\n"
+      "  var best = 0;\n"
+      "  for (var i = 1; i < scores.length; i++) {\n"
+      "    if (scores[i] > scores[best]) { best = i; }\n"
+      "  }\n"
+      "  result.textContent = 'frame ' + (frame - 1) + ': label ' + best;\n"
+      "});\n";
+
+  core::RuntimeConfig config;
+  config.client.differential_snapshots = use_diff;
+  config.server.keep_sessions = use_diff;
+  config.client.offload_event = "classify";
+  config.click_at = core::after_ack_click_time(*app.network, false, 0, 30e6);
+
+  core::OffloadingRuntime runtime(config, std::move(app));
+  for (int f = 0; f < frames; ++f) {
+    runtime.client().browser().add_image(
+        "frame" + std::to_string(f),
+        core::make_input_image(32, 1000 + static_cast<std::uint64_t>(f)));
+  }
+
+  std::printf("Streaming %d frames through the edge server (%s)...\n\n",
+              frames, use_diff ? "differential snapshots"
+                               : "full snapshot every frame");
+  util::TextTable table;
+  table.header({"frame", "snapshot on wire", "inference (s)", "mode",
+                "result"});
+
+  core::RunResult first = runtime.run();
+  auto add_row = [&](int f, const edge::ClientTimeline& t,
+                     const std::string& text) {
+    table.row({std::to_string(f),
+               util::format_bytes(static_cast<double>(
+                   t.snapshot_stats.total_bytes)),
+               util::format_fixed(t.inference_seconds(), 3),
+               t.used_differential ? "diff" : "full", text});
+  };
+  add_row(0, first.timeline, first.result_text);
+
+  for (int f = 1; f < frames; ++f) {
+    runtime.client().click_at(runtime.simulation().now() +
+                              sim::SimTime::seconds(2));
+    runtime.simulation().run();
+    add_row(f, runtime.client().timeline(), runtime.client().result_text());
+  }
+  std::printf("%s", table.str().c_str());
+
+  const auto& stats = runtime.server().stats();
+  std::printf("\nServer: %d snapshots executed, %d applied as diffs.\n",
+              stats.snapshots_executed, stats.diff_snapshots_applied);
+  if (use_diff) {
+    std::printf(
+        "Each frame after the first ships only the new pixels and the "
+        "re-dispatched event — the app code, model reference, and DOM live "
+        "on from the previous offload (the paper's Section VI vision).\n");
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Quickstart: offload one DNN inference from a weak client to an edge
+// server with a snapshot, and print what happened.
+//
+//   ./build/examples/quickstart
+//
+// Uses the small test CNN so it runs in well under a second.
+#include <cstdio>
+
+#include "src/core/offload.h"
+#include "src/util/strings.h"
+#include "src/util/table.h"
+
+int main() {
+  using namespace offload;
+
+  // 1. An app bundle: MicroJS source (the paper's Fig. 2 app), the trained
+  //    network, and an input image.
+  nn::BenchmarkModel tiny{"TinyCNN", &nn::build_tiny_cnn_default, 17, 32};
+  edge::AppBundle app = core::make_benchmark_app(tiny, /*partial=*/false);
+
+  // 2. A runtime: client + 30 Mbps link + edge server.
+  core::RuntimeConfig config;
+  config.click_at = core::after_ack_click_time(*app.network, false, 0, 30e6);
+
+  core::OffloadingRuntime runtime(config, std::move(app));
+
+  // 3. Run: app starts, pre-sends its model, user clicks, the click
+  //    handler's execution migrates to the server and back.
+  core::RunResult result = runtime.run();
+
+  std::printf("offloaded:        %s\n", result.offloaded ? "yes" : "no");
+  std::printf("result on screen: \"%s\"\n", result.result_text.c_str());
+  std::printf("inference time:   %s (click -> result)\n",
+              util::format_seconds(result.inference_seconds).c_str());
+  std::printf("model pre-send:   %s (app start -> ACK)\n",
+              util::format_seconds(result.model_upload_seconds).c_str());
+  std::printf("snapshot size:    %s (%s without the feature data)\n",
+              util::format_bytes(static_cast<double>(
+                  result.timeline.snapshot_stats.total_bytes)).c_str(),
+              util::format_bytes(static_cast<double>(
+                  result.timeline.snapshot_stats.non_feature_bytes()))
+                  .c_str());
+
+  std::printf("\nWhere the time went:\n");
+  const auto& labels = core::InferenceBreakdown::labels();
+  auto values = result.breakdown.values();
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (values[i] <= 0) continue;
+    std::printf("  %-22s %s\n", labels[i].c_str(),
+                util::format_seconds(values[i]).c_str());
+  }
+  return 0;
+}

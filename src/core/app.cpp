@@ -1,0 +1,99 @@
+#include "src/core/app.h"
+
+namespace offload::core {
+
+std::string full_inference_app_source(const std::string& model_name) {
+  // Keep in sync with the sketch in the paper's Fig. 2. The image-loading
+  // handler runs at app start (the harness clicks #load before #btn).
+  return
+      "var model = loadModel(\"" + model_name + "\");\n"
+      "var canvas = document.createElement('canvas');\n"
+      "canvas.id = 'canvas';\n"
+      "document.body.appendChild(canvas);\n"
+      "var loadBtn = document.createElement('button');\n"
+      "loadBtn.id = 'load';\n"
+      "loadBtn.textContent = 'Load image';\n"
+      "document.body.appendChild(loadBtn);\n"
+      "var btn = document.createElement('button');\n"
+      "btn.id = 'btn';\n"
+      "btn.textContent = 'Inference';\n"
+      "document.body.appendChild(btn);\n"
+      "var result = document.createElement('div');\n"
+      "result.id = 'result';\n"
+      "document.body.appendChild(result);\n"
+      "loadBtn.addEventListener('click', function() {\n"
+      "  canvas.setImageData(loadImage('input'));\n"
+      "});\n"
+      "btn.addEventListener('click', function() {\n"
+      "  var img = canvas.getImageData();\n"
+      "  var scores = model.inference(img);\n"
+      "  var best = 0;\n"
+      "  for (var i = 1; i < scores.length; i++) {\n"
+      "    if (scores[i] > scores[best]) { best = i; }\n"
+      "  }\n"
+      "  result.textContent = 'label ' + best + ' score ' + scores[best];\n"
+      "});\n"
+      "loadBtn.dispatchEvent('click');\n";
+}
+
+std::string partial_inference_app_source(const std::string& model_name) {
+  // The Fig. 5 app. `image` is local to front(), and no canvas keeps the
+  // pixels, so the migrated state carries only the denatured feature.
+  return
+      "var model = loadModel(\"" + model_name + "\");\n"
+      "var btn = document.createElement('button');\n"
+      "btn.id = 'btn';\n"
+      "btn.textContent = 'Inference';\n"
+      "document.body.appendChild(btn);\n"
+      "var result = document.createElement('div');\n"
+      "result.id = 'result';\n"
+      "document.body.appendChild(result);\n"
+      "var feature = null;\n"
+      "function front() {\n"
+      "  var image = loadImage('input');\n"
+      "  feature = model.inference_front(image);\n"
+      "  btn.dispatchEvent('front_complete');\n"
+      "}\n"
+      "function rear() {\n"
+      "  var scores = model.inference_rear(feature);\n"
+      "  feature = null;\n"
+      "  var best = 0;\n"
+      "  for (var i = 1; i < scores.length; i++) {\n"
+      "    if (scores[i] > scores[best]) { best = i; }\n"
+      "  }\n"
+      "  result.textContent = 'label ' + best + ' score ' + scores[best];\n"
+      "}\n"
+      "btn.addEventListener('click', front);\n"
+      "btn.addEventListener('front_complete', rear);\n";
+}
+
+nn::Tensor make_input_image(std::int64_t hw, std::uint64_t seed) {
+  // Canvas pixel data: integer byte values (what ImageData holds). These
+  // serialize compactly in snapshots (3-4 text chars per pixel), exactly
+  // like the paper's migrated input images.
+  util::Pcg32 rng(seed, 0x696d616765ULL);
+  nn::Tensor img(nn::Shape{3, hw, hw});
+  for (auto& v : img.data()) {
+    v = static_cast<float>(rng.next_below(256));
+  }
+  return img;
+}
+
+edge::AppBundle make_benchmark_app(const nn::BenchmarkModel& model,
+                                   bool partial, std::uint64_t image_seed) {
+  edge::AppBundle bundle;
+  bundle.name = partial ? std::string(model.app_name) + "-partial"
+                        : std::string(model.app_name);
+  // The app loads the model under its network name.
+  std::shared_ptr<nn::Network> net = model.build(model.seed);
+  bundle.source = partial ? partial_inference_app_source(net->name())
+                          : full_inference_app_source(net->name());
+  bundle.name = net->name();
+  bundle.network = std::move(net);
+  bundle.input_image = make_input_image(model.input_hw, image_seed);
+  bundle.click_target = "btn";
+  bundle.result_element = "result";
+  return bundle;
+}
+
+}  // namespace offload::core

@@ -1,0 +1,34 @@
+// Benchmark web apps. Generates the MicroJS source of the image-recognition
+// app from the paper's Fig. 2 (full inference) and Fig. 5 (partial
+// inference with the front_complete custom event), parameterized by model
+// name, plus AppBundle factories for the three evaluation apps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/edge/client_device.h"
+#include "src/nn/models.h"
+
+namespace offload::core {
+
+/// The Fig. 2 app: load button puts the image on a canvas; the inference
+/// button's click handler runs the full DNN and writes the top-1 label
+/// into #result. Offload point: the "click" event on #btn.
+std::string full_inference_app_source(const std::string& model_name);
+
+/// The Fig. 5 app: front() runs the client-side part and dispatches
+/// "front_complete"; rear() finishes on the server. The original image
+/// stays out of the migrated state (privacy). Offload point: the
+/// "front_complete" event.
+std::string partial_inference_app_source(const std::string& model_name);
+
+/// Deterministic synthetic input image in [0,1], CHW.
+nn::Tensor make_input_image(std::int64_t hw, std::uint64_t seed);
+
+/// Assemble the bundle for one of the paper's benchmark apps.
+/// `partial` selects the Fig. 5 source. The bundle owns the full network.
+edge::AppBundle make_benchmark_app(const nn::BenchmarkModel& model,
+                                   bool partial, std::uint64_t image_seed = 3);
+
+}  // namespace offload::core

@@ -1,0 +1,21 @@
+#include "src/core/breakdown.h"
+
+namespace offload::core {
+
+const std::vector<std::string>& InferenceBreakdown::labels() {
+  static const std::vector<std::string> kLabels = {
+      "DNN Execution (C)",     "Snapshot Capture (C)", "Transmission (C->S)",
+      "Snapshot Restore (S)",  "DNN Execution (S)",    "Snapshot Capture (S)",
+      "Transmission (S->C)",   "Snapshot Restore (C)", "Other",
+  };
+  return kLabels;
+}
+
+std::vector<double> InferenceBreakdown::values() const {
+  return {dnn_execution_client,  snapshot_capture_client, transmission_up,
+          snapshot_restore_server, dnn_execution_server,
+          snapshot_capture_server, transmission_down,
+          snapshot_restore_client, other};
+}
+
+}  // namespace offload::core

@@ -1,0 +1,35 @@
+// The inference-time breakdown of the paper's Fig. 7: where the time goes
+// in one offloaded inference, from the user's click to the result pixel.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace offload::core {
+
+struct InferenceBreakdown {
+  // All values in seconds; "(C)" = on the client, "(S)" = on the server.
+  double dnn_execution_client = 0;    ///< front part (partial) or full local
+  double snapshot_capture_client = 0;
+  double transmission_up = 0;         ///< snapshot (and model, pre-ACK) C→S
+  double snapshot_restore_server = 0;
+  double dnn_execution_server = 0;
+  double snapshot_capture_server = 0;
+  double transmission_down = 0;       ///< result snapshot S→C
+  double snapshot_restore_client = 0;
+  double other = 0;                   ///< residual (queueing not on a link)
+
+  double total() const {
+    return dnn_execution_client + snapshot_capture_client + transmission_up +
+           snapshot_restore_server + dnn_execution_server +
+           snapshot_capture_server + transmission_down +
+           snapshot_restore_client + other;
+  }
+
+  /// Fig. 7 category labels, in stack order.
+  static const std::vector<std::string>& labels();
+  /// Values in the same order as labels().
+  std::vector<double> values() const;
+};
+
+}  // namespace offload::core

@@ -1,0 +1,53 @@
+// Experiment presets: the five Fig. 6 configurations for each benchmark
+// app, plus cut-point labeling for the Fig. 8 partial-inference sweep.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/app.h"
+#include "src/core/runtime.h"
+
+namespace offload::core {
+
+enum class Scenario {
+  kClientOnly,       ///< app runs on the client only
+  kServerOnly,       ///< app runs on the server only
+  kOffloadBeforeAck, ///< snapshot offload while the model is still uploading
+  kOffloadAfterAck,  ///< snapshot offload with the model pre-sent
+  kOffloadPartial,   ///< partial inference (rear offload) after ACK
+};
+
+const char* scenario_name(Scenario scenario);
+
+struct ScenarioOptions {
+  double bandwidth_bps = 30e6;  ///< the paper's netem setting
+  sim::SimTime latency = sim::SimTime::millis(1);
+  /// Partition point for kOffloadPartial; SIZE_MAX selects the paper's
+  /// choice, the first pooling layer (Section IV.B).
+  std::size_t partial_cut = SIZE_MAX;
+  std::uint64_t image_seed = 3;
+};
+
+/// Run one benchmark app under one configuration end to end.
+RunResult run_scenario(const nn::BenchmarkModel& model, Scenario scenario,
+                       const ScenarioOptions& options = {});
+
+/// A labeled offloading point for the Fig. 8 x-axis: input, 1st_conv,
+/// 1st_pool, 2nd_conv, ... Only input/conv/pool cut points are labeled
+/// (the paper's candidates).
+struct CutLabel {
+  std::size_t cut;
+  std::string label;
+  nn::LayerKind kind;
+};
+std::vector<CutLabel> labeled_cut_points(const nn::Network& net);
+
+/// The paper's chosen offloading point: the first pooling layer.
+std::size_t first_pool_cut(const nn::Network& net);
+
+/// A click time safely after the model ACK for this app/config.
+sim::SimTime after_ack_click_time(const nn::Network& net, bool rear_only,
+                                  std::size_t cut, double bandwidth_bps);
+
+}  // namespace offload::core

@@ -1,0 +1,21 @@
+// Umbrella header: the public API of the snapshot-offloading library.
+//
+//   #include "src/core/offload.h"
+//
+//   auto models = offload::nn::benchmark_models();
+//   auto result = offload::core::run_scenario(
+//       models[0], offload::core::Scenario::kOffloadAfterAck);
+//   std::cout << result.inference_seconds << "\n";
+//
+// Layers (bottom-up): util → sim/net/nn/jsvm/vmsynth/privacy → edge → core.
+#pragma once
+
+#include "src/core/app.h"          // IWYU pragma: export
+#include "src/core/breakdown.h"    // IWYU pragma: export
+#include "src/core/experiment.h"   // IWYU pragma: export
+#include "src/core/runtime.h"      // IWYU pragma: export
+#include "src/edge/client_device.h"  // IWYU pragma: export
+#include "src/edge/edge_server.h"    // IWYU pragma: export
+#include "src/jsvm/snapshot.h"       // IWYU pragma: export
+#include "src/nn/models.h"           // IWYU pragma: export
+#include "src/nn/partition.h"        // IWYU pragma: export

@@ -1,0 +1,72 @@
+#include "src/core/runtime.h"
+
+#include <stdexcept>
+
+namespace offload::core {
+
+OffloadingRuntime::OffloadingRuntime(RuntimeConfig config,
+                                     edge::AppBundle app)
+    : config_(std::move(config)) {
+  channel_ = net::Channel::make(sim_, config_.channel);
+  server_ = std::make_unique<edge::EdgeServer>(sim_, channel_->b(),
+                                               config_.server);
+  client_ = std::make_unique<edge::ClientDevice>(
+      sim_, channel_->a(), config_.client, std::move(app));
+}
+
+OffloadingRuntime::~OffloadingRuntime() = default;
+
+RunResult OffloadingRuntime::run() {
+  client_->start();
+  client_->click_at(config_.click_at);
+  sim_.run();
+
+  if (!client_->finished()) {
+    throw std::runtime_error(
+        "OffloadingRuntime: app did not finish (offload stalled?)");
+  }
+
+  RunResult result;
+  result.timeline = client_->timeline();
+  result.result_text = client_->result_text();
+  result.offloaded = result.timeline.offloaded;
+  result.inference_seconds = result.timeline.inference_seconds();
+  if (result.timeline.ack_received) {
+    result.model_upload_seconds =
+        (*result.timeline.ack_received - result.timeline.model_upload_started)
+            .to_seconds();
+  }
+
+  InferenceBreakdown& b = result.breakdown;
+  b.dnn_execution_client = result.timeline.client_exec_s;
+  if (result.offloaded) {
+    if (server_->executions().empty()) {
+      throw std::runtime_error(
+          "OffloadingRuntime: offloaded but server has no execution record");
+    }
+    const edge::ServerExecutionRecord& record = server_->executions().back();
+    result.server_record = record;
+    b.snapshot_capture_client = result.timeline.capture_s;
+    b.transmission_up =
+        (record.received_at - *result.timeline.snapshot_sent).to_seconds();
+    b.snapshot_restore_server = record.restore_s;
+    b.dnn_execution_server = record.execute_s;
+    b.snapshot_capture_server = record.capture_s;
+    b.transmission_down =
+        (*result.timeline.result_received - record.received_at).to_seconds() -
+        record.busy_s() - record.queue_wait_s;
+    b.snapshot_restore_client = result.timeline.restore_s;
+    // Residual between the measured end-to-end latency and the categorized
+    // parts (e.g. waiting for a refused snapshot to be re-sendable).
+    b.other = result.inference_seconds - b.total();
+    if (b.other < 1e-9 && b.other > -1e-9) b.other = 0;
+  }
+  return result;
+}
+
+double server_only_inference_seconds(const nn::Network& net,
+                                     const nn::DeviceProfile& profile) {
+  return profile.network_time_s(net);
+}
+
+}  // namespace offload::core

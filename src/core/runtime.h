@@ -1,0 +1,77 @@
+// OffloadingRuntime: wires one client, one edge server, and a shaped
+// network link inside a deterministic simulation, runs an app through one
+// offloaded (or local) inference, and reports the end-to-end latency plus
+// the Fig. 7 breakdown. This is the top-level entry point of the library.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "src/core/breakdown.h"
+#include "src/edge/client_device.h"
+#include "src/edge/edge_server.h"
+#include "src/net/channel.h"
+#include "src/sim/simulation.h"
+
+namespace offload::core {
+
+struct RuntimeConfig {
+  /// Both directions default to the paper's 30 Mbps netem-shaped Ethernet.
+  net::ChannelConfig channel = default_channel();
+  edge::ClientConfig client;
+  edge::EdgeServerConfig server;
+  /// When the user clicks the inference button, relative to app start.
+  /// Before the model upload finishes → the paper's "before ACK" arm;
+  /// comfortably after → "after ACK".
+  sim::SimTime click_at = sim::SimTime::seconds(0.1);
+
+  static net::ChannelConfig default_channel() {
+    net::ChannelConfig ch;
+    ch.a_to_b.bandwidth_bps = 30e6;
+    ch.a_to_b.latency = sim::SimTime::millis(1);
+    ch.b_to_a.bandwidth_bps = 30e6;
+    ch.b_to_a.latency = sim::SimTime::millis(1);
+    return ch;
+  }
+};
+
+struct RunResult {
+  edge::ClientTimeline timeline;
+  std::optional<edge::ServerExecutionRecord> server_record;
+  InferenceBreakdown breakdown;
+  std::string result_text;
+  bool offloaded = false;
+  /// Click → result displayed, in seconds (the Fig. 6/8 metric).
+  double inference_seconds = 0;
+  /// App start → model ACK (pre-sending cost), -1 if no ACK happened.
+  double model_upload_seconds = -1;
+};
+
+class OffloadingRuntime {
+ public:
+  OffloadingRuntime(RuntimeConfig config, edge::AppBundle app);
+  ~OffloadingRuntime();
+
+  /// Drive the scenario to completion and assemble the result. Runs the
+  /// simulation until quiescent; throws std::runtime_error if the app
+  /// never finishes (protocol bug).
+  RunResult run();
+
+  sim::Simulation& simulation() { return sim_; }
+  edge::ClientDevice& client() { return *client_; }
+  edge::EdgeServer& server() { return *server_; }
+
+ private:
+  RuntimeConfig config_;
+  sim::Simulation sim_;
+  std::unique_ptr<net::Channel> channel_;
+  std::unique_ptr<edge::EdgeServer> server_;
+  std::unique_ptr<edge::ClientDevice> client_;
+};
+
+/// The Fig. 6 "Server" baseline: the app runs entirely on the server's
+/// browser; returns the server-side inference seconds (no migration).
+double server_only_inference_seconds(const nn::Network& net,
+                                     const nn::DeviceProfile& profile);
+
+}  // namespace offload::core

@@ -1,0 +1,71 @@
+// BrowserHost: a MicroJS realm ("browser page") extended with the ML
+// framework bindings the paper's apps use — the Caffe.js analogue. It
+// exposes to apps:
+//   loadModel("<app>")            → model host object (from the ModelStore)
+//   model.inference(image)        → Float32Array of class scores
+//   model.inference_front(image)  → feature data (partial inference, front)
+//   model.inference_rear(feature) → scores (partial inference, rear)
+//   loadImage("<name>")           → Float32Array seeded by the host
+// and accounts simulated compute time for each DNN execution using the
+// host's device profile (measured FLOPs ÷ profile throughput), so client
+// and server charge realistic, deterministic times while computing real
+// tensors.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "src/edge/model_store.h"
+#include "src/jsvm/interpreter.h"
+#include "src/jsvm/snapshot.h"
+#include "src/nn/device.h"
+
+namespace offload::edge {
+
+class BrowserHost {
+ public:
+  BrowserHost(nn::DeviceProfile profile, std::shared_ptr<ModelStore> store);
+
+  jsvm::Interpreter& interp() { return *interp_; }
+  const nn::DeviceProfile& profile() const { return profile_; }
+  const std::shared_ptr<ModelStore>& model_store() const { return store_; }
+
+  /// Replace the realm with a fresh one (same bindings). Used when the
+  /// client adopts a result snapshot: restore always runs on a fresh page.
+  void reset_realm();
+
+  /// Set the partition point used by inference_front/inference_rear for
+  /// one model. `cut` is a node index of the model's network.
+  void set_partition_cut(const std::string& app, std::size_t cut);
+  /// Returns SIZE_MAX when unset.
+  std::size_t partition_cut(const std::string& app) const;
+
+  /// Register an image the app can fetch with loadImage(name).
+  void add_image(const std::string& name, nn::Tensor image);
+
+  /// Seed a canvas element's pixel data from C++ (host-side "drawing").
+  void set_canvas_image(const std::string& element_id,
+                        const nn::Tensor& image);
+
+  /// Simulated seconds of DNN compute accumulated since the last call.
+  double consume_compute_seconds();
+  /// Peek without resetting.
+  double pending_compute_seconds() const { return compute_seconds_; }
+
+  /// Charge compute directly (used by host-side accounting like snapshot
+  /// capture when expressed in device time).
+  void charge_compute(double seconds) { compute_seconds_ += seconds; }
+
+ private:
+  void install_bindings();
+
+  nn::DeviceProfile profile_;
+  std::shared_ptr<ModelStore> store_;
+  std::unique_ptr<jsvm::Interpreter> interp_;
+  std::unordered_map<std::string, std::size_t> cuts_;
+  std::unordered_map<std::string, nn::Tensor> images_;
+  double compute_seconds_ = 0.0;
+};
+
+}  // namespace offload::edge

@@ -1,0 +1,343 @@
+#include "src/edge/client_device.h"
+
+#include <stdexcept>
+
+#include "src/jsvm/snapshot.h"
+#include "src/jsvm/snapshot_diff.h"
+#include "src/util/logging.h"
+#include "src/util/strings.h"
+#include "src/vmsynth/overlay.h"
+#include "src/vmsynth/vmimage.h"
+
+namespace offload::edge {
+
+ClientDevice::ClientDevice(sim::Simulation& sim, net::Endpoint& endpoint,
+                           ClientConfig config, AppBundle bundle)
+    : sim_(sim),
+      endpoint_(endpoint),
+      config_(std::move(config)),
+      bundle_(std::move(bundle)),
+      local_store_(std::make_shared<ModelStore>()) {
+  if (!bundle_.network) {
+    throw std::invalid_argument("ClientDevice: app bundle has no network");
+  }
+  // The client owns the full, trained model locally.
+  local_store_->store_files(nn::model_files(*bundle_.network));
+  browser_ = std::make_unique<BrowserHost>(config_.profile, local_store_);
+  browser_->add_image("input", bundle_.input_image);
+  endpoint_.set_handler([this](const net::Message& m) { on_message(m); });
+}
+
+std::vector<nn::ModelFile> ClientDevice::files_to_send() const {
+  if (config_.presend_rear_only && config_.partition_cut != SIZE_MAX) {
+    return nn::model_files_rear_only(*bundle_.network, config_.partition_cut);
+  }
+  return nn::model_files(*bundle_.network);
+}
+
+void ClientDevice::send_model_files(bool count_as_presend) {
+  if (model_sent_) return;
+  model_sent_ = true;
+  ModelFilesPayload payload;
+  payload.files = files_to_send();
+  net::Message msg;
+  msg.type = net::MessageType::kModelFiles;
+  msg.name = bundle_.name;
+  msg.payload = payload.encode();
+  timeline_.model_upload_bytes = msg.payload.size();
+  if (count_as_presend) timeline_.model_upload_started = sim_.now();
+  endpoint_.send(std::move(msg));
+}
+
+void ClientDevice::send_overlay() {
+  // Build a VM overlay carrying the offloading system plus the model
+  // files, so installation doubles as pre-sending.
+  vmsynth::VmImage base = vmsynth::make_base_image();
+  std::vector<std::pair<std::string, util::Bytes>> model_files;
+  for (auto& f : files_to_send()) {
+    model_files.emplace_back(f.name, std::move(f.content));
+  }
+  vmsynth::VmImage customized = vmsynth::make_customized_image(
+      base, config_.overlay_sizes, model_files);
+  vmsynth::VmOverlay overlay = vmsynth::create_overlay(base, customized);
+
+  net::Message msg;
+  msg.type = net::MessageType::kVmOverlay;
+  msg.name = bundle_.name;
+  msg.payload = std::move(overlay.payload);
+  endpoint_.send(std::move(msg));
+  model_sent_ = true;  // the overlay carried the model files
+  timeline_.model_upload_started = sim_.now();
+}
+
+void ClientDevice::start() {
+  if (started_) throw std::logic_error("ClientDevice::start called twice");
+  started_ = true;
+  timeline_.app_started = sim_.now();
+
+  if (config_.offload && config_.partition_cut != SIZE_MAX) {
+    browser_->set_partition_cut(bundle_.name, config_.partition_cut);
+  }
+  browser_->interp().eval_program(bundle_.source, bundle_.name);
+  browser_->interp().run_events();
+  browser_->consume_compute_seconds();  // app-start compute is not measured
+
+  if (config_.offload && config_.presend_model) {
+    send_model_files(/*count_as_presend=*/true);
+  }
+}
+
+void ClientDevice::click_at(sim::SimTime at) {
+  sim_.schedule_at(at, [this] { begin_inference(); });
+}
+
+std::size_t ClientDevice::pick_partition_cut() {
+  if (!config_.auto_partition) return config_.partition_cut;
+  if (!client_cost_) {
+    const nn::Network* nets[] = {bundle_.network.get()};
+    client_cost_ = nn::LayerCostModel::profile_device(config_.profile, nets);
+    server_cost_ = nn::LayerCostModel::profile_device(
+        nn::DeviceProfile::edge_server(), nets);
+  }
+  nn::Partitioner partitioner(*bundle_.network, *client_cost_, *server_cost_);
+  nn::PartitionCandidate best =
+      partitioner.best(bandwidth_.estimate_bps(), 0.001);
+  return best.cut;
+}
+
+void ClientDevice::begin_inference() {
+  if (timeline_.finished) {
+    // Archive the previous inference and start a fresh per-inference
+    // record, keeping app-level fields (start, upload, ACK).
+    history_.push_back(timeline_);
+    ClientTimeline next;
+    next.app_started = timeline_.app_started;
+    next.model_upload_started = timeline_.model_upload_started;
+    next.ack_received = timeline_.ack_received;
+    next.model_upload_bytes = timeline_.model_upload_bytes;
+    timeline_ = std::move(next);
+  }
+  timeline_.clicked = sim_.now();
+  timeline_.used_partition_cut = config_.partition_cut;
+
+  if (config_.offload && config_.auto_partition) {
+    std::size_t cut = pick_partition_cut();
+    if (cut + 1 >= bundle_.network->size()) {
+      // The partitioner says local execution wins under current network
+      // conditions; honor it for this inference. The app still needs a
+      // valid cut for its inference_front/rear calls.
+      timeline_.local_fallback = true;
+      std::size_t local_cut = config_.partition_cut != SIZE_MAX
+                                  ? config_.partition_cut
+                                  : bundle_.network->cut_points().front();
+      browser_->set_partition_cut(bundle_.name, local_cut);
+      timeline_.used_partition_cut = local_cut;
+    } else {
+      timeline_.used_partition_cut = cut;
+      browser_->set_partition_cut(bundle_.name, cut);
+    }
+  }
+
+  jsvm::DomNodePtr target =
+      browser_->interp().document().get_element_by_id(bundle_.click_target);
+  if (!target) {
+    throw std::runtime_error("ClientDevice: no element '" +
+                             bundle_.click_target + "' to click");
+  }
+  browser_->interp().enqueue_event(std::move(target), "click",
+                                   jsvm::Undefined{});
+  run_app_events();
+}
+
+void ClientDevice::run_locally() {
+  jsvm::Interpreter& interp = browser_->interp();
+  interp.offload_hook = nullptr;
+  interp.run_events();
+  double exec_s = browser_->consume_compute_seconds();
+  timeline_.client_exec_s += exec_s;
+  timeline_.finished = sim_.now() + sim::SimTime::seconds(exec_s);
+}
+
+void ClientDevice::run_app_events() {
+  jsvm::Interpreter& interp = browser_->interp();
+  bool want_offload = config_.offload && !timeline_.local_fallback;
+  if (want_offload && config_.local_fallback_before_ack &&
+      !timeline_.ack_received && config_.presend_model) {
+    // The model is still uploading; execute locally this time
+    // (Section IV.A's recommendation).
+    timeline_.local_fallback = true;
+    want_offload = false;
+  }
+  if (!want_offload) {
+    run_locally();
+    return;
+  }
+
+  interp.offload_hook = [this](const jsvm::PendingEvent& ev) {
+    return ev.type == config_.offload_event;
+  };
+  interp.run_events();
+  double exec_s = browser_->consume_compute_seconds();
+  timeline_.client_exec_s += exec_s;
+
+  auto pending = interp.take_pending_offload();
+  if (!pending) {
+    // Ran to completion locally (app never raised the offload event).
+    timeline_.finished = sim_.now() + sim::SimTime::seconds(exec_s);
+    return;
+  }
+
+  // Offload point reached: capture the snapshot (the pending event is
+  // still at the queue front and rides along). Repeat offloads diff
+  // against the state the server kept.
+  SnapshotPayload payload;
+  payload.cut = timeline_.used_partition_cut == SIZE_MAX
+                    ? UINT64_MAX
+                    : timeline_.used_partition_cut;
+  if (config_.differential_snapshots && baseline_) {
+    jsvm::DiffSnapshotResult diff =
+        jsvm::capture_snapshot_diff(interp, *baseline_,
+                                    config_.snapshot_options);
+    payload.differential = !diff.full_fallback;
+    payload.base_version = diff.base_version;
+    payload.program = std::move(diff.program);
+    timeline_.snapshot_stats = diff.stats;
+    timeline_.used_differential = payload.differential;
+  } else {
+    jsvm::SnapshotResult snap =
+        jsvm::capture_snapshot(interp, config_.snapshot_options);
+    payload.program = std::move(snap.program);
+    timeline_.snapshot_stats = snap.stats;
+  }
+  timeline_.capture_s = config_.profile.snapshot_capture_s(
+      timeline_.snapshot_stats.total_bytes);
+  timeline_.offloaded = true;
+
+  net::Message msg;
+  msg.type = net::MessageType::kSnapshot;
+  msg.name = bundle_.name;
+  msg.payload = payload.encode();
+  timeline_.snapshot_bytes = msg.wire_size();
+
+  send_snapshot_message(std::move(msg), exec_s + timeline_.capture_s);
+}
+
+void ClientDevice::send_snapshot_message(net::Message msg, double busy_s) {
+  awaiting_result_ = true;
+  sim_.schedule(sim::SimTime::seconds(busy_s), [this,
+                                                msg = std::move(msg)]() mutable {
+    // No pre-send (or ACK still pending with nothing in flight): the model
+    // must accompany the snapshot (Section III.B.1's slow path).
+    send_model_files(/*count_as_presend=*/false);
+    timeline_.snapshot_sent = sim_.now();
+    inflight_snapshot_ = msg;
+    endpoint_.send(std::move(msg));
+  });
+}
+
+void ClientDevice::on_message(const net::Message& message) {
+  switch (message.type) {
+    case net::MessageType::kAck: {
+      if (!timeline_.ack_received) {
+        timeline_.ack_received = sim_.now();
+        // The completed upload doubles as a bandwidth observation
+        // (Section III.B.2's "runtime network status").
+        if (timeline_.model_upload_bytes > 0) {
+          bandwidth_.observe(timeline_.model_upload_bytes,
+                             *timeline_.ack_received -
+                                 timeline_.model_upload_started);
+        }
+      }
+      if (util::starts_with(message.name, "installed:") && awaiting_result_ &&
+          inflight_snapshot_) {
+        // Our earlier snapshot was refused pre-install; send it again.
+        timeline_.snapshot_sent = sim_.now();
+        endpoint_.send(*inflight_snapshot_);
+      }
+      return;
+    }
+    case net::MessageType::kResultSnapshot: {
+      if (!awaiting_result_) {
+        OFFLOAD_LOG_WARN << "client: unexpected result snapshot";
+        return;
+      }
+      awaiting_result_ = false;
+      inflight_snapshot_.reset();
+      timeline_.result_received = sim_.now();
+      SnapshotPayload payload =
+          SnapshotPayload::decode(std::span(message.payload));
+      // Adopt the new execution state on a fresh page (the snapshot is a
+      // self-contained app).
+      browser_->reset_realm();
+      if (timeline_.used_partition_cut != SIZE_MAX) {
+        browser_->set_partition_cut(bundle_.name,
+                                    timeline_.used_partition_cut);
+      }
+      jsvm::restore_snapshot(browser_->interp(), payload.program);
+      browser_->interp().run_events();
+      browser_->consume_compute_seconds();
+      if (config_.differential_snapshots) {
+        // This restored state is now the baseline both sides share.
+        baseline_ = jsvm::fingerprint_realm(browser_->interp());
+      }
+      timeline_.restore_s =
+          config_.profile.snapshot_restore_s(payload.program.size());
+      timeline_.finished =
+          sim_.now() + sim::SimTime::seconds(timeline_.restore_s);
+      return;
+    }
+    case net::MessageType::kControl: {
+      if (util::starts_with(message.name, "need_full") && awaiting_result_) {
+        // The server lost (or never had) our differential baseline: the
+        // realm is untouched since capture, so take a full snapshot and
+        // retry.
+        OFFLOAD_LOG_INFO << "client: server needs a full snapshot, resending";
+        jsvm::SnapshotResult snap =
+            jsvm::capture_snapshot(browser_->interp(),
+                                   config_.snapshot_options);
+        SnapshotPayload payload;
+        payload.cut = timeline_.used_partition_cut == SIZE_MAX
+                          ? UINT64_MAX
+                          : timeline_.used_partition_cut;
+        payload.program = std::move(snap.program);
+        timeline_.snapshot_stats = snap.stats;
+        timeline_.used_differential = false;
+        net::Message msg;
+        msg.type = net::MessageType::kSnapshot;
+        msg.name = bundle_.name;
+        msg.payload = payload.encode();
+        timeline_.snapshot_bytes = msg.wire_size();
+        double recapture_s = config_.profile.snapshot_capture_s(
+            snap.stats.total_bytes);
+        timeline_.capture_s += recapture_s;
+        awaiting_result_ = false;  // send_snapshot_message re-arms it
+        send_snapshot_message(std::move(msg), recapture_s);
+        return;
+      }
+      if (util::starts_with(message.name, "not_installed")) {
+        if (config_.install_on_demand && !overlay_sent_) {
+          OFFLOAD_LOG_INFO << "client: server lacks offloading system, "
+                              "sending VM overlay";
+          overlay_sent_ = true;
+          model_sent_ = false;  // the refused upload never landed
+          send_overlay();
+        } else if (!config_.install_on_demand) {
+          OFFLOAD_LOG_WARN << "client: server not installed and on-demand "
+                              "installation disabled";
+        }
+      }
+      return;
+    }
+    default:
+      OFFLOAD_LOG_WARN << "client: unexpected message type "
+                       << net::message_type_name(message.type);
+  }
+}
+
+std::string ClientDevice::result_text() const {
+  jsvm::DomNodePtr node =
+      browser_->interp().document().get_element_by_id(bundle_.result_element);
+  return node ? node->text : "";
+}
+
+}  // namespace offload::edge

@@ -1,0 +1,161 @@
+// The embedded client (the paper's Odroid-XU4 board). Runs the web app on
+// its browser, pre-sends the NN model at app start, and — when the
+// configured offload event fires — captures a snapshot and migrates
+// execution to the edge server, adopting the result snapshot when it comes
+// back. Implements the offloading configurations evaluated in Fig. 6:
+// local-only, offload before/after ACK, and partial inference.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/edge/browser_host.h"
+#include "src/edge/protocol.h"
+#include "src/jsvm/fingerprint.h"
+#include "src/net/bandwidth.h"
+#include "src/net/channel.h"
+#include "src/nn/cost_model.h"
+#include "src/nn/partition.h"
+#include "src/sim/simulation.h"
+#include "src/vmsynth/vmimage.h"
+
+namespace offload::edge {
+
+struct ClientConfig {
+  nn::DeviceProfile profile = nn::DeviceProfile::embedded_client();
+  /// false = run the app entirely on the client (the Fig. 6 "Client" bar).
+  bool offload = true;
+  /// Send the model at app start (Section III.B.1). When false, model
+  /// files accompany the first snapshot, which is the slow path.
+  bool presend_model = true;
+  /// Privacy mode: upload only the rear part of the weights so the server
+  /// cannot invert features (Section III.B.2).
+  bool presend_rear_only = false;
+  /// Partition point (node index). SIZE_MAX = full-inference offloading.
+  std::size_t partition_cut = SIZE_MAX;
+  /// Event type whose handler is offloaded: "click" for full inference,
+  /// "front_complete" for partial (Fig. 5).
+  std::string offload_event = "click";
+  /// If the server replies not_installed, ship a VM overlay containing the
+  /// offloading system + model, then retry (Section III.B.3).
+  bool install_on_demand = true;
+  /// Component sizes for the on-demand overlay (defaults = the paper's).
+  vmsynth::SystemBundleSizes overlay_sizes;
+  /// Repeat offloads send differential snapshots against the state left on
+  /// the server by the previous offload (the paper's Section VI future
+  /// work). Falls back to full snapshots when the server lost the session.
+  bool differential_snapshots = false;
+  /// While the model upload has not been ACKed, run the inference locally
+  /// instead of offloading (the paper's Section IV.A suggestion: "it would
+  /// be better for the client to execute the DNN locally while the model
+  /// is being uploaded").
+  bool local_fallback_before_ack = false;
+  /// Choose the partition point at click time with the Neurosurgeon-style
+  /// partitioner and the observed bandwidth, instead of a fixed cut. Only
+  /// meaningful for partial-inference apps; implies full-weight pre-send.
+  bool auto_partition = false;
+  jsvm::SnapshotOptions snapshot_options;
+};
+
+/// The app as the developer shipped it.
+struct AppBundle {
+  std::string name;    ///< app/model name, e.g. "googlenet"
+  std::string source;  ///< MicroJS program (HTML script part)
+  std::shared_ptr<nn::Network> network;
+  nn::Tensor input_image;
+  std::string click_target = "btn";   ///< element the user clicks
+  std::string result_element = "result";  ///< where the app writes output
+};
+
+/// Client-side observations of one inference (Fig. 7 ingredients).
+struct ClientTimeline {
+  sim::SimTime app_started;
+  sim::SimTime model_upload_started;
+  std::optional<sim::SimTime> ack_received;
+  sim::SimTime clicked;
+  double client_exec_s = 0;  ///< local DNN time (full local or front part)
+  double capture_s = 0;      ///< snapshot capture on the client
+  std::optional<sim::SimTime> snapshot_sent;
+  std::optional<sim::SimTime> result_received;
+  double restore_s = 0;      ///< result-snapshot restore on the client
+  std::optional<sim::SimTime> finished;
+  bool offloaded = false;
+  /// This inference ran locally because the model ACK was pending.
+  bool local_fallback = false;
+  /// This inference shipped a differential snapshot.
+  bool used_differential = false;
+  /// Partition point used (SIZE_MAX for full inference).
+  std::size_t used_partition_cut = SIZE_MAX;
+  std::uint64_t snapshot_bytes = 0;
+  std::uint64_t model_upload_bytes = 0;
+  jsvm::SnapshotStats snapshot_stats;
+
+  /// End-to-end inference latency (click → finished).
+  double inference_seconds() const {
+    return finished ? (*finished - clicked).to_seconds() : -1.0;
+  }
+};
+
+class ClientDevice {
+ public:
+  ClientDevice(sim::Simulation& sim, net::Endpoint& endpoint,
+               ClientConfig config, AppBundle bundle);
+
+  /// Launch the app at the current simulated time: evaluate the program,
+  /// start the model pre-send.
+  void start();
+
+  /// Schedule the user's click on the app's button at absolute time `at`.
+  /// May be called repeatedly (later times) for multiple inferences; each
+  /// completed inference's timeline is archived in history().
+  void click_at(sim::SimTime at);
+
+  bool finished() const { return timeline_.finished.has_value(); }
+  const ClientTimeline& timeline() const { return timeline_; }
+  /// Timelines of earlier inferences (most recent last).
+  const std::vector<ClientTimeline>& history() const { return history_; }
+
+  /// Text the app wrote into its result element ("" until finished).
+  std::string result_text() const;
+
+  BrowserHost& browser() { return *browser_; }
+  const AppBundle& bundle() const { return bundle_; }
+  const ClientConfig& config() const { return config_; }
+
+ private:
+  void on_message(const net::Message& message);
+  void begin_inference();
+  void run_app_events();
+  void run_locally();
+  void send_snapshot_message(net::Message msg, double busy_s);
+  void send_model_files(bool count_as_presend);
+  void send_overlay();
+  std::vector<nn::ModelFile> files_to_send() const;
+  std::size_t pick_partition_cut();
+
+  sim::Simulation& sim_;
+  net::Endpoint& endpoint_;
+  ClientConfig config_;
+  AppBundle bundle_;
+  std::shared_ptr<ModelStore> local_store_;
+  std::unique_ptr<BrowserHost> browser_;
+  ClientTimeline timeline_;
+  std::vector<ClientTimeline> history_;
+  bool model_sent_ = false;
+  bool started_ = false;
+  bool awaiting_result_ = false;
+  bool overlay_sent_ = false;
+  /// Copy of the in-flight snapshot, for re-send after on-demand install
+  /// or a differential version miss.
+  std::optional<net::Message> inflight_snapshot_;
+  /// Common state shared with the server (differential snapshots).
+  std::optional<jsvm::RealmFingerprint> baseline_;
+  net::BandwidthEstimator bandwidth_{30e6};
+  /// Lazily built cost models for auto-partitioning.
+  std::optional<nn::LayerCostModel> client_cost_;
+  std::optional<nn::LayerCostModel> server_cost_;
+};
+
+}  // namespace offload::edge

@@ -1,0 +1,198 @@
+#include "src/edge/edge_server.h"
+
+#include "src/jsvm/fingerprint.h"
+#include "src/util/logging.h"
+#include "src/util/strings.h"
+
+namespace offload::edge {
+
+EdgeServer::EdgeServer(sim::Simulation& sim, net::Endpoint& endpoint,
+                       EdgeServerConfig config)
+    : sim_(sim),
+      config_(std::move(config)),
+      store_(std::make_shared<ModelStore>()),
+      base_image_(vmsynth::make_base_image()) {
+  attach(endpoint);
+}
+
+void EdgeServer::attach(net::Endpoint& endpoint) {
+  endpoint.set_handler([this, &endpoint](const net::Message& m) {
+    on_message(endpoint, m);
+  });
+}
+
+std::pair<sim::SimTime, sim::SimTime> EdgeServer::reserve_compute(
+    double busy_s) {
+  sim::SimTime start = std::max(sim_.now(), compute_busy_until_);
+  sim::SimTime end = start + sim::SimTime::seconds(busy_s);
+  compute_busy_until_ = end;
+  return {start, end};
+}
+
+void EdgeServer::on_message(net::Endpoint& from, const net::Message& message) {
+  switch (message.type) {
+    case net::MessageType::kModelFiles:
+      if (!installed()) return refuse(from, message);
+      return handle_model_files(from, message);
+    case net::MessageType::kSnapshot:
+      if (!installed()) return refuse(from, message);
+      return handle_snapshot(from, message);
+    case net::MessageType::kVmOverlay:
+      return handle_overlay(from, message);
+    default:
+      OFFLOAD_LOG_WARN << "edge server: unexpected message type "
+                       << net::message_type_name(message.type);
+  }
+}
+
+void EdgeServer::refuse(net::Endpoint& from, const net::Message& message) {
+  ++stats_.refused;
+  net::Message reply;
+  reply.type = net::MessageType::kControl;
+  reply.name = "not_installed:" + message.name;
+  from.send(std::move(reply));
+}
+
+void EdgeServer::handle_model_files(net::Endpoint& from,
+                                    const net::Message& message) {
+  ModelFilesPayload payload = ModelFilesPayload::decode(
+      std::span(message.payload));
+  std::uint64_t bytes = 0;
+  for (auto& f : payload.files) bytes += f.size();
+  store_->store_files(std::move(payload.files));
+  ++stats_.models_stored;
+
+  // Persisting the files costs disk time before the ACK goes out
+  // (Section III.B.1: "the server saves the files and sends an ACK").
+  double store_s = static_cast<double>(bytes) / config_.store_Bps;
+  std::string app = message.name;
+  sim_.schedule(sim::SimTime::seconds(store_s), [&from, app] {
+    net::Message ack;
+    ack.type = net::MessageType::kAck;
+    ack.name = app;
+    from.send(std::move(ack));
+  });
+}
+
+void EdgeServer::handle_snapshot(net::Endpoint& from,
+                                 const net::Message& message) {
+  SnapshotPayload payload = SnapshotPayload::decode(std::span(message.payload));
+
+  ServerExecutionRecord record;
+  record.received_at = sim_.now();
+  record.snapshot_in_bytes = message.wire_size();
+
+  if (payload.differential) {
+    // Apply the diff to the session realm from the previous offload —
+    // possible only if we still hold the exact baseline it patches.
+    auto it = sessions_.find(message.name);
+    if (it == sessions_.end() || it->second.version != payload.base_version) {
+      ++stats_.diff_version_misses;
+      net::Message reply;
+      reply.type = net::MessageType::kControl;
+      reply.name = "need_full:" + message.name;
+      from.send(std::move(reply));
+      return;
+    }
+    browser_ = std::move(it->second.browser);
+    sessions_.erase(it);
+    if (payload.cut != UINT64_MAX) {
+      browser_->set_partition_cut(message.name,
+                                  static_cast<std::size_t>(payload.cut));
+    }
+    browser_->interp().eval_program(payload.program, "diff-snapshot");
+    ++stats_.diff_snapshots_applied;
+  } else {
+    // Fresh page per offload: the snapshot is a self-contained app.
+    browser_ = std::make_unique<BrowserHost>(config_.profile, store_);
+    if (payload.cut != UINT64_MAX) {
+      browser_->set_partition_cut(message.name,
+                                  static_cast<std::size_t>(payload.cut));
+    }
+    jsvm::restore_snapshot(browser_->interp(), payload.program);
+  }
+  record.restore_s = config_.profile.snapshot_restore_s(
+      payload.program.size());
+
+  // Continue execution: re-dispatched events run the offloaded handler.
+  browser_->interp().run_events();
+  record.execute_s = browser_->consume_compute_seconds();
+
+  // Capture the result snapshot.
+  jsvm::SnapshotResult result =
+      jsvm::capture_snapshot(browser_->interp(), config_.snapshot_options);
+  record.capture_s =
+      config_.profile.snapshot_capture_s(result.stats.total_bytes);
+  record.result_stats = result.stats;
+
+  SnapshotPayload reply_payload;
+  reply_payload.cut = payload.cut;
+  reply_payload.program = std::move(result.program);
+  if (config_.keep_sessions) {
+    // Remember this exact state: if the client diffs against it next
+    // time, we can apply the patch in place. The version is the realm
+    // fingerprint, which the client's restored realm reproduces.
+    reply_payload.base_version =
+        jsvm::fingerprint_realm(browser_->interp()).version;
+  }
+
+  net::Message reply;
+  reply.type = net::MessageType::kResultSnapshot;
+  reply.name = message.name;
+  reply.payload = reply_payload.encode();
+  record.snapshot_out_bytes = reply.wire_size();
+
+  // The server's compute is a shared resource: concurrent offloads from
+  // different clients queue FIFO (a quad-core box running one browser
+  // instance per request would contend similarly).
+  auto [start, end] = reserve_compute(record.busy_s());
+  record.queue_wait_s = (start - record.received_at).to_seconds();
+  ++stats_.snapshots_executed;
+  executions_.push_back(record);
+  last_browser_ = browser_.get();
+  if (config_.keep_sessions) {
+    Session session;
+    session.version = reply_payload.base_version;
+    session.browser = std::move(browser_);
+    sessions_[message.name] = std::move(session);
+  }
+  sim_.schedule_at(end, [&from, reply = std::move(reply)]() mutable {
+    from.send(std::move(reply));
+  });
+}
+
+void EdgeServer::handle_overlay(net::Endpoint& from,
+                                const net::Message& message) {
+  vmsynth::VmImage image =
+      vmsynth::synthesize(base_image_, std::span(message.payload));
+
+  // Pull any model files shipped inside the overlay into the store — this
+  // doubles as pre-sending (Section III.B.3).
+  constexpr std::string_view kModelDir = "/opt/offload/models/";
+  for (const auto& f : image.files()) {
+    if (util::starts_with(f.path, kModelDir)) {
+      store_->store_file({f.path.substr(kModelDir.size()), f.content});
+    }
+  }
+  synthesized_ = std::move(image);
+  config_.offloading_system_installed = true;
+  ++stats_.overlays_installed;
+
+  vmsynth::OverlayStats overlay_stats;
+  overlay_stats.compressed_bytes = message.payload.size();
+  // The uncompressed size is implied by the payload; approximate the apply
+  // cost from the synthesized image size.
+  overlay_stats.uncompressed_bytes = synthesized_->total_bytes();
+  double synth_s = vmsynth::synthesis_compute_seconds(overlay_stats);
+  stats_.vm_synthesis_compute_s += synth_s;
+
+  std::string app = message.name;
+  sim_.schedule(sim::SimTime::seconds(synth_s), [&from, app] {
+    net::Message ack;
+    ack.type = net::MessageType::kAck;
+    ack.name = "installed:" + app;
+    from.send(std::move(ack));
+  });
+}
+
+}  // namespace offload::edge

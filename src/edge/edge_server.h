@@ -1,0 +1,117 @@
+// The generic edge server. It runs the offloading server program: accepts
+// pre-sent model files (ACKing them), executes incoming snapshots on its
+// browser, and returns result snapshots. If the offloading system is not
+// installed, it can be installed on demand by a VM overlay (VM synthesis,
+// Section III.B.3).
+//
+// All processing costs are charged in simulated time: the reply to a
+// message is scheduled at arrival + (restore + execute + capture) computed
+// from the server's device profile and the real byte/FLOP counts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/edge/browser_host.h"
+#include "src/edge/model_store.h"
+#include "src/edge/protocol.h"
+#include "src/net/channel.h"
+#include "src/sim/simulation.h"
+#include "src/vmsynth/overlay.h"
+
+namespace offload::edge {
+
+struct EdgeServerConfig {
+  nn::DeviceProfile profile = nn::DeviceProfile::edge_server();
+  /// Whether the offloading system (browser + server program + libs) is
+  /// already installed. When false, model/snapshot messages are refused
+  /// with a "not_installed" control reply until a VM overlay arrives.
+  bool offloading_system_installed = true;
+  /// Disk rate for persisting pre-sent model files (affects ACK time).
+  double store_Bps = 400e6;
+  /// Keep per-app session realms so repeat offloads can send differential
+  /// snapshots (the paper's Section VI future work).
+  bool keep_sessions = true;
+  jsvm::SnapshotOptions snapshot_options;
+};
+
+/// Per-offload server-side timing, for the Fig. 7 breakdown.
+struct ServerExecutionRecord {
+  sim::SimTime received_at;
+  double queue_wait_s = 0;  ///< waited for earlier requests (contention)
+  double restore_s = 0;   ///< parse+run the incoming snapshot
+  double execute_s = 0;   ///< DNN execution on the server browser
+  double capture_s = 0;   ///< producing the result snapshot
+  std::uint64_t snapshot_in_bytes = 0;
+  std::uint64_t snapshot_out_bytes = 0;
+  jsvm::SnapshotStats result_stats;
+
+  double busy_s() const { return restore_s + execute_s + capture_s; }
+};
+
+class EdgeServer {
+ public:
+  EdgeServer(sim::Simulation& sim, net::Endpoint& endpoint,
+             EdgeServerConfig config = {});
+
+  /// Serve an additional client (its own channel). Replies go back on the
+  /// endpoint the request arrived on. Snapshot executions from all clients
+  /// share — and queue on — the server's compute. Every attached endpoint
+  /// (including the constructor's) must outlive the server and any pending
+  /// simulation events it scheduled.
+  void attach(net::Endpoint& endpoint);
+
+  bool installed() const { return config_.offloading_system_installed; }
+  const ModelStore& model_store() const { return *store_; }
+
+  struct Stats {
+    int models_stored = 0;
+    int snapshots_executed = 0;
+    int diff_snapshots_applied = 0;
+    int diff_version_misses = 0;
+    int overlays_installed = 0;
+    int refused = 0;
+    double vm_synthesis_compute_s = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  const std::vector<ServerExecutionRecord>& executions() const {
+    return executions_;
+  }
+
+  /// The realm that ran the last snapshot (inspection/tests). With
+  /// keep_sessions on, this is the live session realm.
+  BrowserHost* last_browser() { return last_browser_; }
+
+ private:
+  void on_message(net::Endpoint& from, const net::Message& message);
+  void handle_model_files(net::Endpoint& from, const net::Message& message);
+  void handle_snapshot(net::Endpoint& from, const net::Message& message);
+  void handle_overlay(net::Endpoint& from, const net::Message& message);
+  void refuse(net::Endpoint& from, const net::Message& message);
+  /// Reserve the server's compute for `busy_s` starting no earlier than
+  /// now; returns {start, end} honoring earlier reservations (FIFO).
+  std::pair<sim::SimTime, sim::SimTime> reserve_compute(double busy_s);
+
+  sim::Simulation& sim_;
+  EdgeServerConfig config_;
+  sim::SimTime compute_busy_until_;
+  std::shared_ptr<ModelStore> store_;
+  std::unique_ptr<BrowserHost> browser_;
+  BrowserHost* last_browser_ = nullptr;
+  /// Session kept from the last offload of each app: the realm plus the
+  /// fingerprint version the client and server share.
+  struct Session {
+    std::unique_ptr<BrowserHost> browser;
+    std::uint64_t version = 0;
+  };
+  std::unordered_map<std::string, Session> sessions_;
+  vmsynth::VmImage base_image_;
+  std::optional<vmsynth::VmImage> synthesized_;
+  Stats stats_;
+  std::vector<ServerExecutionRecord> executions_;
+};
+
+}  // namespace offload::edge

@@ -1,0 +1,70 @@
+#include "src/edge/model_store.h"
+
+#include <stdexcept>
+
+namespace offload::edge {
+
+void ModelStore::store_file(nn::ModelFile file) {
+  cache_.clear();
+  for (auto& f : files_) {
+    if (f.name == file.name) {
+      f = std::move(file);
+      return;
+    }
+  }
+  files_.push_back(std::move(file));
+}
+
+void ModelStore::store_files(std::vector<nn::ModelFile> files) {
+  for (auto& f : files) store_file(std::move(f));
+}
+
+bool ModelStore::has_file(const std::string& name) const {
+  return find(name) != nullptr;
+}
+
+const nn::ModelFile* ModelStore::find(const std::string& name) const {
+  for (const auto& f : files_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+std::uint64_t ModelStore::total_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& f : files_) n += f.size();
+  return n;
+}
+
+bool ModelStore::can_instantiate(const std::string& app) const {
+  return has_file(app + ".desc") &&
+         (has_file(app + ".weights") || has_file(app + ".rear.weights"));
+}
+
+std::shared_ptr<nn::Network> ModelStore::instantiate(
+    const std::string& app) const {
+  if (auto it = cache_.find(app); it != cache_.end()) return it->second;
+  const nn::ModelFile* desc = find(app + ".desc");
+  if (!desc) {
+    throw std::runtime_error("ModelStore: no description for app '" + app +
+                             "' (model not pre-sent?)");
+  }
+  auto net = std::shared_ptr<nn::Network>(
+      nn::parse_description(util::to_string(std::span(desc->content))));
+  bool any_weights = false;
+  if (const nn::ModelFile* w = find(app + ".weights")) {
+    nn::load_weights(*net, std::span(w->content));
+    any_weights = true;
+  }
+  if (const nn::ModelFile* w = find(app + ".rear.weights")) {
+    nn::load_weights(*net, std::span(w->content));
+    any_weights = true;
+  }
+  if (!any_weights) {
+    throw std::runtime_error("ModelStore: no weights for app '" + app + "'");
+  }
+  cache_.emplace(app, net);
+  return net;
+}
+
+}  // namespace offload::edge

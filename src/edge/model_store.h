@@ -1,0 +1,44 @@
+// Storage for pre-sent NN model files (Section III.B.1). The client pushes
+// model files at app start; the edge server stores them and ACKs. When a
+// snapshot later calls __loadModel("<app>"), the store instantiates the
+// network from the stored description + weights.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/nn/model_io.h"
+#include "src/nn/network.h"
+
+namespace offload::edge {
+
+class ModelStore {
+ public:
+  /// Add or replace a file. Invalidates any cached network built from it.
+  void store_file(nn::ModelFile file);
+  void store_files(std::vector<nn::ModelFile> files);
+
+  bool has_file(const std::string& name) const;
+  const nn::ModelFile* find(const std::string& name) const;
+  std::uint64_t total_bytes() const;
+  std::size_t file_count() const { return files_.size(); }
+
+  /// True if enough files exist to instantiate `app` (description plus
+  /// full or rear weights).
+  bool can_instantiate(const std::string& app) const;
+
+  /// Build the network for `app` from "<app>.desc" plus "<app>.weights"
+  /// and/or "<app>.rear.weights". Layers with no stored weights keep their
+  /// default (zero) parameters — which is exactly the information the
+  /// privacy scheme denies the server. Cached; throws std::runtime_error
+  /// if required files are missing.
+  std::shared_ptr<nn::Network> instantiate(const std::string& app) const;
+
+ private:
+  std::vector<nn::ModelFile> files_;
+  mutable std::unordered_map<std::string, std::shared_ptr<nn::Network>> cache_;
+};
+
+}  // namespace offload::edge

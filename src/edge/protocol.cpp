@@ -1,0 +1,49 @@
+#include "src/edge/protocol.h"
+
+namespace offload::edge {
+
+util::Bytes ModelFilesPayload::encode() const {
+  util::BinaryWriter w;
+  w.varint(files.size());
+  for (const auto& f : files) {
+    w.str(f.name);
+    w.blob(std::span(f.content));
+  }
+  return std::move(w).take();
+}
+
+ModelFilesPayload ModelFilesPayload::decode(
+    std::span<const std::uint8_t> data) {
+  util::BinaryReader r(data);
+  ModelFilesPayload out;
+  std::uint64_t count = r.varint();
+  out.files.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    nn::ModelFile f;
+    f.name = r.str();
+    f.content = r.blob();
+    out.files.push_back(std::move(f));
+  }
+  return out;
+}
+
+util::Bytes SnapshotPayload::encode() const {
+  util::BinaryWriter w;
+  w.u64(cut);
+  w.u8(differential ? 1 : 0);
+  w.u64(base_version);
+  w.str(program);
+  return std::move(w).take();
+}
+
+SnapshotPayload SnapshotPayload::decode(std::span<const std::uint8_t> data) {
+  util::BinaryReader r(data);
+  SnapshotPayload out;
+  out.cut = r.u64();
+  out.differential = r.u8() != 0;
+  out.base_version = r.u64();
+  out.program = r.str();
+  return out;
+}
+
+}  // namespace offload::edge

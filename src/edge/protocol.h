@@ -1,0 +1,38 @@
+// Payload codecs for the offloading protocol messages. Wire framing (type,
+// name, checksum) lives in net::Message; these encode the bodies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/net/message.h"
+#include "src/nn/model_io.h"
+
+namespace offload::edge {
+
+/// Body of a kModelFiles message: the pre-sent model file bundle.
+struct ModelFilesPayload {
+  std::vector<nn::ModelFile> files;
+
+  util::Bytes encode() const;
+  static ModelFilesPayload decode(std::span<const std::uint8_t> data);
+};
+
+/// Body of a kSnapshot / kResultSnapshot message: the snapshot program
+/// plus the partition point (SIZE_MAX when full inference), which the
+/// serving browser needs to run inference_rear on the right layer range.
+/// For repeat offloads the program may be a *differential* snapshot that
+/// applies to the session state the server kept — `base_version` names the
+/// common baseline (fingerprint version) it patches.
+struct SnapshotPayload {
+  std::uint64_t cut = UINT64_MAX;
+  bool differential = false;
+  std::uint64_t base_version = 0;
+  std::string program;
+
+  util::Bytes encode() const;
+  static SnapshotPayload decode(std::span<const std::uint8_t> data);
+};
+
+}  // namespace offload::edge

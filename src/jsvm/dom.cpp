@@ -1,0 +1,60 @@
+#include "src/jsvm/dom.h"
+
+#include <functional>
+
+namespace offload::jsvm {
+
+Document::Document() {
+  root_ = std::make_shared<DomNode>();
+  root_->tag = "html";
+  body_ = std::make_shared<DomNode>();
+  body_->tag = "body";
+  root_->append_child(body_);
+}
+
+DomNodePtr Document::create_element(std::string tag) {
+  auto node = std::make_shared<DomNode>();
+  node->tag = std::move(tag);
+  return node;
+}
+
+DomNodePtr Document::get_element_by_id(std::string_view id) const {
+  std::function<DomNodePtr(const DomNodePtr&)> dfs =
+      [&](const DomNodePtr& node) -> DomNodePtr {
+    if (node->id == id) return node;
+    for (const auto& child : node->children) {
+      if (DomNodePtr found = dfs(child)) return found;
+    }
+    return nullptr;
+  };
+  return dfs(root_);
+}
+
+void Document::clear() {
+  body_->children.clear();
+  body_->listeners.clear();
+  body_->text.clear();
+  body_->attributes.clear();
+  body_->id.clear();
+}
+
+std::string Document::to_html() const {
+  std::string out;
+  std::function<void(const DomNodePtr&, int)> walk = [&](const DomNodePtr& n,
+                                                         int depth) {
+    out.append(static_cast<std::size_t>(depth) * 2, ' ');
+    out += "<" + n->tag;
+    if (!n->id.empty()) out += " id=\"" + n->id + "\"";
+    for (const auto& [k, v] : n->attributes) {
+      out += " " + k + "=\"" + v + "\"";
+    }
+    out += ">";
+    if (!n->text.empty()) out += n->text;
+    out += "\n";
+    for (const auto& child : n->children) walk(child, depth + 1);
+  };
+  walk(root_, 0);
+  return out;
+}
+
+}  // namespace offload::jsvm

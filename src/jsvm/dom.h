@@ -1,0 +1,38 @@
+// Simplified DOM: a tree of DomNodes under a document with a <body>. This
+// is the "screen" of the web app — snapshots serialize the whole body
+// subtree (plus listeners), so the edge server can even update the client's
+// display by mutating the DOM, as Section III of the paper points out.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "src/jsvm/value.h"
+
+namespace offload::jsvm {
+
+class Document {
+ public:
+  Document();
+
+  const DomNodePtr& root() const { return root_; }  ///< <html>
+  const DomNodePtr& body() const { return body_; }
+
+  /// Create a detached element.
+  static DomNodePtr create_element(std::string tag);
+
+  /// Depth-first search by id; nullptr if absent.
+  DomNodePtr get_element_by_id(std::string_view id) const;
+
+  /// Remove all body children and listeners (fresh page).
+  void clear();
+
+  /// Render the tree as indented HTML-ish text (for tests and examples).
+  std::string to_html() const;
+
+ private:
+  DomNodePtr root_;
+  DomNodePtr body_;
+};
+
+}  // namespace offload::jsvm

@@ -1,0 +1,35 @@
+#include "src/jsvm/env.h"
+
+namespace offload::jsvm {
+
+void Environment::declare(std::string_view name, Value value) {
+  if (Value* v = find_local(name)) {
+    *v = std::move(value);
+    return;
+  }
+  slots_.emplace_back(std::string(name), std::move(value));
+}
+
+Value* Environment::find_local(std::string_view name) {
+  for (auto& [k, v] : slots_) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+Value* Environment::find(std::string_view name) {
+  for (Environment* env = this; env; env = env->parent_.get()) {
+    if (Value* v = env->find_local(name)) return v;
+  }
+  return nullptr;
+}
+
+bool Environment::assign(std::string_view name, const Value& value) {
+  if (Value* v = find(name)) {
+    *v = value;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace offload::jsvm

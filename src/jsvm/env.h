@@ -1,0 +1,45 @@
+// Lexical environments. A chain of these is what a closure captures; the
+// snapshot writer walks reachable environments to reconstruct closures on
+// the restoring side (the paper's reference [11], "closure reconstruction").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/jsvm/value.h"
+
+namespace offload::jsvm {
+
+class Environment : public std::enable_shared_from_this<Environment> {
+ public:
+  explicit Environment(EnvPtr parent = nullptr) : parent_(std::move(parent)) {}
+
+  const EnvPtr& parent() const { return parent_; }
+
+  /// Slots in declaration order (snapshot determinism).
+  const std::vector<std::pair<std::string, Value>>& slots() const {
+    return slots_;
+  }
+
+  /// `var` semantics: (re)declare in *this* environment.
+  void declare(std::string_view name, Value value);
+
+  /// Look up through the chain; nullptr if unbound.
+  Value* find(std::string_view name);
+
+  /// Look up only in this environment.
+  Value* find_local(std::string_view name);
+
+  /// Assign through the chain. Returns false if the name is unbound
+  /// anywhere (caller decides whether that is an error or an implicit
+  /// global, JS-style).
+  bool assign(std::string_view name, const Value& value);
+
+ private:
+  EnvPtr parent_;
+  std::vector<std::pair<std::string, Value>> slots_;
+};
+
+}  // namespace offload::jsvm

@@ -1,0 +1,44 @@
+// Realm fingerprinting for differential snapshots — the paper's future
+// work (Section VI: "simplify the snapshot creation/transmission/
+// restoration for future offloading using the data and code left at the
+// server from the first offloading").
+//
+// After an offload round trip, client and server hold identical realms
+// (the result snapshot). Both sides record a fingerprint of that common
+// state; the next offload can then ship only what changed since.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/jsvm/interpreter.h"
+
+namespace offload::jsvm {
+
+/// A content hash of each global binding plus the DOM, taken at a moment
+/// when client and server states coincide.
+struct RealmFingerprint {
+  /// (name, deep content hash) per non-ambient global, in slot order.
+  std::vector<std::pair<std::string, std::uint64_t>> globals;
+  /// Hash of the DOM's *structure*: topology, tags, ids, and listener
+  /// shapes. If this changes, a differential snapshot is not possible.
+  std::uint64_t dom_structure = 0;
+  /// Per-node content hash (text, attributes, canvas data) in DFS order,
+  /// body first. Content-only changes diff fine.
+  std::vector<std::uint64_t> dom_content;
+  /// Overall version tag for the handshake between client and server.
+  std::uint64_t version = 0;
+
+  const std::uint64_t* find(std::string_view name) const;
+};
+
+/// Fingerprint the current realm state. Deterministic; identical realms
+/// (e.g. both ends after a restore) produce identical fingerprints.
+RealmFingerprint fingerprint_realm(Interpreter& interp);
+
+/// Deep content hash of one value (cycle-safe, identity-insensitive
+/// across realms: references hash by traversal position, not address).
+std::uint64_t hash_value(const Value& value);
+
+}  // namespace offload::jsvm

@@ -1,0 +1,54 @@
+// Hand-written lexer for MicroJS. Supports // and /* */ comments, decimal
+// and exponent number literals, and single- or double-quoted strings with
+// the common escape sequences.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/jsvm/token.h"
+
+namespace offload::jsvm {
+
+/// Thrown on malformed source; carries a 1-based line number.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, std::size_t line)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : src_(source) {}
+
+  /// Tokenize the whole input (ends with a kEof token).
+  std::vector<Token> tokenize();
+
+  /// 1-based line of a byte offset (for diagnostics).
+  static std::size_t line_of(std::string_view source, std::size_t offset);
+
+ private:
+  Token next();
+  void skip_trivia();
+  Token lex_number();
+  Token lex_string(char quote);
+  Token lex_identifier();
+  [[noreturn]] void fail(const std::string& message) const;
+
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  bool eof() const { return pos_ >= src_.size(); }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace offload::jsvm

@@ -1,0 +1,35 @@
+// Differential snapshots — the paper's Section VI future work, realized:
+// after the first offload, client and server share a common state (the
+// result snapshot). Subsequent offloads ship only the *changes* since that
+// common state; the server applies them to the session realm it kept.
+//
+// The diff degrades to a full snapshot whenever correctness would be at
+// risk: when the DOM structure changed (nodes added/removed/re-tagged,
+// listeners changed) or when a changed global's heap subgraph shares
+// objects with an unchanged one (rebuilding the shared object would split
+// identities). Content-only DOM changes (text, attributes, canvas pixels)
+// diff per node via the __domByIndex intrinsic.
+#pragma once
+
+#include "src/jsvm/fingerprint.h"
+#include "src/jsvm/snapshot.h"
+
+namespace offload::jsvm {
+
+struct DiffSnapshotResult {
+  std::string program;  ///< apply to the realm holding the baseline state
+  SnapshotStats stats;
+  /// True when the writer had to fall back to a full snapshot (apply to a
+  /// fresh realm instead).
+  bool full_fallback = false;
+  /// The baseline this diff applies to (fingerprint version handshake).
+  std::uint64_t base_version = 0;
+};
+
+/// Capture the difference between the realm's current state and
+/// `baseline` (recorded with fingerprint_realm at the last common point).
+DiffSnapshotResult capture_snapshot_diff(Interpreter& interp,
+                                         const RealmFingerprint& baseline,
+                                         const SnapshotOptions& options = {});
+
+}  // namespace offload::jsvm

@@ -1,0 +1,22 @@
+#include "src/net/bandwidth.h"
+
+namespace offload::net {
+
+void BandwidthEstimator::observe(std::uint64_t bytes, sim::SimTime duration) {
+  if (duration <= sim::SimTime::zero() || bytes == 0) return;
+  double bps = static_cast<double>(bytes) * 8.0 / duration.to_seconds();
+  ewma_.add(bps);
+  ++count_;
+}
+
+double BandwidthEstimator::estimate_bps() const {
+  return ewma_.empty() ? fallback_bps_ : ewma_.value();
+}
+
+sim::SimTime BandwidthEstimator::predict(std::uint64_t bytes) const {
+  double bps = estimate_bps();
+  if (bps <= 0) return sim::SimTime::max();
+  return sim::SimTime::seconds(static_cast<double>(bytes) * 8.0 / bps);
+}
+
+}  // namespace offload::net

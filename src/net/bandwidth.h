@@ -1,0 +1,38 @@
+// Runtime network-status estimation (Section III.B.2): the partitioner
+// needs an up-to-date bandwidth figure to pick the partition point. The
+// client records observed (bytes, duration) pairs for completed transfers
+// and exposes an EWMA estimate.
+#pragma once
+
+#include <cstdint>
+
+#include "src/sim/time.h"
+#include "src/util/stats.h"
+
+namespace offload::net {
+
+class BandwidthEstimator {
+ public:
+  /// `alpha` is the EWMA smoothing factor; `fallback_bps` is returned until
+  /// the first observation lands.
+  explicit BandwidthEstimator(double fallback_bps = 30e6, double alpha = 0.3)
+      : fallback_bps_(fallback_bps), ewma_(alpha) {}
+
+  /// Record a completed transfer of `bytes` that took `duration`.
+  void observe(std::uint64_t bytes, sim::SimTime duration);
+
+  /// Current estimate in bits per second.
+  double estimate_bps() const;
+
+  /// Predicted time to move `bytes` at the current estimate.
+  sim::SimTime predict(std::uint64_t bytes) const;
+
+  std::size_t observations() const { return count_; }
+
+ private:
+  double fallback_bps_;
+  util::Ewma ewma_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace offload::net

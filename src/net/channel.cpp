@@ -1,0 +1,63 @@
+#include "src/net/channel.h"
+
+#include <stdexcept>
+
+#include "src/util/logging.h"
+
+namespace offload::net {
+
+std::uint64_t Endpoint::send(Message message) {
+  message.id = next_id_++;
+  bytes_sent_ += message.wire_size();
+  std::uint64_t id = message.id;
+  channel_->transmit(is_a_, std::move(message), 0);
+  return id;
+}
+
+std::unique_ptr<Channel> Channel::make(sim::Simulation& sim,
+                                       const ChannelConfig& config,
+                                       std::string name_a, std::string name_b,
+                                       std::uint64_t seed) {
+  return std::unique_ptr<Channel>(
+      new Channel(sim, config, std::move(name_a), std::move(name_b), seed));
+}
+
+Channel::Channel(sim::Simulation& sim, const ChannelConfig& config,
+                 std::string name_a, std::string name_b, std::uint64_t seed)
+    : sim_(sim),
+      config_(config),
+      ab_(config.a_to_b, seed),
+      ba_(config.b_to_a, seed + 1),
+      a_(new Endpoint(this, std::move(name_a), true)),
+      b_(new Endpoint(this, std::move(name_b), false)) {}
+
+void Channel::transmit(bool from_a, Message message, int attempt) {
+  Link& link = from_a ? ab_ : ba_;
+  Endpoint& dest = from_a ? *b_ : *a_;
+  TransferPlan plan = link.transmit(sim_.now(), message.wire_size());
+  if (plan.lost) {
+    ++drops_;
+    if (config_.reliable && attempt < config_.max_retransmits) {
+      OFFLOAD_LOG_DEBUG << "channel: drop " << message_type_name(message.type)
+                        << " id=" << message.id << ", retransmitting";
+      // Sender notices the loss one timeout after the send completed.
+      sim::SimTime retry_at = plan.sent + config_.retransmit_timeout;
+      sim_.schedule_at(retry_at, [this, from_a, message = std::move(message),
+                                  attempt]() mutable {
+        transmit(from_a, std::move(message), attempt + 1);
+      });
+    } else if (config_.reliable) {
+      OFFLOAD_LOG_ERROR << "channel: message " << message.id
+                        << " exceeded max retransmits; dropping";
+    }
+    return;
+  }
+  std::uint64_t wire = message.wire_size();
+  sim_.schedule_at(plan.arrival, [&dest, wire,
+                                  message = std::move(message)]() mutable {
+    dest.bytes_received_ += wire;
+    if (dest.handler_) dest.handler_(message);
+  });
+}
+
+}  // namespace offload::net

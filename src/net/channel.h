@@ -1,0 +1,94 @@
+// Bidirectional channel between two endpoints on top of the simulation.
+// Each direction has its own Link; delivery invokes the receiving
+// endpoint's handler at the message's simulated arrival time. Lost messages
+// are retransmitted after a timeout when `reliable` is on (simple ARQ),
+// which the failure-injection tests exercise.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/net/link.h"
+#include "src/net/message.h"
+#include "src/sim/simulation.h"
+#include "src/util/stats.h"
+
+namespace offload::net {
+
+class Channel;
+
+/// One side of a channel. Owns a receive handler; sends go to the peer.
+class Endpoint {
+ public:
+  using Handler = std::function<void(const Message&)>;
+
+  const std::string& name() const { return name_; }
+  void set_handler(Handler handler) { handler_ = std::move(handler); }
+
+  /// Queue a message toward the peer. Returns the sender-side send id.
+  std::uint64_t send(Message message);
+
+  /// Bytes delivered to this endpoint so far (for accounting/tests).
+  std::uint64_t bytes_received() const { return bytes_received_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  friend class Channel;
+  Endpoint(Channel* channel, std::string name, bool is_a)
+      : channel_(channel), name_(std::move(name)), is_a_(is_a) {}
+
+  Channel* channel_;
+  std::string name_;
+  bool is_a_;
+  Handler handler_;
+  std::uint64_t bytes_received_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t next_id_ = 1;
+};
+
+struct ChannelConfig {
+  LinkConfig a_to_b;
+  LinkConfig b_to_a;
+  /// Retransmit lost messages after `retransmit_timeout`.
+  bool reliable = true;
+  sim::SimTime retransmit_timeout = sim::SimTime::millis(200);
+  int max_retransmits = 16;
+};
+
+/// Owns both endpoints and both links. Construct via make().
+class Channel {
+ public:
+  static std::unique_ptr<Channel> make(sim::Simulation& sim,
+                                       const ChannelConfig& config,
+                                       std::string name_a = "client",
+                                       std::string name_b = "server",
+                                       std::uint64_t seed = 1);
+
+  Endpoint& a() { return *a_; }
+  Endpoint& b() { return *b_; }
+
+  Link& link_a_to_b() { return ab_; }
+  Link& link_b_to_a() { return ba_; }
+
+  /// Total messages that were dropped at least once.
+  std::uint64_t drops() const { return drops_; }
+
+ private:
+  Channel(sim::Simulation& sim, const ChannelConfig& config,
+          std::string name_a, std::string name_b, std::uint64_t seed);
+
+  friend class Endpoint;
+  void transmit(bool from_a, Message message, int attempt);
+
+  sim::Simulation& sim_;
+  ChannelConfig config_;
+  Link ab_;
+  Link ba_;
+  std::unique_ptr<Endpoint> a_;
+  std::unique_ptr<Endpoint> b_;
+  std::uint64_t drops_ = 0;
+};
+
+}  // namespace offload::net

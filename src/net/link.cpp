@@ -1,0 +1,48 @@
+#include "src/net/link.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace offload::net {
+
+Link::Link(const LinkConfig& config, std::uint64_t seed)
+    : config_(config), rng_(seed, 0x6e65746c696e6bULL) {
+  if (config_.bandwidth_bps <= 0) {
+    throw std::invalid_argument("Link: bandwidth must be positive");
+  }
+  if (config_.loss_rate < 0 || config_.loss_rate >= 1.0) {
+    throw std::invalid_argument("Link: loss_rate must be in [0, 1)");
+  }
+}
+
+sim::SimTime Link::nominal_duration(std::uint64_t bytes) const {
+  double tx_seconds =
+      static_cast<double>(bytes) * 8.0 / config_.bandwidth_bps;
+  return sim::SimTime::seconds(tx_seconds) + config_.latency;
+}
+
+TransferPlan Link::transmit(sim::SimTime now, std::uint64_t bytes) {
+  TransferPlan plan;
+  plan.start = std::max(now, busy_until_);
+  double tx_seconds =
+      static_cast<double>(bytes) * 8.0 / config_.bandwidth_bps;
+  plan.sent = plan.start + sim::SimTime::seconds(tx_seconds);
+  busy_until_ = plan.sent;
+
+  sim::SimTime latency = config_.latency;
+  if (config_.jitter > sim::SimTime::zero()) {
+    auto extra_ns = static_cast<std::int64_t>(
+        rng_.canonical() * static_cast<double>(config_.jitter.ns()));
+    latency += sim::SimTime::nanos(extra_ns);
+  }
+  plan.arrival = plan.sent + latency;
+  plan.lost = config_.loss_rate > 0 && rng_.chance(config_.loss_rate);
+  return plan;
+}
+
+void Link::set_bandwidth_bps(double bps) {
+  if (bps <= 0) throw std::invalid_argument("Link: bandwidth must be positive");
+  config_.bandwidth_bps = bps;
+}
+
+}  // namespace offload::net

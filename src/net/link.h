@@ -1,0 +1,62 @@
+// Unidirectional link model reproducing netem-style shaping (the paper
+// limits the client/server Ethernet to 30 Mbps with netem). Transfers are
+// serialized FIFO: a message's transmission starts when the link is free,
+// takes size*8/bandwidth, and arrives one propagation latency later.
+// Optional jitter and loss support the failure-injection tests.
+#pragma once
+
+#include <cstdint>
+
+#include "src/sim/time.h"
+#include "src/util/rng.h"
+
+namespace offload::net {
+
+struct LinkConfig {
+  /// Payload bandwidth in bits per second. The paper's experiments use
+  /// 30 Mbps (decimal: 30e6 bps), which reproduces its "44 MB model takes
+  /// about 12 seconds" arithmetic exactly.
+  double bandwidth_bps = 30e6;
+  /// One-way propagation delay.
+  sim::SimTime latency = sim::SimTime::millis(1);
+  /// Uniform jitter added to latency in [0, jitter].
+  sim::SimTime jitter = sim::SimTime::zero();
+  /// Probability that a message is dropped (per transmission attempt).
+  double loss_rate = 0.0;
+};
+
+/// Computed schedule for one message on a link.
+struct TransferPlan {
+  sim::SimTime start;    ///< When transmission begins (link free).
+  sim::SimTime sent;     ///< When the last byte leaves the sender.
+  sim::SimTime arrival;  ///< When the last byte reaches the receiver.
+  bool lost = false;     ///< Dropped by the loss process.
+};
+
+/// FIFO serializing link. Not tied to a Simulation; callers pass `now` and
+/// get back a TransferPlan, which keeps the model independently testable.
+class Link {
+ public:
+  explicit Link(const LinkConfig& config, std::uint64_t seed = 1);
+
+  /// Reserve the link for `bytes` starting no earlier than `now`.
+  TransferPlan transmit(sim::SimTime now, std::uint64_t bytes);
+
+  /// Pure query: how long would `bytes` take on an idle link (transmission
+  /// plus latency, no queueing, no jitter)?
+  sim::SimTime nominal_duration(std::uint64_t bytes) const;
+
+  const LinkConfig& config() const { return config_; }
+  sim::SimTime busy_until() const { return busy_until_; }
+
+  /// Change bandwidth mid-simulation (models network condition shifts for
+  /// the dynamic-partitioning experiments). Applies to future transfers.
+  void set_bandwidth_bps(double bps);
+
+ private:
+  LinkConfig config_;
+  sim::SimTime busy_until_;
+  util::Pcg32 rng_;
+};
+
+}  // namespace offload::net

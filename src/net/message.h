@@ -1,0 +1,47 @@
+// Wire messages exchanged by the offloading protocol (Section III.B):
+// model file uploads, the pre-send ACK, snapshots in both directions, and
+// VM overlays for on-demand installation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/bytes.h"
+
+namespace offload::net {
+
+enum class MessageType : std::uint8_t {
+  kModelFiles = 1,     ///< Client → server: pre-send of NN model files.
+  kAck = 2,            ///< Server → client: model stored, ready.
+  kSnapshot = 3,       ///< Client → server: execution-state snapshot.
+  kResultSnapshot = 4, ///< Server → client: snapshot with the result state.
+  kVmOverlay = 5,      ///< Client → server: on-demand system install.
+  kControl = 6,        ///< Small control/handshake messages.
+};
+
+const char* message_type_name(MessageType t);
+
+/// A protocol message. `payload` carries the serialized body; `wire_size()`
+/// is what the link model charges for, including a small framing header.
+struct Message {
+  MessageType type = MessageType::kControl;
+  std::string name;      ///< e.g. model file name, app id.
+  util::Bytes payload;
+  std::uint64_t id = 0;  ///< Sender-assigned sequence id.
+
+  /// Framing overhead per message (type, id, name length, payload length,
+  /// checksum) — matches encode()'s actual header cost closely enough for
+  /// the link model.
+  static constexpr std::uint64_t kHeaderBytes = 32;
+
+  std::uint64_t wire_size() const {
+    return kHeaderBytes + name.size() + payload.size();
+  }
+
+  /// Serialize to bytes (with CRC). decode() throws util::DecodeError on a
+  /// corrupt buffer.
+  util::Bytes encode() const;
+  static Message decode(std::span<const std::uint8_t> wire);
+};
+
+}  // namespace offload::net

@@ -1,0 +1,44 @@
+// 2-D convolution layer (Caffe semantics: floor output rounding, zero
+// padding). Forward runs as im2col + GEMM, the same strategy Caffe.js uses.
+#pragma once
+
+#include "src/nn/layer.h"
+
+namespace offload::nn {
+
+struct ConvConfig {
+  std::int64_t in_channels = 0;
+  std::int64_t out_channels = 0;
+  std::int64_t kernel = 1;
+  std::int64_t stride = 1;
+  std::int64_t pad = 0;
+};
+
+class ConvLayer final : public Layer {
+ public:
+  ConvLayer(std::string name, const ConvConfig& config);
+
+  LayerKind kind() const override { return LayerKind::kConv; }
+  Shape output_shape(std::span<const Shape> inputs) const override;
+  std::uint64_t flops(std::span<const Shape> inputs) const override;
+  Tensor forward(std::span<const Tensor* const> inputs) const override;
+
+  std::uint64_t param_count() const override;
+  void init_params(util::Pcg32& rng) override;
+  void write_params(util::BinaryWriter& w) const override;
+  void read_params(util::BinaryReader& r) override;
+  std::string config_str() const override;
+
+  const ConvConfig& config() const { return config_; }
+  Tensor& weights() { return weights_; }
+  Tensor& bias() { return bias_; }
+
+ private:
+  void check_input(const Shape& in) const;
+
+  ConvConfig config_;
+  Tensor weights_;  ///< {out_ch, in_ch, k, k}
+  Tensor bias_;     ///< {out_ch}
+};
+
+}  // namespace offload::nn

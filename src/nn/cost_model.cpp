@@ -1,0 +1,107 @@
+#include "src/nn/cost_model.h"
+
+#include <stdexcept>
+
+namespace offload::nn {
+namespace {
+
+constexpr std::size_t idx(LayerKind kind) {
+  return static_cast<std::size_t>(kind);
+}
+
+}  // namespace
+
+void LayerCostModel::add_sample(LayerKind kind, std::uint64_t flops,
+                                double seconds) {
+  auto& s = samples_[idx(kind)];
+  s.x.push_back(static_cast<double>(flops));
+  s.y.push_back(seconds);
+}
+
+LayerCostModel::Fit LayerCostModel::least_squares(const Series& s) {
+  Fit fit;
+  const std::size_t n = s.x.size();
+  if (n == 0) return fit;
+  if (n == 1) {
+    fit.slope = s.x[0] > 0 ? s.y[0] / s.x[0] : 0.0;
+    fit.intercept = s.x[0] > 0 ? 0.0 : s.y[0];
+    fit.valid = true;
+    return fit;
+  }
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += s.x[i];
+    sy += s.y[i];
+    sxx += s.x[i] * s.x[i];
+    sxy += s.x[i] * s.y[i];
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (denom <= 1e-30) {
+    // All samples at the same FLOP count: constant model.
+    fit.slope = 0.0;
+    fit.intercept = sy / dn;
+  } else {
+    fit.slope = (dn * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / dn;
+    if (fit.slope < 0) {  // Latency can't improve with work; clamp.
+      fit.slope = 0;
+      fit.intercept = sy / dn;
+    }
+    if (fit.intercept < 0) fit.intercept = 0;
+  }
+  fit.valid = true;
+  return fit;
+}
+
+void LayerCostModel::fit() {
+  Series all;
+  for (std::size_t k = 0; k < samples_.size(); ++k) {
+    fits_[k] = least_squares(samples_[k]);
+    all.x.insert(all.x.end(), samples_[k].x.begin(), samples_[k].x.end());
+    all.y.insert(all.y.end(), samples_[k].y.begin(), samples_[k].y.end());
+  }
+  global_ = least_squares(all);
+  fitted_any_ = global_.valid;
+}
+
+bool LayerCostModel::fitted(LayerKind kind) const {
+  return fits_[idx(kind)].valid;
+}
+
+double LayerCostModel::predict(LayerKind kind, std::uint64_t flops) const {
+  if (!fitted_any_) {
+    throw std::logic_error("LayerCostModel::predict before fit()");
+  }
+  const Fit& f = fits_[idx(kind)].valid ? fits_[idx(kind)] : global_;
+  double t = f.slope * static_cast<double>(flops) + f.intercept;
+  return t < 0 ? 0 : t;
+}
+
+double LayerCostModel::predict_range(const Network& net, std::size_t begin,
+                                     std::size_t end) const {
+  const auto& analysis = net.analyze();
+  end = std::min(end, net.size());
+  double total = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    total += predict(net.layer(i).kind(), analysis.flops[i]);
+  }
+  return total;
+}
+
+LayerCostModel LayerCostModel::profile_device(
+    const DeviceProfile& device, std::span<const Network* const> nets) {
+  LayerCostModel model;
+  for (const Network* net : nets) {
+    const auto& analysis = net->analyze();
+    for (std::size_t i = 0; i < net->size(); ++i) {
+      LayerKind kind = net->layer(i).kind();
+      model.add_sample(kind, analysis.flops[i],
+                       device.layer_time_s(kind, analysis.flops[i]));
+    }
+  }
+  model.fit();
+  return model;
+}
+
+}  // namespace offload::nn

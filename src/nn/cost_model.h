@@ -1,0 +1,65 @@
+// Neurosurgeon-style layer latency prediction (Kang et al., ASPLOS'17,
+// cited by the paper as the source of its partition-point estimator). A
+// per-layer-kind linear regression time = a·FLOPs + b is trained from
+// profiled executions and then used to predict latencies of layers of
+// *unseen* networks — exactly how the paper picks its front/rear split.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/nn/device.h"
+#include "src/nn/layer.h"
+#include "src/nn/network.h"
+
+namespace offload::nn {
+
+class LayerCostModel {
+ public:
+  /// Record one profiled layer execution.
+  void add_sample(LayerKind kind, std::uint64_t flops, double seconds);
+
+  /// Least-squares fit per layer kind. Kinds with a single sample get a
+  /// zero-intercept fit; kinds with none fall back to a global fit.
+  void fit();
+
+  bool fitted(LayerKind kind) const;
+
+  /// Predicted execution time for one layer. Requires fit().
+  double predict(LayerKind kind, std::uint64_t flops) const;
+
+  /// Predicted time for nodes [begin, end) of a network.
+  double predict_range(const Network& net, std::size_t begin,
+                       std::size_t end) const;
+  double predict_network(const Network& net) const {
+    return predict_range(net, 0, net.size());
+  }
+
+  /// Build a model by profiling `nets` on `device` (per-layer simulated
+  /// executions — the reproduction's analogue of running microbenchmarks on
+  /// the target hardware).
+  static LayerCostModel profile_device(const DeviceProfile& device,
+                                       std::span<const Network* const> nets);
+
+ private:
+  struct Fit {
+    double slope = 0.0;      // seconds per FLOP
+    double intercept = 0.0;  // seconds
+    bool valid = false;
+  };
+  struct Series {
+    std::vector<double> x;  // FLOPs
+    std::vector<double> y;  // seconds
+  };
+
+  static Fit least_squares(const Series& s);
+
+  std::array<Series, 10> samples_{};
+  std::array<Fit, 10> fits_{};
+  Fit global_{};
+  bool fitted_any_ = false;
+};
+
+}  // namespace offload::nn

@@ -1,0 +1,34 @@
+// Fully connected (inner-product) layer. Flattens its input.
+#pragma once
+
+#include "src/nn/layer.h"
+
+namespace offload::nn {
+
+class FullyConnectedLayer final : public Layer {
+ public:
+  FullyConnectedLayer(std::string name, std::int64_t in_features,
+                      std::int64_t out_features);
+
+  LayerKind kind() const override { return LayerKind::kFullyConnected; }
+  Shape output_shape(std::span<const Shape> inputs) const override;
+  std::uint64_t flops(std::span<const Shape> inputs) const override;
+  Tensor forward(std::span<const Tensor* const> inputs) const override;
+
+  std::uint64_t param_count() const override;
+  void init_params(util::Pcg32& rng) override;
+  void write_params(util::BinaryWriter& w) const override;
+  void read_params(util::BinaryReader& r) override;
+  std::string config_str() const override;
+
+  std::int64_t in_features() const { return in_; }
+  std::int64_t out_features() const { return out_; }
+
+ private:
+  std::int64_t in_;
+  std::int64_t out_;
+  Tensor weights_;  ///< {out, in}
+  Tensor bias_;     ///< {out}
+};
+
+}  // namespace offload::nn

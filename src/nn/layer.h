@@ -1,0 +1,75 @@
+// Layer abstraction for the CNN inference engine. Layers are stateless with
+// respect to activations: forward() maps input tensors to an output tensor.
+// Parameters (conv filters, fc weights) live inside the layer and are
+// (de)serialized through write_params/read_params — that is what the model
+// files of Section III.B.1 ("pre-sending the NN model") carry.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "src/nn/tensor.h"
+#include "src/util/bytes.h"
+#include "src/util/rng.h"
+
+namespace offload::nn {
+
+enum class LayerKind : std::uint8_t {
+  kInput = 0,
+  kConv = 1,
+  kMaxPool = 2,
+  kAvgPool = 3,
+  kFullyConnected = 4,
+  kReLU = 5,
+  kLRN = 6,
+  kSoftmax = 7,
+  kConcat = 8,
+  kDropout = 9,
+};
+
+const char* layer_kind_name(LayerKind kind);
+
+class Layer {
+ public:
+  explicit Layer(std::string name) : name_(std::move(name)) {}
+  virtual ~Layer() = default;
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+
+  const std::string& name() const { return name_; }
+  virtual LayerKind kind() const = 0;
+
+  /// Shape of the output given input shapes; throws std::invalid_argument
+  /// on arity/shape mismatches so graph bugs surface at build time.
+  virtual Shape output_shape(std::span<const Shape> inputs) const = 0;
+
+  /// Floating-point operation count for one forward pass (multiply and add
+  /// counted separately, the Neurosurgeon convention). Drives the device
+  /// cost model.
+  virtual std::uint64_t flops(std::span<const Shape> inputs) const = 0;
+
+  virtual Tensor forward(std::span<const Tensor* const> inputs) const = 0;
+
+  virtual std::uint64_t param_count() const { return 0; }
+  virtual void init_params(util::Pcg32& /*rng*/) {}
+  virtual void write_params(util::BinaryWriter& /*w*/) const {}
+  virtual void read_params(util::BinaryReader& /*r*/) {}
+
+  /// One-line config for the model description file, e.g.
+  /// "k=7 s=2 p=3 out=64". Parsed back by model_io.
+  virtual std::string config_str() const { return ""; }
+
+ protected:
+  /// Helper for subclasses: demand exactly `n` inputs.
+  static void require_arity(std::span<const Shape> inputs, std::size_t n,
+                            const char* what);
+
+ private:
+  std::string name_;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace offload::nn

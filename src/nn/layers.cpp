@@ -1,0 +1,572 @@
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "src/nn/activation.h"
+#include "src/nn/concat.h"
+#include "src/nn/conv.h"
+#include "src/nn/dense.h"
+#include "src/nn/lrn.h"
+#include "src/nn/pool.h"
+
+namespace offload::nn {
+namespace {
+
+void require_rank3(const Shape& s, const char* what) {
+  if (s.rank() != 3) {
+    throw std::invalid_argument(std::string(what) +
+                                ": expected CHW input, got " + s.str());
+  }
+}
+
+/// Caffe conv output size: floor((in + 2p - k) / s) + 1.
+std::int64_t conv_out_dim(std::int64_t in, std::int64_t k, std::int64_t s,
+                          std::int64_t p) {
+  return (in + 2 * p - k) / s + 1;
+}
+
+/// Caffe pool output size: ceil((in + 2p - k) / s) + 1, clipped so the last
+/// window starts inside the (padded) input.
+std::int64_t pool_out_dim(std::int64_t in, std::int64_t k, std::int64_t s,
+                          std::int64_t p) {
+  std::int64_t out =
+      (in + 2 * p - k + s - 1) / s + 1;  // ceil division for non-negatives
+  if (p > 0 && (out - 1) * s >= in + p) --out;
+  return out;
+}
+
+}  // namespace
+
+const char* layer_kind_name(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kInput:
+      return "input";
+    case LayerKind::kConv:
+      return "conv";
+    case LayerKind::kMaxPool:
+      return "maxpool";
+    case LayerKind::kAvgPool:
+      return "avgpool";
+    case LayerKind::kFullyConnected:
+      return "fc";
+    case LayerKind::kReLU:
+      return "relu";
+    case LayerKind::kLRN:
+      return "lrn";
+    case LayerKind::kSoftmax:
+      return "softmax";
+    case LayerKind::kConcat:
+      return "concat";
+    case LayerKind::kDropout:
+      return "dropout";
+  }
+  return "?";
+}
+
+void Layer::require_arity(std::span<const Shape> inputs, std::size_t n,
+                          const char* what) {
+  if (inputs.size() != n) {
+    throw std::invalid_argument(std::string(what) + ": expected " +
+                                std::to_string(n) + " inputs, got " +
+                                std::to_string(inputs.size()));
+  }
+}
+
+// ---------------------------------------------------------------- InputLayer
+
+Shape InputLayer::output_shape(std::span<const Shape> inputs) const {
+  if (!inputs.empty()) {
+    throw std::invalid_argument("input layer takes no graph inputs");
+  }
+  return shape_;
+}
+
+std::uint64_t InputLayer::flops(std::span<const Shape>) const { return 0; }
+
+Tensor InputLayer::forward(std::span<const Tensor* const> inputs) const {
+  if (inputs.size() != 1) {
+    throw std::invalid_argument("input layer: feed exactly one tensor");
+  }
+  if (inputs[0]->shape() != shape_) {
+    throw std::invalid_argument("input layer: expected " + shape_.str() +
+                                ", got " + inputs[0]->shape().str());
+  }
+  Tensor out = *inputs[0];
+  if (scale_ != 1.0) {
+    const auto s = static_cast<float>(scale_);
+    for (auto& v : out.data()) v *= s;
+  }
+  return out;
+}
+
+std::string InputLayer::config_str() const {
+  std::string out = "shape=" + shape_.str();
+  if (scale_ != 1.0) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", scale_);  // exact round trip
+    out += std::string(" scale=") + buf;
+  }
+  return out;
+}
+
+// ----------------------------------------------------------------- ConvLayer
+
+ConvLayer::ConvLayer(std::string name, const ConvConfig& config)
+    : Layer(std::move(name)),
+      config_(config),
+      weights_(Shape{config.out_channels, config.in_channels, config.kernel,
+                     config.kernel}),
+      bias_(Shape{config.out_channels}) {
+  if (config.in_channels <= 0 || config.out_channels <= 0 ||
+      config.kernel <= 0 || config.stride <= 0 || config.pad < 0) {
+    throw std::invalid_argument("conv " + this->name() + ": bad config");
+  }
+}
+
+void ConvLayer::check_input(const Shape& in) const {
+  require_rank3(in, "conv");
+  if (in[0] != config_.in_channels) {
+    throw std::invalid_argument("conv " + name() + ": expected " +
+                                std::to_string(config_.in_channels) +
+                                " channels, got " + in.str());
+  }
+  if (conv_out_dim(in[1], config_.kernel, config_.stride, config_.pad) <= 0 ||
+      conv_out_dim(in[2], config_.kernel, config_.stride, config_.pad) <= 0) {
+    throw std::invalid_argument("conv " + name() + ": input too small: " +
+                                in.str());
+  }
+}
+
+Shape ConvLayer::output_shape(std::span<const Shape> inputs) const {
+  require_arity(inputs, 1, "conv");
+  check_input(inputs[0]);
+  return Shape{
+      config_.out_channels,
+      conv_out_dim(inputs[0][1], config_.kernel, config_.stride, config_.pad),
+      conv_out_dim(inputs[0][2], config_.kernel, config_.stride, config_.pad)};
+}
+
+std::uint64_t ConvLayer::flops(std::span<const Shape> inputs) const {
+  Shape out = output_shape(inputs);
+  // Per output element: in_ch*k*k multiply-adds (2 flops each) plus bias.
+  std::uint64_t per_elem = 2ull * static_cast<std::uint64_t>(
+                                      config_.in_channels * config_.kernel *
+                                      config_.kernel) +
+                           1;
+  return static_cast<std::uint64_t>(out.elements()) * per_elem;
+}
+
+Tensor ConvLayer::forward(std::span<const Tensor* const> inputs) const {
+  if (inputs.size() != 1) throw std::invalid_argument("conv: one input");
+  const Tensor& in = *inputs[0];
+  check_input(in.shape());
+  const std::int64_t C = in.shape()[0];
+  const std::int64_t H = in.shape()[1];
+  const std::int64_t W = in.shape()[2];
+  const std::int64_t K = config_.kernel;
+  const std::int64_t S = config_.stride;
+  const std::int64_t P = config_.pad;
+  const std::int64_t OH = conv_out_dim(H, K, S, P);
+  const std::int64_t OW = conv_out_dim(W, K, S, P);
+  const std::int64_t M = config_.out_channels;
+  const std::int64_t Kdim = C * K * K;  // GEMM inner dimension
+  const std::int64_t N = OH * OW;
+
+  // im2col: col[(c*K+kh)*K+kw][oh*OW+ow] = in[c][oh*S+kh-P][ow*S+kw-P]
+  std::vector<float> col(static_cast<std::size_t>(Kdim * N), 0.0f);
+  const float* src = in.data().data();
+  for (std::int64_t c = 0; c < C; ++c) {
+    for (std::int64_t kh = 0; kh < K; ++kh) {
+      for (std::int64_t kw = 0; kw < K; ++kw) {
+        float* dst = col.data() + ((c * K + kh) * K + kw) * N;
+        for (std::int64_t oh = 0; oh < OH; ++oh) {
+          const std::int64_t ih = oh * S + kh - P;
+          if (ih < 0 || ih >= H) {
+            dst += OW;
+            continue;
+          }
+          const float* row = src + (c * H + ih) * W;
+          for (std::int64_t ow = 0; ow < OW; ++ow) {
+            const std::int64_t iw = ow * S + kw - P;
+            *dst++ = (iw >= 0 && iw < W) ? row[iw] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+
+  // GEMM: out[M x N] = weights[M x Kdim] * col[Kdim x N], ikj loop order so
+  // the inner loop streams over contiguous memory and auto-vectorizes.
+  Tensor out(Shape{M, OH, OW});
+  float* o = out.data().data();
+  const float* wts = weights_.data().data();
+  for (std::int64_t i = 0; i < M; ++i) {
+    float* orow = o + i * N;
+    std::fill(orow, orow + N, bias_[i]);
+    const float* wrow = wts + i * Kdim;
+    for (std::int64_t k = 0; k < Kdim; ++k) {
+      const float a = wrow[k];
+      if (a == 0.0f) continue;
+      const float* brow = col.data() + k * N;
+      for (std::int64_t j = 0; j < N; ++j) {
+        orow[j] += a * brow[j];
+      }
+    }
+  }
+  return out;
+}
+
+std::uint64_t ConvLayer::param_count() const {
+  return static_cast<std::uint64_t>(weights_.elements() + bias_.elements());
+}
+
+void ConvLayer::init_params(util::Pcg32& rng) {
+  // Xavier-style scale keeps activations bounded through deep stacks so
+  // synthetic-weight forward passes stay numerically sane.
+  const double fan_in = static_cast<double>(config_.in_channels *
+                                            config_.kernel * config_.kernel);
+  const float scale = static_cast<float>(std::sqrt(3.0 / fan_in));
+  for (auto& v : weights_.data()) {
+    v = static_cast<float>(rng.uniform(-scale, scale));
+  }
+  for (auto& v : bias_.data()) {
+    v = static_cast<float>(rng.uniform(-0.01, 0.01));
+  }
+}
+
+void ConvLayer::write_params(util::BinaryWriter& w) const {
+  for (float v : weights_.data()) w.f32(v);
+  for (float v : bias_.data()) w.f32(v);
+}
+
+void ConvLayer::read_params(util::BinaryReader& r) {
+  for (auto& v : weights_.data()) v = r.f32();
+  for (auto& v : bias_.data()) v = r.f32();
+}
+
+std::string ConvLayer::config_str() const {
+  return "in=" + std::to_string(config_.in_channels) +
+         " out=" + std::to_string(config_.out_channels) +
+         " k=" + std::to_string(config_.kernel) +
+         " s=" + std::to_string(config_.stride) +
+         " p=" + std::to_string(config_.pad);
+}
+
+// ----------------------------------------------------------------- PoolLayer
+
+PoolLayer::PoolLayer(std::string name, const PoolConfig& config, bool average)
+    : Layer(std::move(name)), config_(config), average_(average) {
+  if (config.kernel <= 0 || config.stride <= 0 || config.pad < 0) {
+    throw std::invalid_argument("pool " + this->name() + ": bad config");
+  }
+}
+
+Shape PoolLayer::output_shape(std::span<const Shape> inputs) const {
+  require_arity(inputs, 1, "pool");
+  require_rank3(inputs[0], "pool");
+  std::int64_t oh =
+      pool_out_dim(inputs[0][1], config_.kernel, config_.stride, config_.pad);
+  std::int64_t ow =
+      pool_out_dim(inputs[0][2], config_.kernel, config_.stride, config_.pad);
+  if (oh <= 0 || ow <= 0) {
+    throw std::invalid_argument("pool " + name() + ": input too small: " +
+                                inputs[0].str());
+  }
+  return Shape{inputs[0][0], oh, ow};
+}
+
+std::uint64_t PoolLayer::flops(std::span<const Shape> inputs) const {
+  Shape out = output_shape(inputs);
+  // One compare-or-add per window element.
+  return static_cast<std::uint64_t>(out.elements()) *
+         static_cast<std::uint64_t>(config_.kernel * config_.kernel);
+}
+
+Tensor PoolLayer::forward(std::span<const Tensor* const> inputs) const {
+  if (inputs.size() != 1) throw std::invalid_argument("pool: one input");
+  const Tensor& in = *inputs[0];
+  Shape shapes[1] = {in.shape()};
+  Shape out_shape = output_shape(shapes);
+  const std::int64_t C = in.shape()[0];
+  const std::int64_t H = in.shape()[1];
+  const std::int64_t W = in.shape()[2];
+  const std::int64_t OH = out_shape[1];
+  const std::int64_t OW = out_shape[2];
+  Tensor out(out_shape);
+  for (std::int64_t c = 0; c < C; ++c) {
+    for (std::int64_t oh = 0; oh < OH; ++oh) {
+      for (std::int64_t ow = 0; ow < OW; ++ow) {
+        const std::int64_t h0 = oh * config_.stride - config_.pad;
+        const std::int64_t w0 = ow * config_.stride - config_.pad;
+        const std::int64_t h1 = std::min(h0 + config_.kernel, H);
+        const std::int64_t w1 = std::min(w0 + config_.kernel, W);
+        const std::int64_t hs = std::max<std::int64_t>(h0, 0);
+        const std::int64_t ws = std::max<std::int64_t>(w0, 0);
+        if (average_) {
+          float sum = 0.0f;
+          for (std::int64_t h = hs; h < h1; ++h) {
+            for (std::int64_t w = ws; w < w1; ++w) sum += in.at(c, h, w);
+          }
+          // Caffe averages over the full kernel area including padding.
+          out.at(c, oh, ow) =
+              sum / static_cast<float>(config_.kernel * config_.kernel);
+        } else {
+          float m = -std::numeric_limits<float>::infinity();
+          for (std::int64_t h = hs; h < h1; ++h) {
+            for (std::int64_t w = ws; w < w1; ++w) {
+              m = std::max(m, in.at(c, h, w));
+            }
+          }
+          out.at(c, oh, ow) = m;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string PoolLayer::config_str() const {
+  return "k=" + std::to_string(config_.kernel) +
+         " s=" + std::to_string(config_.stride) +
+         " p=" + std::to_string(config_.pad);
+}
+
+// ------------------------------------------------------- FullyConnectedLayer
+
+FullyConnectedLayer::FullyConnectedLayer(std::string name,
+                                         std::int64_t in_features,
+                                         std::int64_t out_features)
+    : Layer(std::move(name)),
+      in_(in_features),
+      out_(out_features),
+      weights_(Shape{out_features, in_features}),
+      bias_(Shape{out_features}) {
+  if (in_ <= 0 || out_ <= 0) {
+    throw std::invalid_argument("fc " + this->name() + ": bad dimensions");
+  }
+}
+
+Shape FullyConnectedLayer::output_shape(std::span<const Shape> inputs) const {
+  require_arity(inputs, 1, "fc");
+  if (inputs[0].elements() != in_) {
+    throw std::invalid_argument("fc " + name() + ": expected " +
+                                std::to_string(in_) + " features, got " +
+                                inputs[0].str());
+  }
+  return Shape{out_};
+}
+
+std::uint64_t FullyConnectedLayer::flops(std::span<const Shape> inputs) const {
+  require_arity(inputs, 1, "fc");
+  return 2ull * static_cast<std::uint64_t>(in_) *
+             static_cast<std::uint64_t>(out_) +
+         static_cast<std::uint64_t>(out_);
+}
+
+Tensor FullyConnectedLayer::forward(
+    std::span<const Tensor* const> inputs) const {
+  if (inputs.size() != 1) throw std::invalid_argument("fc: one input");
+  const Tensor& in = *inputs[0];
+  if (in.elements() != in_) {
+    throw std::invalid_argument("fc " + name() + ": feature count mismatch");
+  }
+  Tensor out(Shape{out_});
+  const float* x = in.data().data();
+  const float* wts = weights_.data().data();
+  for (std::int64_t i = 0; i < out_; ++i) {
+    const float* row = wts + i * in_;
+    float acc = bias_[i];
+    for (std::int64_t j = 0; j < in_; ++j) acc += row[j] * x[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+std::uint64_t FullyConnectedLayer::param_count() const {
+  return static_cast<std::uint64_t>(weights_.elements() + bias_.elements());
+}
+
+void FullyConnectedLayer::init_params(util::Pcg32& rng) {
+  const float scale =
+      static_cast<float>(std::sqrt(3.0 / static_cast<double>(in_)));
+  for (auto& v : weights_.data()) {
+    v = static_cast<float>(rng.uniform(-scale, scale));
+  }
+  for (auto& v : bias_.data()) {
+    v = static_cast<float>(rng.uniform(-0.01, 0.01));
+  }
+}
+
+void FullyConnectedLayer::write_params(util::BinaryWriter& w) const {
+  for (float v : weights_.data()) w.f32(v);
+  for (float v : bias_.data()) w.f32(v);
+}
+
+void FullyConnectedLayer::read_params(util::BinaryReader& r) {
+  for (auto& v : weights_.data()) v = r.f32();
+  for (auto& v : bias_.data()) v = r.f32();
+}
+
+std::string FullyConnectedLayer::config_str() const {
+  return "in=" + std::to_string(in_) + " out=" + std::to_string(out_);
+}
+
+// ------------------------------------------------------------ ReLU / Softmax
+
+Shape ReluLayer::output_shape(std::span<const Shape> inputs) const {
+  require_arity(inputs, 1, "relu");
+  return inputs[0];
+}
+
+std::uint64_t ReluLayer::flops(std::span<const Shape> inputs) const {
+  require_arity(inputs, 1, "relu");
+  return static_cast<std::uint64_t>(inputs[0].elements());
+}
+
+Tensor ReluLayer::forward(std::span<const Tensor* const> inputs) const {
+  if (inputs.size() != 1) throw std::invalid_argument("relu: one input");
+  Tensor out = *inputs[0];
+  for (auto& v : out.data()) v = std::max(v, 0.0f);
+  return out;
+}
+
+Shape SoftmaxLayer::output_shape(std::span<const Shape> inputs) const {
+  require_arity(inputs, 1, "softmax");
+  return inputs[0];
+}
+
+std::uint64_t SoftmaxLayer::flops(std::span<const Shape> inputs) const {
+  require_arity(inputs, 1, "softmax");
+  return 5ull * static_cast<std::uint64_t>(inputs[0].elements());
+}
+
+Tensor SoftmaxLayer::forward(std::span<const Tensor* const> inputs) const {
+  if (inputs.size() != 1) throw std::invalid_argument("softmax: one input");
+  Tensor out = *inputs[0];
+  auto data = out.data();
+  float m = -std::numeric_limits<float>::infinity();
+  for (float v : data) m = std::max(m, v);
+  double sum = 0.0;
+  for (auto& v : data) {
+    v = std::exp(v - m);
+    sum += v;
+  }
+  const float inv = static_cast<float>(1.0 / sum);
+  for (auto& v : data) v *= inv;
+  return out;
+}
+
+// -------------------------------------------------------------- DropoutLayer
+
+Shape DropoutLayer::output_shape(std::span<const Shape> inputs) const {
+  require_arity(inputs, 1, "dropout");
+  return inputs[0];
+}
+
+std::uint64_t DropoutLayer::flops(std::span<const Shape> inputs) const {
+  require_arity(inputs, 1, "dropout");
+  return 0;  // identity at inference time
+}
+
+Tensor DropoutLayer::forward(std::span<const Tensor* const> inputs) const {
+  if (inputs.size() != 1) throw std::invalid_argument("dropout: one input");
+  return *inputs[0];
+}
+
+std::string DropoutLayer::config_str() const {
+  return "rate=" + std::to_string(rate_);
+}
+
+// ------------------------------------------------------------------ LrnLayer
+
+Shape LrnLayer::output_shape(std::span<const Shape> inputs) const {
+  require_arity(inputs, 1, "lrn");
+  require_rank3(inputs[0], "lrn");
+  return inputs[0];
+}
+
+std::uint64_t LrnLayer::flops(std::span<const Shape> inputs) const {
+  require_arity(inputs, 1, "lrn");
+  // Per element: local_size squares/adds plus the pow and divide.
+  return static_cast<std::uint64_t>(inputs[0].elements()) *
+         (2ull * static_cast<std::uint64_t>(config_.local_size) + 3ull);
+}
+
+Tensor LrnLayer::forward(std::span<const Tensor* const> inputs) const {
+  if (inputs.size() != 1) throw std::invalid_argument("lrn: one input");
+  const Tensor& in = *inputs[0];
+  const std::int64_t C = in.shape()[0];
+  const std::int64_t H = in.shape()[1];
+  const std::int64_t W = in.shape()[2];
+  const std::int64_t half = config_.local_size / 2;
+  Tensor out(in.shape());
+  const double alpha_over_n =
+      config_.alpha / static_cast<double>(config_.local_size);
+  for (std::int64_t h = 0; h < H; ++h) {
+    for (std::int64_t w = 0; w < W; ++w) {
+      for (std::int64_t c = 0; c < C; ++c) {
+        const std::int64_t c0 = std::max<std::int64_t>(0, c - half);
+        const std::int64_t c1 = std::min(C - 1, c + half);
+        double sum = 0.0;
+        for (std::int64_t cc = c0; cc <= c1; ++cc) {
+          const double v = in.at(cc, h, w);
+          sum += v * v;
+        }
+        const double denom =
+            std::pow(config_.k + alpha_over_n * sum, config_.beta);
+        out.at(c, h, w) = static_cast<float>(in.at(c, h, w) / denom);
+      }
+    }
+  }
+  return out;
+}
+
+std::string LrnLayer::config_str() const {
+  return "n=" + std::to_string(config_.local_size) +
+         " alpha=" + std::to_string(config_.alpha) +
+         " beta=" + std::to_string(config_.beta) +
+         " kk=" + std::to_string(config_.k);
+}
+
+// --------------------------------------------------------------- ConcatLayer
+
+Shape ConcatLayer::output_shape(std::span<const Shape> inputs) const {
+  if (inputs.size() < 2) {
+    throw std::invalid_argument("concat " + name() + ": needs >= 2 inputs");
+  }
+  require_rank3(inputs[0], "concat");
+  std::int64_t channels = inputs[0][0];
+  for (std::size_t i = 1; i < inputs.size(); ++i) {
+    require_rank3(inputs[i], "concat");
+    if (inputs[i][1] != inputs[0][1] || inputs[i][2] != inputs[0][2]) {
+      throw std::invalid_argument("concat " + name() +
+                                  ": spatial dims differ: " + inputs[0].str() +
+                                  " vs " + inputs[i].str());
+    }
+    channels += inputs[i][0];
+  }
+  return Shape{channels, inputs[0][1], inputs[0][2]};
+}
+
+std::uint64_t ConcatLayer::flops(std::span<const Shape> inputs) const {
+  std::uint64_t n = 0;
+  for (const auto& s : inputs) n += static_cast<std::uint64_t>(s.elements());
+  return n;  // one copy per element
+}
+
+Tensor ConcatLayer::forward(std::span<const Tensor* const> inputs) const {
+  std::vector<Shape> shapes;
+  shapes.reserve(inputs.size());
+  for (const Tensor* t : inputs) shapes.push_back(t->shape());
+  Tensor out(output_shape(shapes));
+  float* dst = out.data().data();
+  for (const Tensor* t : inputs) {
+    auto src = t->data();
+    std::copy(src.begin(), src.end(), dst);
+    dst += src.size();
+  }
+  return out;
+}
+
+}  // namespace offload::nn

@@ -1,0 +1,237 @@
+#include "src/nn/models.h"
+
+#include <memory>
+#include <string>
+
+#include "src/nn/activation.h"
+#include "src/nn/concat.h"
+#include "src/nn/conv.h"
+#include "src/nn/dense.h"
+#include "src/nn/lrn.h"
+#include "src/nn/pool.h"
+
+namespace offload::nn {
+namespace {
+
+/// Fluent chain builder: remembers the last-added node so sequential
+/// architectures read top-to-bottom like a prototxt.
+class Builder {
+ public:
+  explicit Builder(Network& net) : net_(net) {}
+
+  Builder& input(const std::string& name, Shape shape,
+                 double scale = 1.0 / 255.0) {
+    // Apps feed canvas pixel data (0..255); the input layer applies the
+    // Caffe-style transform scale into [0,1].
+    net_.add(std::make_unique<InputLayer>(name, std::move(shape), scale));
+    last_ = name;
+    return *this;
+  }
+
+  Builder& conv(const std::string& name, std::int64_t in, std::int64_t out,
+                std::int64_t k, std::int64_t s, std::int64_t p,
+                bool relu = true) {
+    net_.add(std::make_unique<ConvLayer>(
+                 name, ConvConfig{.in_channels = in,
+                                  .out_channels = out,
+                                  .kernel = k,
+                                  .stride = s,
+                                  .pad = p}),
+             {last_});
+    last_ = name;
+    if (relu) this->relu(name + "_relu");
+    return *this;
+  }
+
+  Builder& relu(const std::string& name) {
+    net_.add(std::make_unique<ReluLayer>(name), {last_});
+    last_ = name;
+    return *this;
+  }
+
+  Builder& maxpool(const std::string& name, std::int64_t k, std::int64_t s,
+                   std::int64_t p = 0) {
+    net_.add(std::make_unique<PoolLayer>(
+                 name, PoolConfig{.kernel = k, .stride = s, .pad = p},
+                 /*average=*/false),
+             {last_});
+    last_ = name;
+    return *this;
+  }
+
+  Builder& avgpool(const std::string& name, std::int64_t k, std::int64_t s) {
+    net_.add(std::make_unique<PoolLayer>(
+                 name, PoolConfig{.kernel = k, .stride = s, .pad = 0},
+                 /*average=*/true),
+             {last_});
+    last_ = name;
+    return *this;
+  }
+
+  Builder& lrn(const std::string& name) {
+    net_.add(std::make_unique<LrnLayer>(name, LrnConfig{}), {last_});
+    last_ = name;
+    return *this;
+  }
+
+  Builder& fc(const std::string& name, std::int64_t in, std::int64_t out,
+              bool relu = false) {
+    net_.add(std::make_unique<FullyConnectedLayer>(name, in, out), {last_});
+    last_ = name;
+    if (relu) this->relu(name + "_relu");
+    return *this;
+  }
+
+  Builder& dropout(const std::string& name, double rate) {
+    net_.add(std::make_unique<DropoutLayer>(name, rate), {last_});
+    last_ = name;
+    return *this;
+  }
+
+  Builder& softmax(const std::string& name) {
+    net_.add(std::make_unique<SoftmaxLayer>(name), {last_});
+    last_ = name;
+    return *this;
+  }
+
+  /// GoogLeNet inception module: four parallel branches concatenated along
+  /// channels (1x1; 1x1→3x3; 1x1→5x5; 3x3 maxpool→1x1).
+  Builder& inception(const std::string& prefix, std::int64_t in,
+                     std::int64_t c1, std::int64_t c3r, std::int64_t c3,
+                     std::int64_t c5r, std::int64_t c5, std::int64_t cp) {
+    const std::string from = last_;
+    auto branch_conv = [&](const std::string& n, std::int64_t ic,
+                           std::int64_t oc, std::int64_t k, std::int64_t p,
+                           const std::string& src) {
+      net_.add(std::make_unique<ConvLayer>(
+                   n, ConvConfig{.in_channels = ic,
+                                 .out_channels = oc,
+                                 .kernel = k,
+                                 .stride = 1,
+                                 .pad = p}),
+               {src});
+      net_.add(std::make_unique<ReluLayer>(n + "_relu"), {n});
+      return n + "_relu";
+    };
+    std::string b1 = branch_conv(prefix + "_1x1", in, c1, 1, 0, from);
+    std::string b3r = branch_conv(prefix + "_3x3r", in, c3r, 1, 0, from);
+    std::string b3 = branch_conv(prefix + "_3x3", c3r, c3, 3, 1, b3r);
+    std::string b5r = branch_conv(prefix + "_5x5r", in, c5r, 1, 0, from);
+    std::string b5 = branch_conv(prefix + "_5x5", c5r, c5, 5, 2, b5r);
+    net_.add(std::make_unique<PoolLayer>(
+                 prefix + "_pool", PoolConfig{.kernel = 3, .stride = 1, .pad = 1},
+                 /*average=*/false),
+             {from});
+    std::string bp =
+        branch_conv(prefix + "_poolproj", in, cp, 1, 0, prefix + "_pool");
+    net_.add(std::make_unique<ConcatLayer>(prefix + "_out"),
+             {b1, b3, b5, bp});
+    last_ = prefix + "_out";
+    return *this;
+  }
+
+  const std::string& last() const { return last_; }
+
+ private:
+  Network& net_;
+  std::string last_;
+};
+
+}  // namespace
+
+std::unique_ptr<Network> build_googlenet(std::uint64_t param_seed) {
+  auto net = std::make_unique<Network>("googlenet");
+  Builder b(*net);
+  b.input("data", Shape{3, 224, 224})
+      .conv("conv1", 3, 64, 7, 2, 3)
+      .maxpool("pool1", 3, 2)
+      .lrn("norm1")
+      .conv("conv2r", 64, 64, 1, 1, 0)
+      .conv("conv2", 64, 192, 3, 1, 1)
+      .lrn("norm2")
+      .maxpool("pool2", 3, 2)
+      .inception("inc3a", 192, 64, 96, 128, 16, 32, 32)
+      .inception("inc3b", 256, 128, 128, 192, 32, 96, 64)
+      .maxpool("pool3", 3, 2)
+      .inception("inc4a", 480, 192, 96, 208, 16, 48, 64)
+      .inception("inc4b", 512, 160, 112, 224, 24, 64, 64)
+      .inception("inc4c", 512, 128, 128, 256, 24, 64, 64)
+      .inception("inc4d", 512, 112, 144, 288, 32, 64, 64)
+      .inception("inc4e", 528, 256, 160, 320, 32, 128, 128)
+      .maxpool("pool4", 3, 2)
+      .inception("inc5a", 832, 256, 160, 320, 32, 128, 128)
+      .inception("inc5b", 832, 384, 192, 384, 48, 128, 128)
+      .avgpool("pool5", 7, 1)
+      .dropout("drop", 0.4)
+      .fc("loss3_classifier", 1024, 1000)
+      .softmax("prob");
+  net->init_params(param_seed);
+  return net;
+}
+
+namespace {
+
+/// Levi–Hassner CNN; AgeNet and GenderNet differ only in the output count.
+std::unique_ptr<Network> build_levi_hassner(const std::string& name,
+                                            std::int64_t classes,
+                                            std::uint64_t param_seed) {
+  auto net = std::make_unique<Network>(name);
+  Builder b(*net);
+  b.input("data", Shape{3, 227, 227})
+      .conv("conv1", 3, 96, 7, 4, 0)
+      .maxpool("pool1", 3, 2)
+      .lrn("norm1")
+      .conv("conv2", 96, 256, 5, 1, 2)
+      .maxpool("pool2", 3, 2)
+      .lrn("norm2")
+      .conv("conv3", 256, 384, 3, 1, 1)
+      .maxpool("pool5", 3, 2)
+      .fc("fc6", 384 * 7 * 7, 512, /*relu=*/true)
+      .dropout("drop6", 0.5)
+      .fc("fc7", 512, 512, /*relu=*/true)
+      .dropout("drop7", 0.5)
+      .fc("fc8", 512, classes)
+      .softmax("prob");
+  net->init_params(param_seed);
+  return net;
+}
+
+}  // namespace
+
+std::unique_ptr<Network> build_agenet(std::uint64_t param_seed) {
+  return build_levi_hassner("agenet", 8, param_seed);
+}
+
+std::unique_ptr<Network> build_gendernet(std::uint64_t param_seed) {
+  return build_levi_hassner("gendernet", 2, param_seed);
+}
+
+std::unique_ptr<Network> build_tiny_cnn(std::uint64_t param_seed,
+                                        std::int64_t classes) {
+  auto net = std::make_unique<Network>("tinycnn");
+  Builder b(*net);
+  b.input("data", Shape{3, 32, 32})
+      .conv("conv1", 3, 16, 5, 1, 2)
+      .maxpool("pool1", 2, 2)
+      .conv("conv2", 16, 32, 5, 1, 2)
+      .maxpool("pool2", 2, 2)
+      .fc("fc3", 32 * 8 * 8, 64, /*relu=*/true)
+      .fc("fc4", 64, classes)
+      .softmax("prob");
+  net->init_params(param_seed);
+  return net;
+}
+
+std::unique_ptr<Network> build_tiny_cnn_default(std::uint64_t param_seed) {
+  return build_tiny_cnn(param_seed, 10);
+}
+
+std::vector<BenchmarkModel> benchmark_models() {
+  return {
+      {"GoogleNet", &build_googlenet, 7, 224},
+      {"AgeNet", &build_agenet, 11, 227},
+      {"GenderNet", &build_gendernet, 13, 227},
+  };
+}
+
+}  // namespace offload::nn

@@ -1,0 +1,39 @@
+// The three benchmark networks from the paper's evaluation, faithful to the
+// published architectures (so per-layer feature sizes and parameter byte
+// counts reproduce the paper's transfer-time arithmetic):
+//  - GoogLeNet (Szegedy et al., CVPR'15): 1000-class ImageNet classifier,
+//    ~7.0M parameters ≈ 27 MB of fp32 weights.
+//  - AgeNet / GenderNet (Levi & Hassner, CVPR-W'15): 8-class age bins /
+//    2-class gender on 227x227 faces, ~11.4M parameters ≈ 44 MB.
+// Weights are synthetic (deterministic Xavier init) — see DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/nn/network.h"
+
+namespace offload::nn {
+
+std::unique_ptr<Network> build_googlenet(std::uint64_t param_seed = 7);
+std::unique_ptr<Network> build_agenet(std::uint64_t param_seed = 11);
+std::unique_ptr<Network> build_gendernet(std::uint64_t param_seed = 13);
+
+/// A small CNN (32x32x3 input, ~120k params) used by unit tests and the
+/// privacy inversion experiment where full-size models would be wasteful.
+std::unique_ptr<Network> build_tiny_cnn(std::uint64_t param_seed = 17,
+                                        std::int64_t classes = 10);
+/// Function-pointer-compatible wrapper (10 classes) for BenchmarkModel.
+std::unique_ptr<Network> build_tiny_cnn_default(std::uint64_t param_seed);
+
+/// All benchmark apps, in the paper's order.
+struct BenchmarkModel {
+  const char* app_name;   ///< e.g. "GoogleNet"
+  std::unique_ptr<Network> (*build)(std::uint64_t);
+  std::uint64_t seed;
+  std::int64_t input_hw;  ///< input spatial size (224 or 227)
+};
+std::vector<BenchmarkModel> benchmark_models();
+
+}  // namespace offload::nn

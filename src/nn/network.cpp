@@ -1,0 +1,182 @@
+#include "src/nn/network.h"
+
+#include <stdexcept>
+
+namespace offload::nn {
+
+std::size_t Network::add(LayerPtr layer, std::vector<std::string> inputs) {
+  if (!layer) throw std::invalid_argument("Network::add: null layer");
+  if (by_name_.count(layer->name())) {
+    throw std::invalid_argument("Network::add: duplicate layer name " +
+                                layer->name());
+  }
+  Node node;
+  if (nodes_.empty()) {
+    if (layer->kind() != LayerKind::kInput) {
+      throw std::invalid_argument("Network::add: first node must be an input");
+    }
+    if (!inputs.empty()) {
+      throw std::invalid_argument("Network::add: input layer takes no inputs");
+    }
+  } else if (inputs.empty()) {
+    node.inputs.push_back(nodes_.size() - 1);  // default: chain
+  } else {
+    for (const auto& in : inputs) {
+      node.inputs.push_back(index_of(in));
+    }
+  }
+  by_name_.emplace(layer->name(), nodes_.size());
+  node.layer = std::move(layer);
+  nodes_.push_back(std::move(node));
+  analyzed_ = false;
+  // Validate shapes eagerly so graph construction errors fail fast; roll
+  // back the node on error.
+  try {
+    analyze();
+  } catch (...) {
+    by_name_.erase(nodes_.back().layer->name());
+    nodes_.pop_back();
+    analyzed_ = false;
+    throw;
+  }
+  return nodes_.size() - 1;
+}
+
+std::size_t Network::index_of(std::string_view layer_name) const {
+  auto it = by_name_.find(std::string(layer_name));
+  if (it == by_name_.end()) {
+    throw std::out_of_range("Network: no layer named " +
+                            std::string(layer_name));
+  }
+  return it->second;
+}
+
+bool Network::has_layer(std::string_view layer_name) const {
+  return by_name_.count(std::string(layer_name)) > 0;
+}
+
+void Network::init_params(std::uint64_t seed) {
+  util::Pcg32 rng(seed, 0x6d6f64656cULL);
+  for (auto& node : nodes_) node.layer->init_params(rng);
+}
+
+std::uint64_t Network::param_count() const {
+  return param_count_in_range(0, nodes_.size());
+}
+
+std::uint64_t Network::param_count_in_range(std::size_t begin,
+                                            std::size_t end) const {
+  std::uint64_t n = 0;
+  for (std::size_t i = begin; i < end && i < nodes_.size(); ++i) {
+    n += nodes_[i].layer->param_count();
+  }
+  return n;
+}
+
+const Network::Analysis& Network::analyze() const {
+  if (analyzed_) return analysis_;
+  Analysis a;
+  a.shapes.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& node = nodes_[i];
+    std::vector<Shape> in_shapes;
+    in_shapes.reserve(node.inputs.size());
+    for (auto idx : node.inputs) in_shapes.push_back(a.shapes.at(idx));
+    Shape out = node.layer->output_shape(in_shapes);
+    std::uint64_t fl = node.layer->flops(in_shapes);
+    a.shapes.push_back(out);
+    a.flops.push_back(fl);
+    a.output_bytes.push_back(static_cast<std::uint64_t>(out.elements()) *
+                             sizeof(float));
+    a.total_flops += fl;
+  }
+  analysis_ = std::move(a);
+  analyzed_ = true;
+  return analysis_;
+}
+
+Tensor Network::run_range(std::size_t begin, std::size_t end,
+                          std::vector<Tensor>& values,
+                          ForwardResult* result) const {
+  for (std::size_t i = begin; i < end; ++i) {
+    const Node& node = nodes_[i];
+    std::vector<const Tensor*> ins;
+    ins.reserve(node.inputs.size());
+    for (auto idx : node.inputs) {
+      if (values[idx].elements() == 0) {
+        throw std::logic_error("Network: node " + node.layer->name() +
+                               " reads unavailable value");
+      }
+      ins.push_back(&values[idx]);
+    }
+    values[i] = node.layer->forward(ins);
+    if (result) {
+      result->flops[i] = analyze().flops[i];
+      result->output_bytes[i] = values[i].bytes();
+    }
+  }
+  return values[end - 1];
+}
+
+Network::ForwardResult Network::forward(const Tensor& input) const {
+  if (nodes_.empty()) throw std::logic_error("Network::forward: empty graph");
+  ForwardResult result;
+  result.flops.assign(nodes_.size(), 0);
+  result.output_bytes.assign(nodes_.size(), 0);
+  std::vector<Tensor> values(nodes_.size());
+  const Tensor* in[] = {&input};
+  values[0] = nodes_[0].layer->forward(in);
+  result.flops[0] = 0;
+  result.output_bytes[0] = values[0].bytes();
+  result.output = run_range(1, nodes_.size(), values, &result);
+  if (nodes_.size() == 1) result.output = values[0];
+  return result;
+}
+
+Tensor Network::forward_front(const Tensor& input, std::size_t cut) const {
+  if (cut >= nodes_.size()) {
+    throw std::out_of_range("forward_front: cut out of range");
+  }
+  std::vector<Tensor> values(nodes_.size());
+  const Tensor* in[] = {&input};
+  values[0] = nodes_[0].layer->forward(in);
+  if (cut == 0) return values[0];
+  return run_range(1, cut + 1, values, nullptr);
+}
+
+Tensor Network::forward_rear(const Tensor& feature, std::size_t cut) const {
+  if (cut + 1 >= nodes_.size()) {
+    throw std::out_of_range("forward_rear: nothing after cut");
+  }
+  if (feature.shape() != analyze().shapes[cut]) {
+    throw std::invalid_argument("forward_rear: feature shape " +
+                                feature.shape().str() + " != expected " +
+                                analyze().shapes[cut].str());
+  }
+  std::vector<Tensor> values(nodes_.size());
+  values[cut] = feature;
+  return run_range(cut + 1, nodes_.size(), values, nullptr);
+}
+
+std::vector<std::size_t> Network::cut_points() const {
+  std::vector<std::size_t> points;
+  if (nodes_.empty()) return points;
+  // lowest_input[v] = min over inputs; a cut after node i is valid iff no
+  // node v > i has an input u < i. Track the running minimum as we scan
+  // backwards.
+  const std::size_t n = nodes_.size();
+  std::vector<std::size_t> min_input_after(n + 1, n);
+  for (std::size_t v = n; v-- > 1;) {
+    std::size_t m = min_input_after[v + 1];
+    for (auto u : nodes_[v].inputs) m = std::min(m, u);
+    min_input_after[v] = m;
+  }
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    // Edges from nodes > i must originate at >= i (i.e. at node i itself).
+    if (min_input_after[i + 1] >= i) points.push_back(i);
+  }
+  points.push_back(n - 1);  // "cut" after the last node = run fully local
+  return points;
+}
+
+}  // namespace offload::nn

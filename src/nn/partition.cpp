@@ -1,0 +1,100 @@
+#include "src/nn/partition.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace offload::nn {
+
+bool denatures_input(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kConv:
+    case LayerKind::kMaxPool:
+    case LayerKind::kAvgPool:
+    case LayerKind::kFullyConnected:
+    case LayerKind::kLRN:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Partitioner::Partitioner(const Network& net, const LayerCostModel& client,
+                         const LayerCostModel& server,
+                         PartitionerOptions options)
+    : net_(net), client_(client), server_(server), options_(options) {}
+
+std::vector<PartitionCandidate> Partitioner::evaluate(double bandwidth_bps,
+                                                      double latency_s) const {
+  if (bandwidth_bps <= 0) {
+    throw std::invalid_argument("Partitioner: bandwidth must be positive");
+  }
+  const auto& analysis = net_.analyze();
+  std::vector<PartitionCandidate> out;
+  bool denatured_so_far = false;
+  std::size_t cut_i = 0;
+  auto cuts = net_.cut_points();
+  // Track denaturing along the node sequence: a cut at node i denatures iff
+  // any transforming layer exists in (0, i].
+  std::vector<bool> denature_at(net_.size(), false);
+  for (std::size_t i = 0; i < net_.size(); ++i) {
+    if (denatures_input(net_.layer(i).kind())) denatured_so_far = true;
+    denature_at[i] = denatured_so_far;
+  }
+  (void)cut_i;
+
+  for (std::size_t cut : cuts) {
+    PartitionCandidate c;
+    c.cut = cut;
+    c.layer_name = net_.layer(cut).name();
+    c.kind = net_.layer(cut).kind();
+    c.denatures = denature_at[cut];
+    const bool fully_local = cut + 1 == net_.size();
+    c.client_front_s = client_.predict_range(net_, 1, cut + 1);
+    if (fully_local) {
+      out.push_back(c);
+      continue;
+    }
+    c.feature_bytes = analysis.output_bytes[cut];
+    c.snapshot_bytes =
+        options_.snapshot_base_bytes +
+        static_cast<std::uint64_t>(static_cast<double>(c.feature_bytes) *
+                                   options_.text_expansion);
+    c.capture_s =
+        static_cast<double>(c.snapshot_bytes) / options_.client_serialize_Bps;
+    c.upload_s = latency_s + static_cast<double>(c.snapshot_bytes) * 8.0 /
+                                 bandwidth_bps;
+    c.restore_s =
+        static_cast<double>(c.snapshot_bytes) / options_.server_parse_Bps;
+    c.server_rear_s = server_.predict_range(net_, cut + 1, net_.size());
+    const double result_bytes =
+        static_cast<double>(options_.result_snapshot_bytes);
+    c.return_s = result_bytes / options_.server_serialize_Bps +  // capture
+                 latency_s + result_bytes * 8.0 / bandwidth_bps +  // transfer
+                 result_bytes / options_.client_parse_Bps;         // restore
+    out.push_back(c);
+  }
+  return out;
+}
+
+PartitionCandidate Partitioner::best(double bandwidth_bps,
+                                     double latency_s) const {
+  auto candidates = evaluate(bandwidth_bps, latency_s);
+  if (candidates.empty()) {
+    throw std::logic_error("Partitioner: no candidates");
+  }
+  const PartitionCandidate* best = nullptr;
+  for (const auto& c : candidates) {
+    if (options_.require_denature && !c.denatures) continue;
+    if (!best || c.total_s() < best->total_s()) best = &c;
+  }
+  if (!best) {
+    // Privacy constraint cannot be met (e.g. a pure-fc net with one node);
+    // fall back to the unconstrained optimum.
+    for (const auto& c : candidates) {
+      if (!best || c.total_s() < best->total_s()) best = &c;
+    }
+  }
+  return *best;
+}
+
+}  // namespace offload::nn

@@ -1,0 +1,88 @@
+// Partition-point selection for partial inference (Section III.B.2). For
+// every valid cut point the partitioner estimates
+//   total = client(front) + capture + upload(snapshot+feature)
+//         + restore + server(rear) + return path
+// using the per-device layer cost models and the runtime bandwidth
+// estimate, then picks the minimum — subject to the privacy constraint
+// that at least one real layer runs on the client ("denaturing").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/nn/cost_model.h"
+#include "src/nn/network.h"
+
+namespace offload::nn {
+
+struct PartitionCandidate {
+  std::size_t cut = 0;          ///< node index whose output is transferred
+  std::string layer_name;
+  LayerKind kind = LayerKind::kInput;
+  std::uint64_t feature_bytes = 0;   ///< raw fp32 feature size
+  std::uint64_t snapshot_bytes = 0;  ///< estimated snapshot size (text)
+  double client_front_s = 0;
+  double capture_s = 0;
+  double upload_s = 0;
+  double restore_s = 0;
+  double server_rear_s = 0;
+  double return_s = 0;  ///< result snapshot back to the client
+  bool denatures = false;  ///< true if >= 1 transforming layer runs locally
+
+  double total_s() const {
+    return client_front_s + capture_s + upload_s + restore_s + server_rear_s +
+           return_s;
+  }
+};
+
+struct PartitionerOptions {
+  /// Snapshot bytes unrelated to the feature tensor (app code, heap, DOM) —
+  /// the paper measures 0.02–0.09 MB.
+  std::uint64_t snapshot_base_bytes = 90'000;
+  /// Snapshot text bytes per raw feature byte. Floats print as decimal text
+  /// in the snapshot, ~4.5x their binary size (the paper's GoogLeNet
+  /// numbers: 14.7 MB of text for a 3.2 MB raw conv1 output).
+  double text_expansion = 4.5;
+  /// Result snapshot returned by the server (DOM update + scores).
+  std::uint64_t result_snapshot_bytes = 20'000;
+  /// Require at least one transforming layer on the client.
+  bool require_denature = true;
+  /// Snapshot capture/restore rates (bytes/s) on each side.
+  double client_serialize_Bps = 25e6;
+  double client_parse_Bps = 50e6;
+  double server_serialize_Bps = 300e6;
+  double server_parse_Bps = 600e6;
+};
+
+class Partitioner {
+ public:
+  Partitioner(const Network& net, const LayerCostModel& client,
+              const LayerCostModel& server, PartitionerOptions options = {});
+
+  /// Score every valid cut point under the given network conditions.
+  /// Ordered by cut index; includes cut=0 (full offload) and the final
+  /// node (fully local, infinite-bandwidth-independent baseline).
+  std::vector<PartitionCandidate> evaluate(double bandwidth_bps,
+                                           double latency_s) const;
+
+  /// The minimizing candidate honoring the denature constraint (if the
+  /// constraint filters everything, it is relaxed and the global best is
+  /// returned).
+  PartitionCandidate best(double bandwidth_bps, double latency_s) const;
+
+  const PartitionerOptions& options() const { return options_; }
+
+ private:
+  const Network& net_;
+  const LayerCostModel& client_;
+  const LayerCostModel& server_;
+  PartitionerOptions options_;
+};
+
+/// True for layer kinds that meaningfully transform the input so that the
+/// transferred feature no longer resembles the user's image (conv, pool,
+/// fc, lrn — not relu/dropout/concat which are shape- or sign-preserving).
+bool denatures_input(LayerKind kind);
+
+}  // namespace offload::nn

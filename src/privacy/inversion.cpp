@@ -1,0 +1,74 @@
+#include "src/privacy/inversion.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/privacy/metrics.h"
+#include "src/util/rng.h"
+
+namespace offload::privacy {
+namespace {
+
+double feature_loss(const nn::Network& net, std::size_t cut,
+                    const nn::Tensor& candidate, const nn::Tensor& target) {
+  nn::Tensor feature = net.forward_front(candidate, cut);
+  return mse(feature, target);
+}
+
+}  // namespace
+
+InversionResult invert_features(const nn::Network& front_net, std::size_t cut,
+                                const nn::Tensor& observed_feature,
+                                const InversionConfig& config) {
+  const nn::Shape& input_shape = front_net.analyze().shapes.at(0);
+  util::Pcg32 rng(config.seed, 0x696e76657274ULL);
+
+  // Start from mid-gray, the standard inversion prior.
+  nn::Tensor x = nn::Tensor::full(input_shape, 0.5f);
+  double loss = feature_loss(front_net, cut, x, observed_feature);
+
+  InversionResult result;
+  result.initial_feature_loss = loss;
+
+  // Cyclic coordinate descent with annealed step: for each pixel, try
+  // moving up by `step`; if that does not improve the feature match, try
+  // down. Gradient-free, which is the point — the attacker only has
+  // black-box forward access to a front network.
+  const auto n = static_cast<std::size_t>(x.elements());
+  std::vector<std::uint32_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<std::uint32_t>(i);
+  double step = config.step;
+
+  for (int sweep = 0; sweep < config.sweeps; ++sweep) {
+    // Shuffle coordinate order per sweep (Fisher–Yates on the seeded RNG).
+    for (std::size_t i = n; i > 1; --i) {
+      std::swap(order[i - 1], order[rng.next_below(static_cast<std::uint32_t>(i))]);
+    }
+    bool improved_any = false;
+    for (std::uint32_t idx : order) {
+      const float old = x[idx];
+      for (float direction : {+1.0f, -1.0f}) {
+        float proposed =
+            std::clamp(old + direction * static_cast<float>(step), 0.0f, 1.0f);
+        if (proposed == old) continue;
+        x[idx] = proposed;
+        double new_loss = feature_loss(front_net, cut, x, observed_feature);
+        if (new_loss < loss) {
+          loss = new_loss;
+          ++result.accepted_steps;
+          improved_any = true;
+          break;  // keep the improvement, move to the next pixel
+        }
+        x[idx] = old;
+      }
+    }
+    step *= config.step_decay;
+    if (!improved_any && step < config.min_step) break;
+  }
+
+  result.final_feature_loss = loss;
+  result.reconstruction = std::move(x);
+  return result;
+}
+
+}  // namespace offload::privacy

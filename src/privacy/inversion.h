@@ -1,0 +1,47 @@
+// Feature-inversion attack (Mahendran & Vedaldi [17], as cited by the
+// paper): given the feature data a client uploads under partial inference,
+// a curious server tries to reconstruct the original input by hill
+// climbing — propose a perturbation of a candidate image, keep it if the
+// front network maps it closer to the observed feature.
+//
+// The paper's defense (Section III.B.2) is to withhold the front part of
+// the model: the attack then has to run against a surrogate front network
+// with unknown (re-initialized) weights, and reconstruction fails. Both
+// arms are implemented here and compared by the privacy bench/tests.
+#pragma once
+
+#include <cstdint>
+
+#include "src/nn/network.h"
+#include "src/nn/tensor.h"
+
+namespace offload::privacy {
+
+struct InversionConfig {
+  /// Full passes over the input pixels (cyclic coordinate descent).
+  int sweeps = 16;
+  /// Initial per-pixel step (annealed multiplicatively per sweep).
+  double step = 0.25;
+  double step_decay = 0.7;
+  /// Terminate early once steps shrink below this with no improvement.
+  double min_step = 1e-3;
+  std::uint64_t seed = 1;
+};
+
+struct InversionResult {
+  nn::Tensor reconstruction;
+  double initial_feature_loss = 0.0;  ///< MSE(front(x0), feature)
+  double final_feature_loss = 0.0;
+  int accepted_steps = 0;
+};
+
+/// Hill-climb an input so that `front(input)` matches `observed_feature`,
+/// where front = nodes [0, cut] of `front_net`. The attack is white-box in
+/// `front_net`: pass the *real* network to model a leaked front part, or a
+/// surrogate (same architecture, re-initialized weights) to model the
+/// paper's defense.
+InversionResult invert_features(const nn::Network& front_net, std::size_t cut,
+                                const nn::Tensor& observed_feature,
+                                const InversionConfig& config = {});
+
+}  // namespace offload::privacy

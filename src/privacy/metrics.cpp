@@ -1,0 +1,58 @@
+#include "src/privacy/metrics.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace offload::privacy {
+
+double mse(const nn::Tensor& a, const nn::Tensor& b) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument("mse: shape mismatch");
+  }
+  auto da = a.data();
+  auto db = b.data();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    double d = static_cast<double>(da[i]) - static_cast<double>(db[i]);
+    sum += d * d;
+  }
+  return da.empty() ? 0.0 : sum / static_cast<double>(da.size());
+}
+
+double psnr_db(const nn::Tensor& a, const nn::Tensor& b, double peak) {
+  double m = mse(a, b);
+  if (m <= 0.0) return 99.0;  // identical; cap like image tooling does
+  return 10.0 * std::log10(peak * peak / m);
+}
+
+double correlation(const nn::Tensor& a, const nn::Tensor& b) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument("correlation: shape mismatch");
+  }
+  auto da = a.data();
+  auto db = b.data();
+  const double n = static_cast<double>(da.size());
+  if (da.empty()) return 0.0;
+  double ma = 0.0;
+  double mb = 0.0;
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    ma += da[i];
+    mb += db[i];
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0.0;
+  double va = 0.0;
+  double vb = 0.0;
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    double xa = da[i] - ma;
+    double xb = db[i] - mb;
+    cov += xa * xb;
+    va += xa * xa;
+    vb += xb * xb;
+  }
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+}  // namespace offload::privacy

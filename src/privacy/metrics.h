@@ -1,0 +1,18 @@
+// Image similarity metrics for the privacy experiments: how close is an
+// attacker's reconstruction to the user's original input?
+#pragma once
+
+#include "src/nn/tensor.h"
+
+namespace offload::privacy {
+
+/// Mean squared error over elements; shapes must match.
+double mse(const nn::Tensor& a, const nn::Tensor& b);
+
+/// Peak signal-to-noise ratio in dB for signals in [0, peak].
+double psnr_db(const nn::Tensor& a, const nn::Tensor& b, double peak = 1.0);
+
+/// Pearson correlation coefficient in [-1, 1]; 0 for flat signals.
+double correlation(const nn::Tensor& a, const nn::Tensor& b);
+
+}  // namespace offload::privacy

@@ -1,0 +1,71 @@
+#include "src/sim/simulation.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace offload::sim {
+
+std::string SimTime::str() const {
+  char buf[64];
+  double s = to_seconds();
+  if (ns_ >= 1000000000 || ns_ <= -1000000000) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", s);
+  } else if (ns_ >= 1000000 || ns_ <= -1000000) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(ns_));
+  }
+  return buf;
+}
+
+EventHandle Simulation::schedule_at(SimTime when, EventFn fn) {
+  if (when < now_) {
+    throw std::logic_error("Simulation::schedule_at: time is in the past");
+  }
+  std::uint64_t seq = next_seq_++;
+  queue_.push(Entry{when, seq, std::move(fn)});
+  pending_.insert(seq);
+  return EventHandle(seq);
+}
+
+bool Simulation::cancel(EventHandle handle) {
+  if (!handle.valid()) return false;
+  return pending_.erase(handle.seq_) > 0;
+}
+
+bool Simulation::fire_next() {
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    queue_.pop();
+    if (pending_.erase(e.seq) == 0) continue;  // Cancelled event; skip.
+    now_ = e.when;
+    e.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulation::run() {
+  std::size_t fired = 0;
+  while (fire_next()) ++fired;
+  return fired;
+}
+
+std::size_t Simulation::run_until(SimTime deadline) {
+  std::size_t fired = 0;
+  while (true) {
+    // Prune cancelled entries so the deadline check sees a live event.
+    while (!queue_.empty() && pending_.count(queue_.top().seq) == 0) {
+      queue_.pop();
+    }
+    if (queue_.empty() || queue_.top().when > deadline) break;
+    if (fire_next()) ++fired;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return fired;
+}
+
+bool Simulation::step() { return fire_next(); }
+
+}  // namespace offload::sim

@@ -1,0 +1,85 @@
+// Discrete-event simulation engine. Single-threaded, deterministic:
+// events at equal timestamps fire in scheduling order (FIFO tie-break by a
+// monotonically increasing sequence number).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace offload::sim {
+
+using EventFn = std::function<void()>;
+
+/// Handle to a scheduled event; allows cancellation.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  bool valid() const { return seq_ != 0; }
+
+ private:
+  friend class Simulation;
+  explicit EventHandle(std::uint64_t seq) : seq_(seq) {}
+  std::uint64_t seq_ = 0;
+};
+
+/// The event loop. Actors capture a reference to this and schedule
+/// continuations; `run()` drains the queue in timestamp order.
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` after the current time.
+  EventHandle schedule(SimTime delay, EventFn fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Schedule `fn` at an absolute simulated time (must not be in the past).
+  EventHandle schedule_at(SimTime when, EventFn fn);
+
+  /// Cancel a pending event. Returns false if it already ran or was
+  /// cancelled before.
+  bool cancel(EventHandle handle);
+
+  /// Run until the queue is empty. Returns the number of events fired.
+  std::size_t run();
+
+  /// Run until the queue is empty or simulated time would exceed `deadline`.
+  /// Events at exactly `deadline` still fire.
+  std::size_t run_until(SimTime deadline);
+
+  /// Fire the single next event, if any. Returns false when idle.
+  bool step();
+
+  std::size_t pending() const { return pending_.size(); }
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool fire_next();
+
+  SimTime now_;
+  std::uint64_t next_seq_ = 1;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<std::uint64_t> pending_;  // seqs scheduled, not yet fired
+};
+
+}  // namespace offload::sim

@@ -1,0 +1,53 @@
+// Simulated-time representation. Integer nanoseconds, so event ordering is
+// exact and experiments are deterministic across platforms (no FP drift).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace offload::sim {
+
+/// A point in (or span of) simulated time, in integer nanoseconds.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  static constexpr SimTime nanos(std::int64_t ns) { return SimTime(ns); }
+  static constexpr SimTime micros(std::int64_t us) {
+    return SimTime(us * 1000);
+  }
+  static constexpr SimTime millis(std::int64_t ms) {
+    return SimTime(ms * 1000000);
+  }
+  static constexpr SimTime seconds(double s) {
+    return SimTime(static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5)));
+  }
+  static constexpr SimTime zero() { return SimTime(0); }
+  static constexpr SimTime max() {
+    return SimTime(INT64_MAX);
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double to_millis() const { return static_cast<double>(ns_) * 1e-6; }
+
+  constexpr SimTime operator+(SimTime other) const {
+    return SimTime(ns_ + other.ns_);
+  }
+  constexpr SimTime operator-(SimTime other) const {
+    return SimTime(ns_ - other.ns_);
+  }
+  SimTime& operator+=(SimTime other) {
+    ns_ += other.ns_;
+    return *this;
+  }
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  std::string str() const;
+
+ private:
+  constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace offload::sim

@@ -1,0 +1,95 @@
+#include "src/util/base64.h"
+
+#include <array>
+
+namespace offload::util {
+namespace {
+
+constexpr std::string_view kAlphabet =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+std::array<std::int8_t, 256> make_decode_table() {
+  std::array<std::int8_t, 256> t{};
+  t.fill(-1);
+  for (std::size_t i = 0; i < kAlphabet.size(); ++i) {
+    t[static_cast<unsigned char>(kAlphabet[i])] = static_cast<std::int8_t>(i);
+  }
+  return t;
+}
+
+const std::array<std::int8_t, 256>& decode_table() {
+  static const auto t = make_decode_table();
+  return t;
+}
+
+}  // namespace
+
+std::string base64_encode(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= data.size(); i += 3) {
+    std::uint32_t v = (static_cast<std::uint32_t>(data[i]) << 16) |
+                      (static_cast<std::uint32_t>(data[i + 1]) << 8) |
+                      data[i + 2];
+    out.push_back(kAlphabet[(v >> 18) & 0x3f]);
+    out.push_back(kAlphabet[(v >> 12) & 0x3f]);
+    out.push_back(kAlphabet[(v >> 6) & 0x3f]);
+    out.push_back(kAlphabet[v & 0x3f]);
+  }
+  const std::size_t rest = data.size() - i;
+  if (rest == 1) {
+    std::uint32_t v = static_cast<std::uint32_t>(data[i]) << 16;
+    out.push_back(kAlphabet[(v >> 18) & 0x3f]);
+    out.push_back(kAlphabet[(v >> 12) & 0x3f]);
+    out.push_back('=');
+    out.push_back('=');
+  } else if (rest == 2) {
+    std::uint32_t v = (static_cast<std::uint32_t>(data[i]) << 16) |
+                      (static_cast<std::uint32_t>(data[i + 1]) << 8);
+    out.push_back(kAlphabet[(v >> 18) & 0x3f]);
+    out.push_back(kAlphabet[(v >> 12) & 0x3f]);
+    out.push_back(kAlphabet[(v >> 6) & 0x3f]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+std::string base64_encode(std::string_view data) {
+  return base64_encode(as_bytes(data));
+}
+
+Bytes base64_decode(std::string_view text) {
+  if (text.size() % 4 != 0) {
+    throw DecodeError("base64: length not a multiple of 4");
+  }
+  Bytes out;
+  out.reserve(text.size() / 4 * 3);
+  const auto& t = decode_table();
+  for (std::size_t i = 0; i < text.size(); i += 4) {
+    int pad = 0;
+    std::uint32_t v = 0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      char c = text[i + j];
+      if (c == '=') {
+        // Padding is only legal in the last two positions of the final group.
+        if (i + 4 != text.size() || j < 2) {
+          throw DecodeError("base64: unexpected padding");
+        }
+        ++pad;
+        v <<= 6;
+        continue;
+      }
+      if (pad > 0) throw DecodeError("base64: data after padding");
+      std::int8_t d = t[static_cast<unsigned char>(c)];
+      if (d < 0) throw DecodeError("base64: invalid character");
+      v = (v << 6) | static_cast<std::uint32_t>(d);
+    }
+    out.push_back(static_cast<std::uint8_t>(v >> 16));
+    if (pad < 2) out.push_back(static_cast<std::uint8_t>(v >> 8));
+    if (pad < 1) out.push_back(static_cast<std::uint8_t>(v));
+  }
+  return out;
+}
+
+}  // namespace offload::util

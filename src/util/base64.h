@@ -1,0 +1,21 @@
+// Base64 (RFC 4648) encode/decode. Used by the snapshot writer's compact
+// typed-array encoding mode (Float32Array payloads embedded in snapshot
+// source) and by tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "src/util/bytes.h"
+
+namespace offload::util {
+
+std::string base64_encode(std::span<const std::uint8_t> data);
+std::string base64_encode(std::string_view data);
+
+/// Throws DecodeError on malformed input (bad character, bad padding).
+Bytes base64_decode(std::string_view text);
+
+}  // namespace offload::util

@@ -1,0 +1,46 @@
+#include "src/util/crc32.h"
+
+#include <array>
+
+#include "src/util/bytes.h"
+
+namespace offload::util {
+namespace {
+
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& table() {
+  static const auto t = make_table();
+  return t;
+}
+
+}  // namespace
+
+void Crc32::update(std::span<const std::uint8_t> data) {
+  const auto& t = table();
+  for (auto b : data) {
+    state_ = t[(state_ ^ b) & 0xff] ^ (state_ >> 8);
+  }
+}
+
+void Crc32::update(std::string_view data) { update(as_bytes(data)); }
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  Crc32 c;
+  c.update(data);
+  return c.value();
+}
+
+std::uint32_t crc32(std::string_view data) { return crc32(as_bytes(data)); }
+
+}  // namespace offload::util

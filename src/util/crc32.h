@@ -1,0 +1,26 @@
+// CRC-32 (IEEE 802.3 polynomial) used for integrity checks on snapshots,
+// model files and VM overlay chunks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace offload::util {
+
+/// Incremental CRC-32 accumulator.
+class Crc32 {
+ public:
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view data);
+  std::uint32_t value() const { return ~state_; }
+
+ private:
+  std::uint32_t state_ = 0xffffffffu;
+};
+
+/// One-shot CRC-32 of a byte span.
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+std::uint32_t crc32(std::string_view data);
+
+}  // namespace offload::util

@@ -1,0 +1,34 @@
+// FNV-1a hashing for content addressing (model-file identity in the edge
+// ModelStore, snapshot function-body dedup).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace offload::util {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+constexpr std::uint64_t fnv1a(std::string_view data,
+                              std::uint64_t seed = kFnvOffset) {
+  std::uint64_t h = seed;
+  for (char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a(std::span<const std::uint8_t> data,
+                           std::uint64_t seed = kFnvOffset) {
+  std::uint64_t h = seed;
+  for (auto b : data) {
+    h ^= b;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace offload::util

@@ -1,0 +1,51 @@
+// Minimal leveled logger. Quiet by default (warnings and errors only) so
+// tests and benches stay readable; examples raise the level for narration.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace offload::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+}
+
+/// Stream-style log statement: LogMessage(kInfo) << "x=" << x;
+/// Emits on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() {
+    if (level_ >= log_level()) detail::emit(level_, out_.str());
+  }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    out_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream out_;
+};
+
+}  // namespace offload::util
+
+#define OFFLOAD_LOG_DEBUG \
+  ::offload::util::LogMessage(::offload::util::LogLevel::kDebug)
+#define OFFLOAD_LOG_INFO \
+  ::offload::util::LogMessage(::offload::util::LogLevel::kInfo)
+#define OFFLOAD_LOG_WARN \
+  ::offload::util::LogMessage(::offload::util::LogLevel::kWarn)
+#define OFFLOAD_LOG_ERROR \
+  ::offload::util::LogMessage(::offload::util::LogLevel::kError)

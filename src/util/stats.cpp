@@ -1,0 +1,58 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace offload::util {
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double Samples::mean() const {
+  if (values_.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values_) s += v;
+  return s / static_cast<double>(values_.size());
+}
+
+double Samples::percentile(double p) const {
+  if (values_.empty()) return 0.0;
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  if (p <= 0) return sorted.front();
+  if (p >= 100) return sorted.back();
+  double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  auto lo = static_cast<std::size_t>(rank);
+  double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+void Ewma::add(double x) {
+  if (!seeded_) {
+    value_ = x;
+    seeded_ = true;
+  } else {
+    value_ = alpha_ * x + (1.0 - alpha_) * value_;
+  }
+}
+
+}  // namespace offload::util

@@ -1,0 +1,62 @@
+// Streaming statistics accumulators used by the benchmark harnesses and the
+// network bandwidth sampler.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace offload::util {
+
+/// Welford-style running mean/variance plus min/max.
+class Accumulator {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< Sample variance (n-1 denominator).
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Stores all samples; supports exact percentiles. Fine for the sample
+/// counts our experiments produce (thousands, not millions).
+class Samples {
+ public:
+  void add(double x) { values_.push_back(x); }
+  std::size_t count() const { return values_.size(); }
+  double mean() const;
+  /// Exact percentile via linear interpolation; p in [0,100].
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+ private:
+  std::vector<double> values_;
+};
+
+/// Exponentially weighted moving average — the runtime network-status
+/// estimator (Section III.B.2 "runtime network status") uses this.
+class Ewma {
+ public:
+  explicit Ewma(double alpha = 0.25) : alpha_(alpha) {}
+  void add(double x);
+  double value() const { return value_; }
+  bool empty() const { return !seeded_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool seeded_ = false;
+};
+
+}  // namespace offload::util

@@ -1,0 +1,27 @@
+// Small string helpers shared across the parser, model description format
+// and report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace offload::util {
+
+std::vector<std::string> split(std::string_view s, char delim);
+/// Split on whitespace runs, dropping empty tokens.
+std::vector<std::string> split_ws(std::string_view s);
+std::string_view trim(std::string_view s);
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+std::string to_lower(std::string_view s);
+
+/// "1.50 MB", "312.0 KB", "87 B" — human-readable sizes for reports.
+std::string format_bytes(double bytes);
+/// "1.234 s", "56.7 ms" — human-readable durations (input in seconds).
+std::string format_seconds(double seconds);
+/// Fixed-point with the given number of decimals.
+std::string format_fixed(double v, int decimals);
+
+}  // namespace offload::util

@@ -1,0 +1,69 @@
+#include "src/util/table.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace offload::util {
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  bool digit = false;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit = true;
+    } else if (c != '.' && c != '-' && c != '+' && c != '%' && c != ' ' &&
+               !std::isalpha(static_cast<unsigned char>(c))) {
+      return false;
+    }
+  }
+  // Treat "12.07", "44 MB", "7.79 s" as numeric for alignment purposes.
+  return digit && !std::isalpha(static_cast<unsigned char>(s.front()));
+}
+
+}  // namespace
+
+void TextTable::header(std::vector<std::string> cells) {
+  rows_.insert(rows_.begin(), std::move(cells));
+  has_header_ = true;
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::str() const {
+  if (rows_.empty()) return "";
+  std::size_t cols = 0;
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  std::vector<std::size_t> width(cols, 0);
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+  std::string out;
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const auto& r = rows_[i];
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string cell = c < r.size() ? r[c] : "";
+      const bool right = i > 0 && looks_numeric(cell);
+      std::string pad(width[c] - cell.size(), ' ');
+      out += "| ";
+      out += right ? pad + cell : cell + pad;
+      out += ' ';
+    }
+    out += "|\n";
+    if (i == 0 && has_header_) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        out += "|-";
+        out += std::string(width[c], '-');
+        out += '-';
+      }
+      out += "|\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace offload::util

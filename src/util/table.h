@@ -1,0 +1,24 @@
+// ASCII table printer. Every bench binary prints its paper-figure rows with
+// this so the output is uniform and diffable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace offload::util {
+
+/// Column-aligned text table. First added row may be marked as a header and
+/// gets an underline. Numeric-looking cells are right-aligned.
+class TextTable {
+ public:
+  void header(std::vector<std::string> cells);
+  void row(std::vector<std::string> cells);
+  /// Render with single-space-padded, pipe-separated columns.
+  std::string str() const;
+
+ private:
+  bool has_header_ = false;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace offload::util

@@ -1,0 +1,178 @@
+#include "src/vmsynth/compress.h"
+
+#include <array>
+#include <cstring>
+
+#include "src/util/crc32.h"
+
+namespace offload::vmsynth {
+namespace {
+
+// Format: magic "MLZ1" | varint original_size | u32 crc32(original) |
+// sequences.
+// Sequence (LZ4 field order): token byte (high nibble literal length, low
+// nibble match length - kMinMatch; 15 = "read extension bytes"), literal
+// length extension (255-runs), the literals, then — unless this is the
+// final literals-only sequence — a 2-byte little-endian match offset and
+// the match length extension.
+constexpr std::string_view kMagic = "MLZ1";
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxOffset = 65535;
+constexpr std::size_t kHashBits = 16;
+constexpr int kMaxChainDepth = 32;
+
+std::uint32_t hash4(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void write_length(util::BinaryWriter& w, std::size_t extra) {
+  while (extra >= 255) {
+    w.u8(255);
+    extra -= 255;
+  }
+  w.u8(static_cast<std::uint8_t>(extra));
+}
+
+std::size_t read_length(util::BinaryReader& r, std::size_t base) {
+  if (base != 15) return base;
+  std::size_t len = 15;
+  while (true) {
+    std::uint8_t b = r.u8();
+    len += b;
+    if (b != 255) break;
+  }
+  return len;
+}
+
+}  // namespace
+
+util::Bytes compress(std::span<const std::uint8_t> input) {
+  util::BinaryWriter w;
+  w.raw(kMagic);
+  w.varint(input.size());
+  w.u32(util::crc32(input));
+
+  const std::uint8_t* data = input.data();
+  const std::size_t n = input.size();
+
+  // Hash table of chain heads plus per-position previous links.
+  std::vector<std::int64_t> head(1u << kHashBits, -1);
+  std::vector<std::int64_t> prev(n, -1);
+
+  std::size_t pos = 0;
+  std::size_t literal_start = 0;
+
+  auto emit_sequence = [&](std::size_t match_pos, std::size_t match_len,
+                           std::size_t offset) {
+    const std::size_t lit_len = match_pos - literal_start;
+    const std::size_t match_code =
+        match_len == 0 ? 0 : match_len - kMinMatch;
+    std::uint8_t token =
+        static_cast<std::uint8_t>((std::min<std::size_t>(lit_len, 15) << 4) |
+                                  std::min<std::size_t>(match_code, 15));
+    w.u8(token);
+    if (lit_len >= 15) write_length(w, lit_len - 15);
+    w.raw(std::span(data + literal_start, lit_len));
+    if (match_len > 0) {
+      w.u16(static_cast<std::uint16_t>(offset));
+      if (match_code >= 15) write_length(w, match_code - 15);
+    }
+  };
+
+  while (pos + kMinMatch <= n) {
+    // Find the longest match via the hash chain.
+    std::uint32_t h = hash4(data + pos);
+    std::int64_t candidate = head[h];
+    std::size_t best_len = 0;
+    std::size_t best_offset = 0;
+    int depth = 0;
+    while (candidate >= 0 && depth < kMaxChainDepth) {
+      std::size_t offset = pos - static_cast<std::size_t>(candidate);
+      if (offset > kMaxOffset) break;  // chain is ordered; older = farther
+      std::size_t len = 0;
+      const std::size_t max_len = n - pos;
+      const std::uint8_t* a = data + candidate;
+      const std::uint8_t* b = data + pos;
+      while (len < max_len && a[len] == b[len]) ++len;
+      if (len >= kMinMatch && len > best_len) {
+        best_len = len;
+        best_offset = offset;
+      }
+      candidate = prev[static_cast<std::size_t>(candidate)];
+      ++depth;
+    }
+
+    if (best_len >= kMinMatch) {
+      emit_sequence(pos, best_len, best_offset);
+      // Insert positions covered by the match into the chains (sparsely —
+      // every position keeps the format exact but costs time; every
+      // position is fine at our sizes).
+      std::size_t end = pos + best_len;
+      while (pos < end && pos + kMinMatch <= n) {
+        std::uint32_t hh = hash4(data + pos);
+        prev[pos] = head[hh];
+        head[hh] = static_cast<std::int64_t>(pos);
+        ++pos;
+      }
+      pos = end;
+      literal_start = pos;
+    } else {
+      prev[pos] = head[h];
+      head[h] = static_cast<std::int64_t>(pos);
+      ++pos;
+    }
+  }
+
+  // Final literals-only sequence (always emitted, possibly empty, so the
+  // decoder has a terminator).
+  emit_sequence(n, 0, 0);
+  return std::move(w).take();
+}
+
+util::Bytes decompress(std::span<const std::uint8_t> input) {
+  util::BinaryReader r(input);
+  auto magic = r.raw(4);
+  if (util::to_string(magic) != kMagic) {
+    throw util::DecodeError("mlzma: bad magic");
+  }
+  const std::size_t original = static_cast<std::size_t>(r.varint());
+  const std::uint32_t expected_crc = r.u32();
+  util::Bytes out;
+  out.reserve(original);
+  while (out.size() < original) {
+    std::uint8_t token = r.u8();
+    std::size_t lit_len = read_length(r, token >> 4);
+    std::size_t match_code = token & 0x0f;
+    auto lits = r.raw(lit_len);
+    out.insert(out.end(), lits.begin(), lits.end());
+    if (out.size() >= original) break;  // final literals-only sequence
+    std::size_t offset = r.u16();
+    std::size_t match_len = read_length(r, match_code) + kMinMatch;
+    if (offset == 0 || offset > out.size()) {
+      throw util::DecodeError("mlzma: bad match offset");
+    }
+    // Byte-by-byte copy: overlapping matches (offset < length) replicate,
+    // which is the LZ77 run-length trick.
+    std::size_t from = out.size() - offset;
+    for (std::size_t i = 0; i < match_len; ++i) {
+      out.push_back(out[from + i]);
+    }
+  }
+  if (out.size() != original) {
+    throw util::DecodeError("mlzma: size mismatch after decompress");
+  }
+  if (util::crc32(std::span<const std::uint8_t>(out)) != expected_crc) {
+    throw util::DecodeError("mlzma: checksum mismatch (corrupt stream)");
+  }
+  return out;
+}
+
+double compression_ratio(std::span<const std::uint8_t> input) {
+  if (input.empty()) return 1.0;
+  util::Bytes c = compress(input);
+  return static_cast<double>(input.size()) / static_cast<double>(c.size());
+}
+
+}  // namespace offload::vmsynth

@@ -1,0 +1,26 @@
+// "mlzma": an LZ77 byte-oriented compressor (LZ4-style sequence format,
+// hash-chain match finder) built from scratch for the VM-overlay path. The
+// paper compresses its overlays with LZMA; we reproduce the role — overlay
+// bytes shrink roughly 2-3x on system-file-like content while DNN weights
+// (high-entropy floats) stay incompressible, which is what produces
+// Table 1's 65 vs 82 MB overlay sizes.
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/bytes.h"
+
+namespace offload::vmsynth {
+
+/// Compress `input`. Output embeds a header with the original size.
+util::Bytes compress(std::span<const std::uint8_t> input);
+
+/// Decompress a buffer produced by compress(). Throws util::DecodeError on
+/// corrupt input.
+util::Bytes decompress(std::span<const std::uint8_t> input);
+
+/// Compression ratio achieved on `input` (original/compressed; >= 1 means
+/// it shrank).
+double compression_ratio(std::span<const std::uint8_t> input);
+
+}  // namespace offload::vmsynth

@@ -1,0 +1,191 @@
+#include "src/vmsynth/overlay.h"
+
+#include <unordered_map>
+
+#include "src/util/hash.h"
+#include "src/vmsynth/compress.h"
+
+namespace offload::vmsynth {
+namespace {
+
+// Wire format (before compression):
+//   magic "OVL1" | varint file_count |
+//   per file: path | varint size | varint piece_count |
+//     per piece: u8 kind (0 = literal, 1 = base chunk ref) |
+//       literal: blob | ref: path-index varint, chunk-index varint,
+//       varint length
+constexpr std::string_view kMagic = "OVL1";
+
+struct ChunkKey {
+  std::uint64_t hash;
+  bool operator==(const ChunkKey&) const = default;
+};
+struct ChunkKeyHash {
+  std::size_t operator()(const ChunkKey& k) const {
+    return static_cast<std::size_t>(k.hash);
+  }
+};
+
+struct ChunkRef {
+  std::size_t file_index;
+  std::size_t chunk_index;
+  std::size_t length;
+};
+
+}  // namespace
+
+VmOverlay create_overlay(const VmImage& base, const VmImage& target) {
+  // Index every chunk of the base image by content hash.
+  std::unordered_map<ChunkKey, ChunkRef, ChunkKeyHash> base_chunks;
+  const auto& base_files = base.files();
+  for (std::size_t fi = 0; fi < base_files.size(); ++fi) {
+    const auto& content = base_files[fi].content;
+    for (std::size_t ci = 0; ci * kChunkBytes < content.size(); ++ci) {
+      std::size_t off = ci * kChunkBytes;
+      std::size_t len = std::min(kChunkBytes, content.size() - off);
+      std::uint64_t h = util::fnv1a(std::span(content).subspan(off, len));
+      base_chunks.emplace(ChunkKey{h}, ChunkRef{fi, ci, len});
+    }
+  }
+
+  OverlayStats stats;
+  util::BinaryWriter w;
+  w.raw(kMagic);
+
+  // Collect files that differ from (or are absent in) the base.
+  std::vector<const FileEntry*> delta_files;
+  for (const auto& f : target.files()) {
+    const FileEntry* b = base.find(f.path);
+    if (b && b->content == f.content) continue;  // unchanged
+    delta_files.push_back(&f);
+    if (b) {
+      ++stats.changed_files;
+    } else {
+      ++stats.new_files;
+    }
+  }
+  w.varint(delta_files.size());
+
+  for (const FileEntry* f : delta_files) {
+    w.str(f->path);
+    w.varint(f->content.size());
+    // Chunk the target file; reuse identical base chunks by reference.
+    struct Piece {
+      bool is_ref;
+      std::size_t lit_off, lit_len;
+      ChunkRef ref;
+    };
+    std::vector<Piece> pieces;
+    const auto& content = f->content;
+    std::size_t lit_start = 0;
+    for (std::size_t off = 0; off < content.size(); off += kChunkBytes) {
+      std::size_t len = std::min(kChunkBytes, content.size() - off);
+      std::uint64_t h = util::fnv1a(std::span(content).subspan(off, len));
+      auto it = base_chunks.find(ChunkKey{h});
+      bool match = false;
+      if (it != base_chunks.end() && it->second.length == len) {
+        // Hash match: verify bytes to rule out collisions.
+        const auto& bc = base_files[it->second.file_index].content;
+        std::size_t boff = it->second.chunk_index * kChunkBytes;
+        match = std::equal(content.begin() + static_cast<std::ptrdiff_t>(off),
+                           content.begin() +
+                               static_cast<std::ptrdiff_t>(off + len),
+                           bc.begin() + static_cast<std::ptrdiff_t>(boff));
+      }
+      if (match) {
+        if (lit_start < off) {
+          pieces.push_back({false, lit_start, off - lit_start, {}});
+        }
+        pieces.push_back({true, 0, 0, it->second});
+        lit_start = off + len;
+        ++stats.reused_chunks;
+      } else {
+        ++stats.fresh_chunks;
+      }
+    }
+    if (lit_start < content.size()) {
+      pieces.push_back({false, lit_start, content.size() - lit_start, {}});
+    }
+    w.varint(pieces.size());
+    for (const auto& p : pieces) {
+      if (p.is_ref) {
+        w.u8(1);
+        w.varint(p.ref.file_index);
+        w.varint(p.ref.chunk_index);
+        w.varint(p.ref.length);
+      } else {
+        w.u8(0);
+        w.blob(std::span(content).subspan(p.lit_off, p.lit_len));
+      }
+    }
+  }
+
+  util::Bytes raw = std::move(w).take();
+  stats.uncompressed_bytes = raw.size();
+  VmOverlay overlay;
+  overlay.payload = compress(raw);
+  stats.compressed_bytes = overlay.payload.size();
+  overlay.stats = stats;
+  return overlay;
+}
+
+VmImage synthesize(const VmImage& base, const VmOverlay& overlay) {
+  return synthesize(base, std::span(overlay.payload));
+}
+
+VmImage synthesize(const VmImage& base,
+                   std::span<const std::uint8_t> overlay_payload) {
+  util::Bytes raw = decompress(overlay_payload);
+  util::BinaryReader r{std::span<const std::uint8_t>(raw)};
+  auto magic = r.raw(4);
+  if (util::to_string(magic) != kMagic) {
+    throw util::DecodeError("overlay: bad magic");
+  }
+  VmImage out = base;
+  const auto& base_files = base.files();
+  std::uint64_t file_count = r.varint();
+  for (std::uint64_t i = 0; i < file_count; ++i) {
+    std::string path = r.str();
+    std::size_t size = static_cast<std::size_t>(r.varint());
+    std::size_t piece_count = static_cast<std::size_t>(r.varint());
+    util::Bytes content;
+    content.reserve(size);
+    for (std::size_t p = 0; p < piece_count; ++p) {
+      std::uint8_t kind = r.u8();
+      if (kind == 0) {
+        util::Bytes lit = r.blob();
+        content.insert(content.end(), lit.begin(), lit.end());
+      } else if (kind == 1) {
+        std::size_t fi = static_cast<std::size_t>(r.varint());
+        std::size_t ci = static_cast<std::size_t>(r.varint());
+        std::size_t len = static_cast<std::size_t>(r.varint());
+        if (fi >= base_files.size()) {
+          throw util::DecodeError("overlay: chunk ref to unknown base file");
+        }
+        const auto& bc = base_files[fi].content;
+        std::size_t off = ci * kChunkBytes;
+        if (off + len > bc.size()) {
+          throw util::DecodeError("overlay: chunk ref out of range");
+        }
+        content.insert(content.end(),
+                       bc.begin() + static_cast<std::ptrdiff_t>(off),
+                       bc.begin() + static_cast<std::ptrdiff_t>(off + len));
+      } else {
+        throw util::DecodeError("overlay: bad piece kind");
+      }
+    }
+    if (content.size() != size) {
+      throw util::DecodeError("overlay: file size mismatch for " + path);
+    }
+    out.put(std::move(path), std::move(content));
+  }
+  return out;
+}
+
+double synthesis_compute_seconds(const OverlayStats& stats,
+                                 double decompress_Bps, double apply_Bps) {
+  return static_cast<double>(stats.compressed_bytes) / decompress_Bps +
+         static_cast<double>(stats.uncompressed_bytes) / apply_Bps;
+}
+
+}  // namespace offload::vmsynth

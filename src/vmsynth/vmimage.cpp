@@ -1,0 +1,111 @@
+#include "src/vmsynth/vmimage.h"
+
+#include <algorithm>
+
+#include "src/util/hash.h"
+#include "src/util/rng.h"
+
+namespace offload::vmsynth {
+
+void VmImage::put(std::string path, util::Bytes content) {
+  for (auto& f : files_) {
+    if (f.path == path) {
+      f.content = std::move(content);
+      return;
+    }
+  }
+  files_.push_back({std::move(path), std::move(content)});
+}
+
+const FileEntry* VmImage::find(std::string_view path) const {
+  for (const auto& f : files_) {
+    if (f.path == path) return &f;
+  }
+  return nullptr;
+}
+
+std::uint64_t VmImage::total_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& f : files_) n += f.content.size();
+  return n;
+}
+
+std::uint64_t VmImage::digest() const {
+  std::uint64_t h = util::kFnvOffset;
+  std::vector<std::uint64_t> per_file;
+  per_file.reserve(files_.size());
+  for (const auto& f : files_) {
+    std::uint64_t fh = util::fnv1a(f.path);
+    fh = util::fnv1a(std::span(f.content), fh);
+    per_file.push_back(fh);
+  }
+  std::sort(per_file.begin(), per_file.end());
+  for (auto fh : per_file) {
+    h ^= fh;
+    h *= util::kFnvPrime;
+  }
+  return h;
+}
+
+util::Bytes synthetic_file_content(std::uint64_t size, double redundancy,
+                                   std::uint64_t seed) {
+  util::Pcg32 rng(seed, 0x766d696d67ULL);
+  // Token dictionary: redundancy shrinks the dictionary, creating repeats
+  // that an LZ77 coder exploits.
+  const std::size_t dict_tokens =
+      std::max<std::size_t>(4, static_cast<std::size_t>(
+                                   4096.0 * (1.0 - redundancy)));
+  constexpr std::size_t kTokenLen = 24;
+  std::vector<std::uint8_t> dictionary(dict_tokens * kTokenLen);
+  for (auto& b : dictionary) {
+    b = static_cast<std::uint8_t>(rng.next_u32());
+  }
+  util::Bytes out;
+  out.reserve(size);
+  while (out.size() < size) {
+    if (redundancy > 0 && rng.chance(redundancy)) {
+      std::size_t t = rng.next_below(static_cast<std::uint32_t>(dict_tokens));
+      const std::uint8_t* token = dictionary.data() + t * kTokenLen;
+      std::size_t n = std::min<std::size_t>(kTokenLen, size - out.size());
+      out.insert(out.end(), token, token + n);
+    } else {
+      out.push_back(static_cast<std::uint8_t>(rng.next_u32()));
+    }
+  }
+  return out;
+}
+
+VmImage make_base_image(std::uint64_t seed) {
+  VmImage image;
+  // A minimal OS tree; sizes are nominal (the base image never moves over
+  // the network — only the overlay does).
+  image.put("/boot/vmlinuz", synthetic_file_content(8'000'000, 0.6, seed + 1));
+  image.put("/bin/sh", synthetic_file_content(1'000'000, 0.7, seed + 2));
+  image.put("/lib/libc.so", synthetic_file_content(12'000'000, 0.7, seed + 3));
+  image.put("/etc/passwd", synthetic_file_content(4'096, 0.8, seed + 4));
+  image.put("/usr/share/doc/os-release",
+            synthetic_file_content(16'384, 0.9, seed + 5));
+  return image;
+}
+
+VmImage make_customized_image(
+    const VmImage& base, const SystemBundleSizes& sizes,
+    const std::vector<std::pair<std::string, util::Bytes>>& model_files,
+    std::uint64_t seed) {
+  VmImage image = base;
+  image.put("/opt/offload/browser/webkit",
+            synthetic_file_content(sizes.browser_bytes, sizes.redundancy,
+                                   seed + 10));
+  image.put("/opt/offload/lib/support.so",
+            synthetic_file_content(sizes.libraries_bytes, sizes.redundancy,
+                                   seed + 11));
+  image.put("/opt/offload/bin/offload-server",
+            synthetic_file_content(sizes.server_program_bytes,
+                                   sizes.redundancy, seed + 12));
+  for (const auto& [name, content] : model_files) {
+    image.put("/opt/offload/models/" + name, content);
+  }
+  return image;
+}
+
+}  // namespace offload::vmsynth

@@ -1,0 +1,129 @@
+// Unit tests for the core layer: app source factories, cut-point labeling,
+// scenario plumbing, and breakdown bookkeeping.
+#include <gtest/gtest.h>
+
+#include "src/core/offload.h"
+
+namespace offload::core {
+namespace {
+
+TEST(AppFactory, FullAppParsesAndBuildsDom) {
+  jsvm::Interpreter interp;
+  // The app calls loadModel/loadImage, which need a host; stub them.
+  interp.set_global("loadModel",
+                    interp.register_native(
+                        "test.loadModel",
+                        [](jsvm::Interpreter&, const jsvm::Value&,
+                           std::span<jsvm::Value>) -> jsvm::Value {
+                          return std::make_shared<jsvm::Object>();
+                        }));
+  interp.set_global("loadImage",
+                    interp.register_native(
+                        "test.loadImage",
+                        [](jsvm::Interpreter&, const jsvm::Value&,
+                           std::span<jsvm::Value>) -> jsvm::Value {
+                          auto ta = std::make_shared<jsvm::TypedArray>();
+                          ta->data = {1, 2, 3};
+                          return ta;
+                        }));
+  interp.eval_program(full_inference_app_source("m"));
+  interp.run_events();  // the app clicks #load at startup
+  EXPECT_NE(interp.document().get_element_by_id("btn"), nullptr);
+  EXPECT_NE(interp.document().get_element_by_id("result"), nullptr);
+  EXPECT_NE(interp.document().get_element_by_id("canvas"), nullptr);
+  // The load click put the image on the canvas.
+  EXPECT_NE(interp.document().get_element_by_id("canvas")->canvas_data,
+            nullptr);
+}
+
+TEST(AppFactory, InputImageLooksLikeCanvasPixels) {
+  nn::Tensor img = make_input_image(16, 3);
+  EXPECT_EQ(img.shape(), (nn::Shape{3, 16, 16}));
+  for (float v : img.data()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 255.0f);
+    EXPECT_EQ(v, std::floor(v));  // integer byte values
+  }
+  // Deterministic per seed.
+  EXPECT_EQ(nn::Tensor::max_abs_diff(img, make_input_image(16, 3)), 0.0f);
+  EXPECT_NE(nn::Tensor::max_abs_diff(img, make_input_image(16, 4)), 0.0f);
+}
+
+TEST(AppFactory, BundleNamesFollowNetwork) {
+  nn::BenchmarkModel tiny{"TinyCNN", &nn::build_tiny_cnn_default, 17, 32};
+  edge::AppBundle full = make_benchmark_app(tiny, false);
+  EXPECT_EQ(full.name, "tinycnn");
+  EXPECT_NE(full.source.find("loadModel(\"tinycnn\")"), std::string::npos);
+  edge::AppBundle partial = make_benchmark_app(tiny, true);
+  EXPECT_NE(partial.source.find("inference_front"), std::string::npos);
+  EXPECT_NE(partial.source.find("front_complete"), std::string::npos);
+}
+
+TEST(CutLabels, OrdinalsAndKinds) {
+  auto net = nn::build_agenet(11);
+  auto labels = labeled_cut_points(*net);
+  ASSERT_GE(labels.size(), 7u);
+  EXPECT_EQ(labels[0].label, "input");
+  EXPECT_EQ(labels[1].label, "1st_conv");
+  EXPECT_EQ(labels[2].label, "1st_pool");
+  EXPECT_EQ(labels[3].label, "2nd_conv");
+  EXPECT_EQ(labels[4].label, "2nd_pool");
+  // Labels refer to real layers of the right kind.
+  for (const auto& l : labels) {
+    EXPECT_EQ(net->layer(l.cut).kind(), l.kind) << l.label;
+  }
+}
+
+TEST(CutLabels, FirstPoolIsThePapersPoint) {
+  auto net = nn::build_googlenet(7);
+  std::size_t cut = first_pool_cut(*net);
+  EXPECT_EQ(net->layer(cut).name(), "pool1");
+}
+
+TEST(Scenario, NamesAreStable) {
+  EXPECT_STREQ(scenario_name(Scenario::kClientOnly), "Client");
+  EXPECT_STREQ(scenario_name(Scenario::kServerOnly), "Server");
+  EXPECT_STREQ(scenario_name(Scenario::kOffloadAfterAck),
+               "Offload (after ACK)");
+}
+
+TEST(Scenario, AfterAckClickTimeCoversTheUpload) {
+  auto net = nn::build_agenet(11);
+  double bw = 30e6;
+  sim::SimTime t = after_ack_click_time(*net, false, 0, bw);
+  double transfer_s =
+      static_cast<double>(nn::total_size(nn::model_files(*net))) * 8.0 / bw;
+  EXPECT_GT(t.to_seconds(), transfer_s);
+  EXPECT_LT(t.to_seconds(), transfer_s + 10.0);
+}
+
+TEST(Breakdown, LabelsMatchValues) {
+  InferenceBreakdown b;
+  b.dnn_execution_client = 1;
+  b.transmission_up = 2;
+  b.other = 0.5;
+  EXPECT_EQ(InferenceBreakdown::labels().size(), b.values().size());
+  EXPECT_DOUBLE_EQ(b.total(), 3.5);
+}
+
+TEST(Runtime, ServerOnlyBaselineUsesServerProfile) {
+  auto net = nn::build_tiny_cnn(17);
+  double server_s = server_only_inference_seconds(
+      *net, nn::DeviceProfile::edge_server());
+  double client_s = server_only_inference_seconds(
+      *net, nn::DeviceProfile::embedded_client());
+  EXPECT_GT(client_s, 10 * server_s);
+  double gpu_s = server_only_inference_seconds(
+      *net, nn::DeviceProfile::edge_server_gpu());
+  EXPECT_LT(gpu_s, server_s);
+}
+
+TEST(Runtime, PartialScenarioPicksFirstPoolByDefault) {
+  nn::BenchmarkModel tiny{"TinyCNN", &nn::build_tiny_cnn_default, 17, 32};
+  RunResult r = run_scenario(tiny, Scenario::kOffloadPartial);
+  auto net = nn::build_tiny_cnn(17);
+  EXPECT_EQ(r.timeline.used_partition_cut, first_pool_cut(*net));
+}
+
+}  // namespace
+}  // namespace offload::core

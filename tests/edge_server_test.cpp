@@ -1,0 +1,241 @@
+// Focused unit tests for EdgeServer: message handling, ACK timing, session
+// lifecycle, and execution accounting — exercised through a raw channel
+// (no ClientDevice), so server behaviour is pinned independently.
+#include <gtest/gtest.h>
+
+#include "src/core/app.h"
+#include "src/edge/edge_server.h"
+#include "src/jsvm/snapshot.h"
+#include "src/nn/models.h"
+
+namespace offload::edge {
+namespace {
+
+struct Harness {
+  sim::Simulation sim;
+  std::unique_ptr<net::Channel> channel;
+  std::unique_ptr<EdgeServer> server;
+  std::vector<net::Message> client_inbox;
+
+  explicit Harness(EdgeServerConfig config = {}) {
+    net::ChannelConfig ch;
+    ch.a_to_b.latency = sim::SimTime::millis(1);
+    ch.b_to_a.latency = sim::SimTime::millis(1);
+    channel = net::Channel::make(sim, ch);
+    server = std::make_unique<EdgeServer>(sim, channel->b(), config);
+    channel->a().set_handler(
+        [this](const net::Message& m) { client_inbox.push_back(m); });
+  }
+
+  void send_model(const nn::Network& net) {
+    ModelFilesPayload payload;
+    payload.files = nn::model_files(net);
+    net::Message msg;
+    msg.type = net::MessageType::kModelFiles;
+    msg.name = net.name();
+    msg.payload = payload.encode();
+    channel->a().send(std::move(msg));
+  }
+
+  /// Send a snapshot of a realm that re-runs `source` via a pending event.
+  void send_snapshot(const std::string& app, const std::string& source) {
+    jsvm::Interpreter scratch;
+    scratch.eval_program(source);
+    jsvm::SnapshotResult snap = jsvm::capture_snapshot(scratch);
+    SnapshotPayload payload;
+    payload.program = std::move(snap.program);
+    net::Message msg;
+    msg.type = net::MessageType::kSnapshot;
+    msg.name = app;
+    msg.payload = payload.encode();
+    channel->a().send(std::move(msg));
+  }
+};
+
+TEST(EdgeServerTest, AckArrivesAfterStoreTime) {
+  EdgeServerConfig config;
+  config.store_Bps = 1e6;  // slow disk: visible store delay
+  Harness h(config);
+  auto net = nn::build_tiny_cnn(17);
+  h.send_model(*net);
+  h.sim.run();
+  ASSERT_EQ(h.client_inbox.size(), 1u);
+  EXPECT_EQ(h.client_inbox[0].type, net::MessageType::kAck);
+  // Store time for ~0.5 MB at 1 MB/s ≈ 0.5 s, plus transfer time.
+  double ack_at = h.sim.now().to_seconds();
+  double model_bytes = static_cast<double>(net->param_bytes());
+  EXPECT_GT(ack_at, model_bytes / 1e6 * 0.9);
+}
+
+TEST(EdgeServerTest, StoresAllModelFiles) {
+  Harness h;
+  auto net = nn::build_tiny_cnn(17);
+  h.send_model(*net);
+  h.sim.run();
+  EXPECT_TRUE(h.server->model_store().can_instantiate("tinycnn"));
+  EXPECT_EQ(h.server->model_store().file_count(), 2u);
+  EXPECT_EQ(h.server->stats().models_stored, 1);
+}
+
+TEST(EdgeServerTest, RefusesEverythingUntilInstalled) {
+  EdgeServerConfig config;
+  config.offloading_system_installed = false;
+  Harness h(config);
+  auto net = nn::build_tiny_cnn(17);
+  h.send_model(*net);
+  h.send_snapshot("tinycnn", "var x = 1;");
+  h.sim.run();
+  ASSERT_EQ(h.client_inbox.size(), 2u);
+  for (const auto& m : h.client_inbox) {
+    EXPECT_EQ(m.type, net::MessageType::kControl);
+    EXPECT_EQ(m.name.rfind("not_installed", 0), 0u);
+  }
+  EXPECT_EQ(h.server->stats().refused, 2);
+  EXPECT_FALSE(h.server->model_store().can_instantiate("tinycnn"));
+}
+
+TEST(EdgeServerTest, ExecutesSnapshotAndReturnsResult) {
+  Harness h;
+  h.send_snapshot(
+      "plain",
+      "var done = false; var b = document.createElement('b'); "
+      "document.body.appendChild(b); "
+      "b.addEventListener('go', function() { done = true; }); "
+      "b.dispatchEvent('go');");
+  h.sim.run();
+  ASSERT_EQ(h.client_inbox.size(), 1u);
+  EXPECT_EQ(h.client_inbox[0].type, net::MessageType::kResultSnapshot);
+  // The returned snapshot reflects the executed handler.
+  SnapshotPayload result =
+      SnapshotPayload::decode(std::span(h.client_inbox[0].payload));
+  jsvm::Interpreter check;
+  jsvm::restore_snapshot(check, result.program);
+  EXPECT_EQ(check.eval_program("done;"), jsvm::Value(true));
+  ASSERT_EQ(h.server->executions().size(), 1u);
+  EXPECT_GT(h.server->executions()[0].restore_s, 0);
+}
+
+TEST(EdgeServerTest, SessionKeptPerAppNotLeakedPerOffload) {
+  Harness h;
+  for (int i = 0; i < 3; ++i) {
+    h.send_snapshot("appA", "var x = " + std::to_string(i) + ";");
+    h.sim.run();
+  }
+  h.send_snapshot("appB", "var y = 9;");
+  h.sim.run();
+  EXPECT_EQ(h.server->stats().snapshots_executed, 4);
+  // One live session realm per app; repeated offloads of the same app
+  // replace, not accumulate. (Indirect check: last_browser is the appB
+  // realm and is live.)
+  ASSERT_NE(h.server->last_browser(), nullptr);
+  EXPECT_EQ(jsvm::to_number(
+                h.server->last_browser()->interp().eval_program("y;")),
+            9);
+}
+
+TEST(EdgeServerTest, DifferentialAgainstUnknownBaselineRefused) {
+  Harness h;
+  SnapshotPayload payload;
+  payload.differential = true;
+  payload.base_version = 0xdeadbeef;
+  payload.program = "(function() { x = 1; })();";
+  net::Message msg;
+  msg.type = net::MessageType::kSnapshot;
+  msg.name = "ghost";
+  msg.payload = payload.encode();
+  h.channel->a().send(std::move(msg));
+  h.sim.run();
+  ASSERT_EQ(h.client_inbox.size(), 1u);
+  EXPECT_EQ(h.client_inbox[0].type, net::MessageType::kControl);
+  EXPECT_EQ(h.client_inbox[0].name.rfind("need_full", 0), 0u);
+  EXPECT_EQ(h.server->stats().diff_version_misses, 1);
+  EXPECT_EQ(h.server->stats().snapshots_executed, 0);
+}
+
+TEST(EdgeServerTest, SessionsDisabledMeansNoVersionInReply) {
+  EdgeServerConfig config;
+  config.keep_sessions = false;
+  Harness h(config);
+  h.send_snapshot("appA", "var x = 1;");
+  h.sim.run();
+  ASSERT_EQ(h.client_inbox.size(), 1u);
+  SnapshotPayload result =
+      SnapshotPayload::decode(std::span(h.client_inbox[0].payload));
+  EXPECT_EQ(result.base_version, 0u);
+}
+
+TEST(EdgeServerTest, OverlayInstallsAndExtractsModels) {
+  EdgeServerConfig config;
+  config.offloading_system_installed = false;
+  Harness h(config);
+
+  auto net = nn::build_tiny_cnn(17);
+  vmsynth::VmImage base = vmsynth::make_base_image();
+  std::vector<std::pair<std::string, util::Bytes>> model_files;
+  for (auto& f : nn::model_files(*net)) {
+    model_files.emplace_back(f.name, std::move(f.content));
+  }
+  vmsynth::SystemBundleSizes sizes;
+  sizes.browser_bytes = 200'000;
+  sizes.libraries_bytes = 200'000;
+  sizes.server_program_bytes = 10'000;
+  vmsynth::VmOverlay overlay = vmsynth::create_overlay(
+      base, vmsynth::make_customized_image(base, sizes, model_files));
+
+  net::Message msg;
+  msg.type = net::MessageType::kVmOverlay;
+  msg.name = "tinycnn";
+  msg.payload = std::move(overlay.payload);
+  h.channel->a().send(std::move(msg));
+  h.sim.run();
+
+  EXPECT_TRUE(h.server->installed());
+  EXPECT_EQ(h.server->stats().overlays_installed, 1);
+  EXPECT_TRUE(h.server->model_store().can_instantiate("tinycnn"));
+  ASSERT_EQ(h.client_inbox.size(), 1u);
+  EXPECT_EQ(h.client_inbox[0].type, net::MessageType::kAck);
+  EXPECT_EQ(h.client_inbox[0].name.rfind("installed:", 0), 0u);
+  EXPECT_GT(h.server->stats().vm_synthesis_compute_s, 0);
+}
+
+TEST(EdgeServerTest, ConcurrentSnapshotsQueueOnCompute) {
+  // Two clients offload at the same instant: the second execution waits
+  // for the first (shared server compute), and both complete correctly.
+  sim::Simulation sim;
+  net::ChannelConfig ch;
+  auto c1 = net::Channel::make(sim, ch, "c1", "edge", 1);
+  auto c2 = net::Channel::make(sim, ch, "c2", "edge", 2);
+  EdgeServerConfig config;
+  config.keep_sessions = false;
+  EdgeServer server(sim, c1->b(), config);
+  server.attach(c2->b());
+
+  nn::BenchmarkModel tiny{"TinyCNN", &nn::build_tiny_cnn_default, 17, 32};
+  ClientConfig client_config;
+  ClientDevice client1(sim, c1->a(), client_config,
+                       core::make_benchmark_app(tiny, false));
+  ClientDevice client2(sim, c2->a(), client_config,
+                       core::make_benchmark_app(tiny, false));
+  client1.start();
+  client2.start();
+  sim::SimTime click = sim::SimTime::seconds(5);
+  client1.click_at(click);
+  client2.click_at(click);
+  sim.run();
+
+  ASSERT_TRUE(client1.finished());
+  ASSERT_TRUE(client2.finished());
+  EXPECT_EQ(client1.result_text(), client2.result_text());
+  ASSERT_EQ(server.executions().size(), 2u);
+  EXPECT_EQ(server.executions()[0].queue_wait_s, 0.0);
+  EXPECT_GT(server.executions()[1].queue_wait_s, 0.0);
+  // The waiting client's inference is slower by about the first's busy
+  // time.
+  EXPECT_GT(std::max(client1.timeline().inference_seconds(),
+                     client2.timeline().inference_seconds()),
+            std::min(client1.timeline().inference_seconds(),
+                     client2.timeline().inference_seconds()));
+}
+
+}  // namespace
+}  // namespace offload::edge

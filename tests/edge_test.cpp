@@ -1,0 +1,201 @@
+// Unit tests for the edge layer: ModelStore, BrowserHost ML bindings, and
+// the model-host snapshot behaviour (the pre-send optimization: the model
+// never rides inside a snapshot).
+#include <gtest/gtest.h>
+
+#include "src/edge/browser_host.h"
+#include "src/edge/model_store.h"
+#include "src/edge/protocol.h"
+#include "src/jsvm/snapshot.h"
+#include "src/nn/models.h"
+
+namespace offload::edge {
+namespace {
+
+std::shared_ptr<ModelStore> store_with_tiny() {
+  auto store = std::make_shared<ModelStore>();
+  auto net = nn::build_tiny_cnn(17);
+  store->store_files(nn::model_files(*net));
+  return store;
+}
+
+nn::Tensor test_image() {
+  util::Pcg32 rng(8);
+  return nn::Tensor::random_uniform(nn::Shape{3, 32, 32}, rng, 0.0f, 1.0f);
+}
+
+TEST(ModelStoreTest, StoreFindReplace) {
+  ModelStore store;
+  store.store_file({"a.desc", {1, 2, 3}});
+  EXPECT_TRUE(store.has_file("a.desc"));
+  EXPECT_FALSE(store.has_file("b.desc"));
+  EXPECT_EQ(store.total_bytes(), 3u);
+  store.store_file({"a.desc", {9}});
+  EXPECT_EQ(store.total_bytes(), 1u);
+  EXPECT_EQ(store.file_count(), 1u);
+}
+
+TEST(ModelStoreTest, InstantiateFromFiles) {
+  auto store = store_with_tiny();
+  EXPECT_TRUE(store->can_instantiate("tinycnn"));
+  auto net = store->instantiate("tinycnn");
+  ASSERT_NE(net, nullptr);
+  EXPECT_EQ(net->name(), "tinycnn");
+  // Cached: same instance on second call.
+  EXPECT_EQ(store->instantiate("tinycnn").get(), net.get());
+  // Matches the original network bit-exactly.
+  auto original = nn::build_tiny_cnn(17);
+  nn::Tensor in = test_image();
+  EXPECT_EQ(nn::Tensor::max_abs_diff(net->forward(in).output,
+                                     original->forward(in).output),
+            0.0f);
+}
+
+TEST(ModelStoreTest, MissingFilesThrow) {
+  ModelStore store;
+  EXPECT_FALSE(store.can_instantiate("nope"));
+  EXPECT_THROW(store.instantiate("nope"), std::runtime_error);
+  auto net = nn::build_tiny_cnn(17);
+  auto files = nn::model_files(*net);
+  store.store_file(files[0]);  // description only, no weights
+  EXPECT_THROW(store.instantiate("tinycnn"), std::runtime_error);
+}
+
+TEST(ModelStoreTest, RearOnlyInstantiation) {
+  ModelStore store;
+  auto net = nn::build_tiny_cnn(17);
+  store.store_files(nn::model_files_rear_only(*net, 2));
+  EXPECT_TRUE(store.can_instantiate("tinycnn"));
+  auto rebuilt = store.instantiate("tinycnn");
+  nn::Tensor in = test_image();
+  nn::Tensor feature = net->forward_front(in, 2);
+  // Rear matches; front differs (weights withheld).
+  EXPECT_EQ(nn::Tensor::max_abs_diff(net->forward_rear(feature, 2),
+                                     rebuilt->forward_rear(feature, 2)),
+            0.0f);
+}
+
+TEST(BrowserHostTest, InferenceMatchesDirectExecution) {
+  BrowserHost host(nn::DeviceProfile::embedded_client(), store_with_tiny());
+  host.add_image("input", test_image());
+  host.interp().eval_program(
+      "var model = loadModel('tinycnn');"
+      "var scores = model.inference(loadImage('input'));"
+      "var best = 0;"
+      "for (var i = 1; i < scores.length; i++) {"
+      "  if (scores[i] > scores[best]) { best = i; }"
+      "}");
+  auto net = nn::build_tiny_cnn(17);
+  auto expected = net->forward(test_image()).output;
+  double best = jsvm::to_number(*host.interp().globals()->find("best"));
+  EXPECT_EQ(static_cast<std::int64_t>(best), expected.argmax());
+  EXPECT_GT(host.pending_compute_seconds(), 0.0);
+}
+
+TEST(BrowserHostTest, ComputeAccountingConsumable) {
+  BrowserHost host(nn::DeviceProfile::embedded_client(), store_with_tiny());
+  host.add_image("input", test_image());
+  host.interp().eval_program(
+      "var model = loadModel('tinycnn');"
+      "model.inference(loadImage('input'));");
+  auto net = nn::build_tiny_cnn(17);
+  double expected =
+      nn::DeviceProfile::embedded_client().network_time_s(*net);
+  EXPECT_NEAR(host.consume_compute_seconds(), expected, expected * 1e-9);
+  EXPECT_EQ(host.consume_compute_seconds(), 0.0);  // reset after read
+}
+
+TEST(BrowserHostTest, PartialInferenceComposition) {
+  BrowserHost host(nn::DeviceProfile::embedded_client(), store_with_tiny());
+  host.add_image("input", test_image());
+  host.set_partition_cut("tinycnn", 2);
+  host.interp().eval_program(
+      "var model = loadModel('tinycnn');"
+      "var feature = model.inference_front(loadImage('input'));"
+      "var scores = model.inference_rear(feature);");
+  auto net = nn::build_tiny_cnn(17);
+  auto expected = net->forward(test_image()).output;
+  auto scores = std::get<jsvm::TypedArrayPtr>(
+      *host.interp().globals()->find("scores"));
+  ASSERT_EQ(static_cast<std::int64_t>(scores->data.size()),
+            expected.elements());
+  for (std::int64_t i = 0; i < expected.elements(); ++i) {
+    EXPECT_EQ(scores->data[static_cast<std::size_t>(i)], expected[i]) << i;
+  }
+}
+
+TEST(BrowserHostTest, PartialWithoutCutConfiguredThrows) {
+  BrowserHost host(nn::DeviceProfile::embedded_client(), store_with_tiny());
+  host.add_image("input", test_image());
+  EXPECT_THROW(host.interp().eval_program(
+                   "var model = loadModel('tinycnn');"
+                   "model.inference_front(loadImage('input'));"),
+               jsvm::JsError);
+}
+
+TEST(BrowserHostTest, WrongInputSizeThrows) {
+  BrowserHost host(nn::DeviceProfile::embedded_client(), store_with_tiny());
+  EXPECT_THROW(host.interp().eval_program(
+                   "var model = loadModel('tinycnn');"
+                   "model.inference(Float32Array(5));"),
+               jsvm::JsError);
+}
+
+TEST(BrowserHostTest, UnknownModelThrows) {
+  BrowserHost host(nn::DeviceProfile::embedded_client(),
+                   std::make_shared<ModelStore>());
+  EXPECT_THROW(host.interp().eval_program("loadModel('ghost');"),
+               jsvm::JsError);
+}
+
+TEST(BrowserHostTest, ModelExcludedFromSnapshotAndRestoredByName) {
+  // The heart of pre-sending: snapshot a realm holding a model + feature,
+  // restore on a *different* host with its own store, keep working.
+  auto store = store_with_tiny();
+  BrowserHost client(nn::DeviceProfile::embedded_client(), store);
+  client.add_image("input", test_image());
+  client.set_partition_cut("tinycnn", 2);
+  client.interp().eval_program(
+      "var model = loadModel('tinycnn');"
+      "var feature = model.inference_front(loadImage('input'));");
+  jsvm::SnapshotResult snap = jsvm::capture_snapshot(client.interp());
+  // Mostly feature data; the ~0.5 MB model is not inside.
+  auto tiny = nn::build_tiny_cnn(17);
+  EXPECT_LT(snap.stats.total_bytes, tiny->param_bytes() / 2);
+  EXPECT_LT(snap.stats.non_feature_bytes(), 5'000u);
+  EXPECT_NE(snap.program.find("__loadModel(\"tinycnn\")"), std::string::npos);
+
+  BrowserHost server(nn::DeviceProfile::edge_server(), store);
+  server.set_partition_cut("tinycnn", 2);
+  jsvm::restore_snapshot(server.interp(), snap.program);
+  server.interp().eval_program("var scores = model.inference_rear(feature);");
+  auto net = nn::build_tiny_cnn(17);
+  auto expected = net->forward(test_image()).output;
+  auto scores = std::get<jsvm::TypedArrayPtr>(
+      *server.interp().globals()->find("scores"));
+  EXPECT_EQ(scores->data[0], expected[0]);
+}
+
+TEST(ProtocolTest, ModelFilesPayloadRoundTrip) {
+  ModelFilesPayload p;
+  p.files.push_back({"m.desc", {1, 2}});
+  p.files.push_back({"m.weights", {3, 4, 5}});
+  auto wire = p.encode();
+  ModelFilesPayload d = ModelFilesPayload::decode(std::span(wire));
+  ASSERT_EQ(d.files.size(), 2u);
+  EXPECT_EQ(d.files[1].name, "m.weights");
+  EXPECT_EQ(d.files[1].content, (util::Bytes{3, 4, 5}));
+}
+
+TEST(ProtocolTest, SnapshotPayloadRoundTrip) {
+  SnapshotPayload p;
+  p.cut = 7;
+  p.program = "(function(){})();";
+  auto wire = p.encode();
+  SnapshotPayload d = SnapshotPayload::decode(std::span(wire));
+  EXPECT_EQ(d.cut, 7u);
+  EXPECT_EQ(d.program, p.program);
+}
+
+}  // namespace
+}  // namespace offload::edge

@@ -1,0 +1,126 @@
+// Failure-injection tests: lossy links, jitter, bare servers, and protocol
+// robustness under adverse conditions the edge environment implies.
+#include <gtest/gtest.h>
+
+#include "src/core/offload.h"
+
+namespace offload::core {
+namespace {
+
+nn::BenchmarkModel tiny_model() {
+  return {"TinyCNN", &nn::build_tiny_cnn_default, 17, 32};
+}
+
+TEST(FailureInjection, OffloadSurvivesLossyLink) {
+  edge::AppBundle bundle = make_benchmark_app(tiny_model(), false);
+  RuntimeConfig config;
+  config.channel.a_to_b.loss_rate = 0.2;
+  config.channel.b_to_a.loss_rate = 0.2;
+  config.channel.reliable = true;
+  config.channel.retransmit_timeout = sim::SimTime::millis(100);
+  config.click_at = after_ack_click_time(*bundle.network, false, 0, 30e6);
+  OffloadingRuntime runtime(config, std::move(bundle));
+  RunResult result = runtime.run();
+  EXPECT_TRUE(result.offloaded);
+  RunResult clean = run_scenario(tiny_model(), Scenario::kOffloadAfterAck);
+  // Same answer, possibly slower (retransmissions).
+  EXPECT_EQ(result.result_text, clean.result_text);
+  EXPECT_GE(result.inference_seconds, clean.inference_seconds);
+}
+
+TEST(FailureInjection, HeavyLossStillCompletesWithRetransmits) {
+  edge::AppBundle bundle = make_benchmark_app(tiny_model(), false);
+  RuntimeConfig config;
+  config.channel.a_to_b.loss_rate = 0.5;
+  config.channel.reliable = true;
+  config.channel.retransmit_timeout = sim::SimTime::millis(50);
+  config.channel.max_retransmits = 64;
+  config.click_at = after_ack_click_time(*bundle.network, false, 0, 30e6) +
+                    sim::SimTime::seconds(30);  // margin for lost uploads
+  OffloadingRuntime runtime(config, std::move(bundle));
+  RunResult result = runtime.run();
+  EXPECT_TRUE(result.offloaded);
+  EXPECT_FALSE(result.result_text.empty());
+}
+
+TEST(FailureInjection, JitterDoesNotBreakOrdering) {
+  // Per-message jitter delays arrivals but the protocol must still work
+  // (our links are FIFO per direction; jitter only shifts latency).
+  edge::AppBundle bundle = make_benchmark_app(tiny_model(), false);
+  RuntimeConfig config;
+  config.channel.a_to_b.jitter = sim::SimTime::millis(40);
+  config.channel.b_to_a.jitter = sim::SimTime::millis(40);
+  config.click_at = after_ack_click_time(*bundle.network, false, 0, 30e6);
+  OffloadingRuntime runtime(config, std::move(bundle));
+  RunResult result = runtime.run();
+  EXPECT_TRUE(result.offloaded);
+  RunResult clean = run_scenario(tiny_model(), Scenario::kOffloadAfterAck);
+  EXPECT_EQ(result.result_text, clean.result_text);
+}
+
+TEST(FailureInjection, AsymmetricBandwidth) {
+  // Uplink-constrained Wi-Fi: the snapshot upload dominates; the return
+  // path is fast.
+  edge::AppBundle bundle = make_benchmark_app(tiny_model(), false);
+  RuntimeConfig config;
+  config.channel.a_to_b.bandwidth_bps = 5e6;
+  config.channel.b_to_a.bandwidth_bps = 100e6;
+  config.click_at = after_ack_click_time(*bundle.network, false, 0, 5e6);
+  OffloadingRuntime runtime(config, std::move(bundle));
+  RunResult result = runtime.run();
+  EXPECT_TRUE(result.offloaded);
+  EXPECT_GT(result.breakdown.transmission_up,
+            result.breakdown.transmission_down * 3);
+}
+
+TEST(FailureInjection, DiffAfterServerRestartRecovers) {
+  // Differential offloading when the server "restarts" (drops sessions)
+  // between inferences: version miss → need_full → full resend works.
+  edge::AppBundle bundle = make_benchmark_app(tiny_model(), false);
+  RuntimeConfig config;
+  config.client.differential_snapshots = true;
+  config.server.keep_sessions = false;  // models a stateless/restarted server
+  config.click_at = after_ack_click_time(*bundle.network, false, 0, 30e6);
+  OffloadingRuntime runtime(config, std::move(bundle));
+  RunResult first = runtime.run();
+  runtime.client().click_at(runtime.simulation().now() +
+                            sim::SimTime::seconds(2));
+  runtime.simulation().run();
+  EXPECT_TRUE(runtime.client().finished());
+  EXPECT_EQ(runtime.client().result_text(), first.result_text);
+  EXPECT_GE(runtime.server().stats().diff_version_misses, 1);
+}
+
+TEST(FailureInjection, ModelMissingOnServerRaisesInsideSnapshotRun) {
+  // A snapshot arriving without any model pre-send and without bundled
+  // model files must fail loudly on the server, not hang: loadModel
+  // throws inside the restore run.
+  sim::Simulation sim;
+  auto channel = net::Channel::make(sim, net::ChannelConfig{});
+  edge::EdgeServer server(sim, channel->b());
+  jsvm::Interpreter scratch;
+  // Craft a minimal snapshot that calls __loadModel for an unknown app.
+  edge::SnapshotPayload payload;
+  payload.program = "(function() { m = __loadModel(\"ghost\"); })();\n";
+  net::Message msg;
+  msg.type = net::MessageType::kSnapshot;
+  msg.name = "ghost";
+  msg.payload = payload.encode();
+  channel->a().send(std::move(msg));
+  EXPECT_THROW(sim.run(), jsvm::JsError);
+}
+
+TEST(FailureInjection, UnreliableChannelCanStallApp) {
+  // With reliability off and certain loss, the offload stalls and the
+  // runtime reports it rather than spinning.
+  edge::AppBundle bundle = make_benchmark_app(tiny_model(), false);
+  RuntimeConfig config;
+  config.channel.a_to_b.loss_rate = 0.999;
+  config.channel.reliable = false;
+  config.click_at = sim::SimTime::seconds(0.05);
+  OffloadingRuntime runtime(config, std::move(bundle));
+  EXPECT_THROW(runtime.run(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace offload::core

@@ -1,0 +1,198 @@
+// End-to-end integration tests: client + shaped link + edge server running
+// real apps through the full offloading protocol. Uses the small test CNN
+// so the suite stays fast; the paper-scale models are exercised by one
+// slower smoke test and by the bench binaries.
+#include <gtest/gtest.h>
+
+#include "src/core/offload.h"
+
+namespace offload::core {
+namespace {
+
+/// A BenchmarkModel wrapper for the tiny test CNN (3x32x32 input).
+nn::BenchmarkModel tiny_model() {
+  return {"TinyCNN", &nn::build_tiny_cnn_default, 17, 32};
+}
+
+TEST(Integration, LocalExecutionProducesResult) {
+  RunResult local = run_scenario(tiny_model(), Scenario::kClientOnly);
+  EXPECT_FALSE(local.offloaded);
+  EXPECT_TRUE(local.result_text.rfind("label ", 0) == 0) << local.result_text;
+  EXPECT_GT(local.inference_seconds, 0);
+  EXPECT_GT(local.breakdown.dnn_execution_client, 0);
+  EXPECT_EQ(local.breakdown.dnn_execution_server, 0);
+}
+
+TEST(Integration, OffloadAfterAckMatchesLocalResultExactly) {
+  RunResult local = run_scenario(tiny_model(), Scenario::kClientOnly);
+  RunResult off = run_scenario(tiny_model(), Scenario::kOffloadAfterAck);
+  EXPECT_TRUE(off.offloaded);
+  // Bit-exact: same weights, same input, deterministic float path, and the
+  // snapshot round-trips every value exactly.
+  EXPECT_EQ(off.result_text, local.result_text);
+}
+
+TEST(Integration, OffloadBeforeAckMatchesToo) {
+  RunResult local = run_scenario(tiny_model(), Scenario::kClientOnly);
+  RunResult off = run_scenario(tiny_model(), Scenario::kOffloadBeforeAck);
+  EXPECT_TRUE(off.offloaded);
+  EXPECT_EQ(off.result_text, local.result_text);
+  // Before ACK the upload path must include the model bytes: transmission
+  // dominates.
+  EXPECT_GT(off.breakdown.transmission_up, 0.9 * off.inference_seconds * 0.2);
+}
+
+TEST(Integration, PartialInferenceMatchesFullResult) {
+  RunResult local = run_scenario(tiny_model(), Scenario::kClientOnly);
+  RunResult partial = run_scenario(tiny_model(), Scenario::kOffloadPartial);
+  EXPECT_TRUE(partial.offloaded);
+  EXPECT_EQ(partial.result_text, local.result_text);
+  // Front part ran on the client.
+  EXPECT_GT(partial.breakdown.dnn_execution_client, 0);
+  EXPECT_GT(partial.breakdown.dnn_execution_server, 0);
+}
+
+TEST(Integration, BeforeAckSlowerThanAfterAck) {
+  RunResult before = run_scenario(tiny_model(), Scenario::kOffloadBeforeAck);
+  RunResult after = run_scenario(tiny_model(), Scenario::kOffloadAfterAck);
+  EXPECT_GT(before.inference_seconds, after.inference_seconds);
+}
+
+TEST(Integration, BreakdownSumsToTotal) {
+  RunResult off = run_scenario(tiny_model(), Scenario::kOffloadAfterAck);
+  EXPECT_NEAR(off.breakdown.total(), off.inference_seconds, 1e-9);
+  for (double v : off.breakdown.values()) {
+    EXPECT_GE(v, -1e-12);
+  }
+}
+
+TEST(Integration, ModelUploadAckObserved) {
+  RunResult off = run_scenario(tiny_model(), Scenario::kOffloadAfterAck);
+  ASSERT_TRUE(off.timeline.ack_received.has_value());
+  EXPECT_GT(off.model_upload_seconds, 0);
+  // Tiny model ≈ 0.5 MB → ~0.13 s at 30 Mbps.
+  EXPECT_LT(off.model_upload_seconds, 2.0);
+}
+
+TEST(Integration, SnapshotExcludesModelViaHostObject) {
+  RunResult off = run_scenario(tiny_model(), Scenario::kOffloadAfterAck);
+  // The migrated snapshot must be far smaller than the model weights.
+  auto net = nn::build_tiny_cnn(17);
+  EXPECT_LT(off.timeline.snapshot_stats.total_bytes, net->param_bytes() / 4);
+  EXPECT_GT(off.timeline.snapshot_stats.total_bytes, 1000u);
+}
+
+TEST(Integration, PartialSnapshotOmitsInputImage) {
+  RunResult full = run_scenario(tiny_model(), Scenario::kOffloadAfterAck);
+  RunResult partial = run_scenario(tiny_model(), Scenario::kOffloadPartial);
+  // Full offload migrates the 3x32x32 image (3072 floats); partial
+  // migrates the post-pool feature (16x16x16 = 4096 floats) but NOT the
+  // image. Both have exactly one typed array in flight.
+  EXPECT_EQ(full.timeline.snapshot_stats.typed_arrays, 1u);
+  EXPECT_EQ(partial.timeline.snapshot_stats.typed_arrays, 1u);
+}
+
+TEST(Integration, OnDemandInstallationCompletes) {
+  edge::AppBundle bundle = make_benchmark_app(tiny_model(), false);
+  RuntimeConfig config;
+  config.server.offloading_system_installed = false;
+  config.client.offload = true;
+  config.client.install_on_demand = true;
+  // Shrink the synthetic system bundle so the test stays fast.
+  config.client.overlay_sizes.browser_bytes = 300'000;
+  config.client.overlay_sizes.libraries_bytes = 300'000;
+  config.client.overlay_sizes.server_program_bytes = 20'000;
+  config.click_at = sim::SimTime::seconds(0.05);
+
+  OffloadingRuntime runtime(config, std::move(bundle));
+  RunResult result = runtime.run();
+  EXPECT_TRUE(result.offloaded);
+  EXPECT_EQ(runtime.server().stats().overlays_installed, 1);
+  EXPECT_TRUE(runtime.server().installed());
+  EXPECT_TRUE(result.result_text.rfind("label ", 0) == 0);
+  // Model files arrived inside the overlay.
+  EXPECT_TRUE(runtime.server().model_store().can_instantiate("tinycnn"));
+}
+
+TEST(Integration, RefusedWithoutInstallStalls) {
+  edge::AppBundle bundle = make_benchmark_app(tiny_model(), false);
+  RuntimeConfig config;
+  config.server.offloading_system_installed = false;
+  config.client.install_on_demand = false;
+  config.click_at = sim::SimTime::seconds(0.05);
+  OffloadingRuntime runtime(config, std::move(bundle));
+  EXPECT_THROW(runtime.run(), std::runtime_error);
+  EXPECT_GT(runtime.server().stats().refused, 0);
+}
+
+TEST(Integration, ServerExecutionRecordConsistent) {
+  edge::AppBundle bundle = make_benchmark_app(tiny_model(), false);
+  RuntimeConfig config;
+  config.click_at = after_ack_click_time(*bundle.network, false, 0, 30e6);
+  OffloadingRuntime runtime(config, std::move(bundle));
+  RunResult result = runtime.run();
+  ASSERT_TRUE(result.server_record.has_value());
+  EXPECT_GT(result.server_record->restore_s, 0);
+  EXPECT_GT(result.server_record->execute_s, 0);
+  EXPECT_GT(result.server_record->capture_s, 0);
+  EXPECT_EQ(runtime.server().stats().snapshots_executed, 1);
+}
+
+TEST(Integration, ResultSnapshotUpdatesClientDom) {
+  edge::AppBundle bundle = make_benchmark_app(tiny_model(), false);
+  RuntimeConfig config;
+  config.click_at = after_ack_click_time(*bundle.network, false, 0, 30e6);
+  OffloadingRuntime runtime(config, std::move(bundle));
+  RunResult result = runtime.run();
+  // The DOM mutation performed on the server is visible on the client.
+  jsvm::DomNodePtr node =
+      runtime.client().browser().interp().document().get_element_by_id(
+          "result");
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->text, result.result_text);
+  EXPECT_FALSE(result.result_text.empty());
+}
+
+TEST(Integration, SlowerNetworkSlowsOffloadNotClient) {
+  ScenarioOptions slow;
+  slow.bandwidth_bps = 5e6;
+  ScenarioOptions fast;
+  fast.bandwidth_bps = 100e6;
+  RunResult off_slow = run_scenario(tiny_model(), Scenario::kOffloadAfterAck,
+                                    slow);
+  RunResult off_fast = run_scenario(tiny_model(), Scenario::kOffloadAfterAck,
+                                    fast);
+  EXPECT_GT(off_slow.inference_seconds, off_fast.inference_seconds);
+  RunResult local_slow =
+      run_scenario(tiny_model(), Scenario::kClientOnly, slow);
+  RunResult local_fast =
+      run_scenario(tiny_model(), Scenario::kClientOnly, fast);
+  EXPECT_DOUBLE_EQ(local_slow.inference_seconds, local_fast.inference_seconds);
+}
+
+TEST(Integration, DeterministicAcrossRuns) {
+  RunResult a = run_scenario(tiny_model(), Scenario::kOffloadAfterAck);
+  RunResult b = run_scenario(tiny_model(), Scenario::kOffloadAfterAck);
+  EXPECT_DOUBLE_EQ(a.inference_seconds, b.inference_seconds);
+  EXPECT_EQ(a.result_text, b.result_text);
+  EXPECT_EQ(a.timeline.snapshot_stats.total_bytes,
+            b.timeline.snapshot_stats.total_bytes);
+}
+
+// One paper-scale smoke test (AgeNet ≈ 11M params). Slower (~seconds);
+// validates the full pipeline at realistic sizes.
+TEST(IntegrationPaperScale, AgeNetOffloadAfterAck) {
+  nn::BenchmarkModel agenet{"AgeNet", &nn::build_agenet, 11, 227};
+  RunResult local = run_scenario(agenet, Scenario::kClientOnly);
+  RunResult off = run_scenario(agenet, Scenario::kOffloadAfterAck);
+  EXPECT_EQ(off.result_text, local.result_text);
+  EXPECT_TRUE(off.offloaded);
+  // The paper's headline: offloading after ACK beats local execution by a
+  // wide margin and lands near server-only time.
+  EXPECT_LT(off.inference_seconds, local.inference_seconds / 2);
+  RunResult server = run_scenario(agenet, Scenario::kServerOnly);
+  EXPECT_LT(off.inference_seconds, server.inference_seconds * 4);
+}
+
+}  // namespace
+}  // namespace offload::core

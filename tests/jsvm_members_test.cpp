@@ -1,0 +1,193 @@
+// Coverage for property/index dispatch edge cases across all value types
+// (members.cpp) and builtin corner cases not exercised elsewhere.
+#include <gtest/gtest.h>
+
+#include "src/jsvm/interpreter.h"
+#include "src/jsvm/lexer.h"
+
+namespace offload::jsvm {
+namespace {
+
+double num(Interpreter& i, const std::string& src) {
+  return to_number(i.eval_program(src));
+}
+
+TEST(Members, ArrayLengthAssignmentResizes) {
+  Interpreter i;
+  EXPECT_EQ(num(i, "var a = [1, 2, 3]; a.length = 1; a.length;"), 1);
+  EXPECT_EQ(num(i, "a.length = 4; a.length;"), 4);
+  EXPECT_TRUE(is_undefined(i.eval_program("a[3];")));
+  EXPECT_THROW(i.eval_program("a.length = -1;"), JsError);
+  EXPECT_THROW(i.eval_program("a.length = 1.5;"), JsError);
+}
+
+TEST(Members, ArrayUnknownPropertyThrows) {
+  Interpreter i;
+  EXPECT_THROW(i.eval_program("[1].nope;"), JsError);
+  EXPECT_THROW(i.eval_program("var a = [1]; a.nope = 2;"), JsError);
+}
+
+TEST(Members, ArrayGrowOnlyByOne) {
+  Interpreter i;
+  EXPECT_THROW(i.eval_program("var a = []; a[5] = 1;"), JsError);
+  EXPECT_EQ(num(i, "var b = []; b[0] = 1; b[1] = 2; b.length;"), 2);
+}
+
+TEST(Members, StringIndexAndBounds) {
+  Interpreter i;
+  EXPECT_EQ(to_display_string(i.eval_program("'abc'[0];")), "a");
+  EXPECT_THROW(i.eval_program("'abc'[3];"), JsError);
+  EXPECT_THROW(i.eval_program("'abc'[-1];"), JsError);
+  // charAt is lenient (returns empty), like JS.
+  EXPECT_EQ(to_display_string(i.eval_program("'abc'.charAt(99);")), "");
+}
+
+TEST(Members, TypedArrayStrictBounds) {
+  Interpreter i;
+  i.eval_program("var t = Float32Array(2);");
+  EXPECT_THROW(i.eval_program("t[2];"), JsError);
+  EXPECT_THROW(i.eval_program("t[2] = 1;"), JsError);  // no growth
+  EXPECT_THROW(i.eval_program("t[0.5];"), JsError);
+  EXPECT_THROW(i.eval_program("t.nope;"), JsError);
+}
+
+TEST(Members, TypedArrayValuesTruncateToFloat32) {
+  Interpreter i;
+  // 0.1 is not representable in float32; reading it back gives the
+  // float32-rounded value, not the double.
+  i.eval_program("var t = Float32Array(1); t[0] = 0.1;");
+  double read = num(i, "t[0];");
+  EXPECT_EQ(static_cast<float>(read), 0.1f);
+  EXPECT_NE(read, 0.1);
+}
+
+TEST(Members, ObjectNumericKeysCoerceToStrings) {
+  Interpreter i;
+  EXPECT_EQ(num(i, "var o = {}; o[3] = 7; o['3'];"), 7);
+  EXPECT_EQ(num(i, "o[3.0];"), 7);
+}
+
+TEST(Members, DomNavigation) {
+  Interpreter i;
+  i.eval_program(
+      "var parent = document.createElement('div');"
+      "var kid1 = document.createElement('span');"
+      "var kid2 = document.createElement('p');"
+      "parent.appendChild(kid1); parent.appendChild(kid2);"
+      "document.body.appendChild(parent);");
+  EXPECT_EQ(to_display_string(i.eval_program("parent.firstChild.tagName;")),
+            "span");
+  EXPECT_EQ(num(i, "parent.childCount;"), 2);
+  EXPECT_EQ(to_display_string(i.eval_program("kid1.parentNode.tagName;")),
+            "div");
+  EXPECT_TRUE(is_null(i.eval_program(
+      "var orphan = document.createElement('b'); orphan.parentNode;")));
+  EXPECT_TRUE(is_null(i.eval_program("kid1.firstChild;")));
+}
+
+TEST(Members, DomReparentingMovesNode) {
+  Interpreter i;
+  i.eval_program(
+      "var a = document.createElement('div');"
+      "var b = document.createElement('div');"
+      "var kid = document.createElement('span');"
+      "a.appendChild(kid); b.appendChild(kid);");
+  EXPECT_EQ(num(i, "a.childCount;"), 0);
+  EXPECT_EQ(num(i, "b.childCount;"), 1);
+  EXPECT_EQ(to_display_string(i.eval_program("kid.parentNode == b;")),
+            "true");
+}
+
+TEST(Members, RemoveChildErrors) {
+  Interpreter i;
+  i.eval_program(
+      "var a = document.createElement('div');"
+      "var stranger = document.createElement('span');");
+  EXPECT_THROW(i.eval_program("a.removeChild(stranger);"), JsError);
+  EXPECT_THROW(i.eval_program("a.removeChild(42);"), JsError);
+  EXPECT_THROW(i.eval_program("a.appendChild('nope');"), JsError);
+}
+
+TEST(Members, DomSettersCoerceToText) {
+  Interpreter i;
+  i.eval_program("var d = document.createElement('div'); d.textContent = 42;"
+                 "d.id = true;");
+  DomNodePtr node = std::get<DomNodePtr>(*i.globals()->find("d"));
+  EXPECT_EQ(node->text, "42");
+  EXPECT_EQ(node->id, "true");
+  EXPECT_THROW(i.eval_program("d.tagName = 'img';"), JsError);
+}
+
+TEST(Members, FunctionNameProperty) {
+  Interpreter i;
+  EXPECT_EQ(to_display_string(i.eval_program(
+                "function foo() {} foo.name;")),
+            "foo");
+  EXPECT_EQ(to_display_string(i.eval_program("Math.floor.name;")),
+            "Math.floor");
+  EXPECT_THROW(i.eval_program("foo.nope;"), JsError);
+}
+
+TEST(Members, IndexingNonIndexableThrows) {
+  Interpreter i;
+  EXPECT_THROW(i.eval_program("(5)[0];"), JsError);
+  EXPECT_THROW(i.eval_program("true[0];"), JsError);
+  EXPECT_THROW(i.eval_program("var f = function() {}; f[0] = 1;"), JsError);
+}
+
+TEST(Builtins, Float32ArrayFromTypedArrayCopies) {
+  Interpreter i;
+  i.eval_program(
+      "var a = Float32Array([1, 2]); var b = Float32Array(a); b[0] = 9;");
+  EXPECT_EQ(num(i, "a[0];"), 1);
+  EXPECT_EQ(num(i, "b[0];"), 9);
+  EXPECT_THROW(i.eval_program("Float32Array('str');"), JsError);
+  EXPECT_THROW(i.eval_program("Float32Array(-1);"), JsError);
+}
+
+TEST(Builtins, DomByIndexAddressesDfsOrder) {
+  Interpreter i;
+  i.eval_program(
+      "var a = document.createElement('a');"
+      "var b = document.createElement('b');"
+      "var c = document.createElement('c');"
+      "a.appendChild(b); document.body.appendChild(a);"
+      "document.body.appendChild(c);");
+  EXPECT_EQ(to_display_string(i.eval_program("__domByIndex(0).tagName;")),
+            "body");
+  EXPECT_EQ(to_display_string(i.eval_program("__domByIndex(1).tagName;")),
+            "a");
+  EXPECT_EQ(to_display_string(i.eval_program("__domByIndex(2).tagName;")),
+            "b");
+  EXPECT_EQ(to_display_string(i.eval_program("__domByIndex(3).tagName;")),
+            "c");
+  EXPECT_THROW(i.eval_program("__domByIndex(4);"), JsError);
+}
+
+TEST(Builtins, NativeLookupErrors) {
+  Interpreter i;
+  EXPECT_THROW(i.eval_program("__native('no.such.native');"), JsError);
+  EXPECT_EQ(num(i, "__native('Math.floor')(2.9);"), 2);
+}
+
+TEST(Builtins, ClosureIntrinsicValidatesInput) {
+  Interpreter i;
+  EXPECT_THROW(i.eval_program("__closure('not a function', null);"),
+               ParseError);
+  EXPECT_THROW(i.eval_program("__closure(42, null);"), JsError);
+  EXPECT_EQ(num(i, "var f = __closure('function (x) { return x + 1; }', "
+                   "null); f(41);"),
+            42);
+}
+
+TEST(Builtins, MethodsAsValuesStayCallable) {
+  Interpreter i;
+  // Unbound built-in methods re-bind through the call receiver.
+  EXPECT_EQ(num(i, "var p = [].push; var a = [1]; a.push(2); a.length;"), 2);
+  // Calling with a wrong receiver fails cleanly.
+  EXPECT_THROW(i.eval_program("var f = 'x'.charAt; var o = {m: f}; o.m(0);"),
+               JsError);
+}
+
+}  // namespace
+}  // namespace offload::jsvm

@@ -1,0 +1,151 @@
+// Property tests cross-checking the optimized layer kernels against naive
+// reference implementations over randomized configurations. The im2col
+// convolution and the pooling fast paths must agree with the textbook
+// quadruple-loop versions on every sampled shape.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/nn/conv.h"
+#include "src/nn/pool.h"
+#include "src/util/rng.h"
+
+namespace offload::nn {
+namespace {
+
+Tensor reference_conv(const Tensor& in, const Tensor& weights,
+                      const Tensor& bias, const ConvConfig& cfg) {
+  const std::int64_t C = in.shape()[0];
+  const std::int64_t H = in.shape()[1];
+  const std::int64_t W = in.shape()[2];
+  const std::int64_t OH = (H + 2 * cfg.pad - cfg.kernel) / cfg.stride + 1;
+  const std::int64_t OW = (W + 2 * cfg.pad - cfg.kernel) / cfg.stride + 1;
+  Tensor out(Shape{cfg.out_channels, OH, OW});
+  for (std::int64_t m = 0; m < cfg.out_channels; ++m) {
+    for (std::int64_t oh = 0; oh < OH; ++oh) {
+      for (std::int64_t ow = 0; ow < OW; ++ow) {
+        float acc = bias[m];
+        for (std::int64_t c = 0; c < C; ++c) {
+          for (std::int64_t kh = 0; kh < cfg.kernel; ++kh) {
+            for (std::int64_t kw = 0; kw < cfg.kernel; ++kw) {
+              std::int64_t ih = oh * cfg.stride + kh - cfg.pad;
+              std::int64_t iw = ow * cfg.stride + kw - cfg.pad;
+              if (ih < 0 || ih >= H || iw < 0 || iw >= W) continue;
+              float w = weights[((m * C + c) * cfg.kernel + kh) * cfg.kernel +
+                                kw];
+              acc += w * in.at(c, ih, iw);
+            }
+          }
+        }
+        out.at(m, oh, ow) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor reference_maxpool(const Tensor& in, const PoolConfig& cfg) {
+  const std::int64_t C = in.shape()[0];
+  const std::int64_t H = in.shape()[1];
+  const std::int64_t W = in.shape()[2];
+  auto out_dim = [&](std::int64_t n) {
+    std::int64_t d = (n + 2 * cfg.pad - cfg.kernel + cfg.stride - 1) /
+                         cfg.stride +
+                     1;
+    if (cfg.pad > 0 && (d - 1) * cfg.stride >= n + cfg.pad) --d;
+    return d;
+  };
+  const std::int64_t OH = out_dim(H);
+  const std::int64_t OW = out_dim(W);
+  Tensor out(Shape{C, OH, OW});
+  for (std::int64_t c = 0; c < C; ++c) {
+    for (std::int64_t oh = 0; oh < OH; ++oh) {
+      for (std::int64_t ow = 0; ow < OW; ++ow) {
+        float best = -std::numeric_limits<float>::infinity();
+        for (std::int64_t kh = 0; kh < cfg.kernel; ++kh) {
+          for (std::int64_t kw = 0; kw < cfg.kernel; ++kw) {
+            std::int64_t ih = oh * cfg.stride + kh - cfg.pad;
+            std::int64_t iw = ow * cfg.stride + kw - cfg.pad;
+            if (ih < 0 || ih >= H || iw < 0 || iw >= W) continue;
+            best = std::max(best, in.at(c, ih, iw));
+          }
+        }
+        out.at(c, oh, ow) = best;
+      }
+    }
+  }
+  return out;
+}
+
+class ConvReference : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConvReference, MatchesNaiveImplementation) {
+  util::Pcg32 rng(GetParam(), 0x636f6e76726566ULL);
+  ConvConfig cfg;
+  cfg.in_channels = 1 + rng.next_below(5);
+  cfg.out_channels = 1 + rng.next_below(6);
+  cfg.kernel = 1 + rng.next_below(5);
+  cfg.stride = 1 + rng.next_below(3);
+  cfg.pad = rng.next_below(3);
+  std::int64_t hw =
+      cfg.kernel + static_cast<std::int64_t>(rng.next_below(12));
+  ConvLayer conv("c", cfg);
+  conv.init_params(rng);
+  Tensor in = Tensor::random_uniform(Shape{cfg.in_channels, hw, hw}, rng,
+                                     -2.0f, 2.0f);
+  const Tensor* ins[] = {&in};
+  Tensor fast = conv.forward(ins);
+  Tensor slow = reference_conv(in, conv.weights(), conv.bias(), cfg);
+  ASSERT_EQ(fast.shape(), slow.shape()) << "seed=" << GetParam();
+  // Same summation order → tiny numeric slack suffices.
+  EXPECT_LE(Tensor::max_abs_diff(fast, slow), 1e-4f)
+      << "seed=" << GetParam() << " cfg: in=" << cfg.in_channels
+      << " out=" << cfg.out_channels << " k=" << cfg.kernel
+      << " s=" << cfg.stride << " p=" << cfg.pad << " hw=" << hw;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ConvReference,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+class PoolReference : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PoolReference, MatchesNaiveImplementation) {
+  util::Pcg32 rng(GetParam(), 0x706f6f6c726566ULL);
+  PoolConfig cfg;
+  cfg.kernel = 2 + rng.next_below(3);
+  cfg.stride = 1 + rng.next_below(3);
+  cfg.pad = rng.next_below(static_cast<std::uint32_t>(cfg.kernel));
+  std::int64_t c = 1 + rng.next_below(4);
+  std::int64_t hw =
+      cfg.kernel + static_cast<std::int64_t>(rng.next_below(14));
+  PoolLayer pool("p", cfg, /*average=*/false);
+  Tensor in = Tensor::random_uniform(Shape{c, hw, hw}, rng, -5.0f, 5.0f);
+  const Tensor* ins[] = {&in};
+  Tensor fast = pool.forward(ins);
+  Tensor slow = reference_maxpool(in, cfg);
+  ASSERT_EQ(fast.shape(), slow.shape())
+      << "seed=" << GetParam() << " k=" << cfg.kernel << " s=" << cfg.stride
+      << " p=" << cfg.pad << " hw=" << hw;
+  EXPECT_EQ(Tensor::max_abs_diff(fast, slow), 0.0f) << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PoolReference,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+TEST(ConvReference, StemConfigurationExact) {
+  // The GoogLeNet stem shape specifically (large stride + pad).
+  util::Pcg32 rng(9);
+  ConvConfig cfg{.in_channels = 3, .out_channels = 8, .kernel = 7,
+                 .stride = 2, .pad = 3};
+  ConvLayer conv("c", cfg);
+  conv.init_params(rng);
+  Tensor in = Tensor::random_uniform(Shape{3, 32, 32}, rng, 0.0f, 1.0f);
+  const Tensor* ins[] = {&in};
+  EXPECT_LE(Tensor::max_abs_diff(
+                conv.forward(ins),
+                reference_conv(in, conv.weights(), conv.bias(), cfg)),
+            1e-4f);
+}
+
+}  // namespace
+}  // namespace offload::nn

@@ -1,0 +1,475 @@
+// Unit tests for the CNN engine: tensors, layer math (hand-computed
+// cases), graph mechanics, and the three paper models' published shapes
+// and sizes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/nn/activation.h"
+#include "src/nn/concat.h"
+#include "src/nn/conv.h"
+#include "src/nn/dense.h"
+#include "src/nn/lrn.h"
+#include "src/nn/model_io.h"
+#include "src/nn/models.h"
+#include "src/nn/network.h"
+#include "src/nn/pool.h"
+
+namespace offload::nn {
+namespace {
+
+TEST(Tensor, ShapeBasics) {
+  Shape s{3, 224, 224};
+  EXPECT_EQ(s.rank(), 3u);
+  EXPECT_EQ(s.elements(), 3 * 224 * 224);
+  EXPECT_EQ(s.str(), "3x224x224");
+  EXPECT_EQ(Shape{}.elements(), 1);
+  EXPECT_EQ((Shape{8}).str(), "8");
+}
+
+TEST(Tensor, ConstructAndAccess) {
+  Tensor t(Shape{2, 2, 2});
+  EXPECT_EQ(t.elements(), 8);
+  EXPECT_EQ(t.bytes(), 32u);
+  t.at(1, 0, 1) = 5.0f;
+  EXPECT_EQ(t.at(1, 0, 1), 5.0f);
+  EXPECT_EQ(t[5], 5.0f);  // (1*2+0)*2+1 = 5
+}
+
+TEST(Tensor, DataSizeMismatchThrows) {
+  EXPECT_THROW(Tensor(Shape{3}, {1.0f, 2.0f}), std::invalid_argument);
+}
+
+TEST(Tensor, Reshape) {
+  Tensor t(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.reshaped(Shape{6});
+  EXPECT_EQ(r[4], 5.0f);
+  EXPECT_THROW(t.reshaped(Shape{7}), std::invalid_argument);
+}
+
+TEST(Tensor, Argmax) {
+  Tensor t(Shape{5}, {0.1f, 0.9f, 0.3f, 0.9f, 0.2f});
+  EXPECT_EQ(t.argmax(), 1);  // first max wins
+}
+
+TEST(Tensor, RandomUniformDeterministic) {
+  util::Pcg32 r1(5);
+  util::Pcg32 r2(5);
+  Tensor a = Tensor::random_uniform(Shape{100}, r1);
+  Tensor b = Tensor::random_uniform(Shape{100}, r2);
+  EXPECT_EQ(Tensor::max_abs_diff(a, b), 0.0f);
+}
+
+// ------------------------------------------------------------------- conv
+
+TEST(Conv, HandComputedIdentity) {
+  // 1x1 conv with weight 2 and bias 1 doubles-plus-one every pixel.
+  ConvLayer conv("c", {.in_channels = 1, .out_channels = 1, .kernel = 1,
+                       .stride = 1, .pad = 0});
+  conv.weights()[0] = 2.0f;
+  conv.bias()[0] = 1.0f;
+  Tensor in(Shape{1, 2, 2}, {1, 2, 3, 4});
+  const Tensor* ins[] = {&in};
+  Tensor out = conv.forward(ins);
+  EXPECT_EQ(out.shape(), (Shape{1, 2, 2}));
+  EXPECT_EQ(out[0], 3.0f);
+  EXPECT_EQ(out[3], 9.0f);
+}
+
+TEST(Conv, HandComputed3x3Sum) {
+  // 3x3 all-ones filter with pad 1 computes neighborhood sums.
+  ConvLayer conv("c", {.in_channels = 1, .out_channels = 1, .kernel = 3,
+                       .stride = 1, .pad = 1});
+  for (auto& w : conv.weights().data()) w = 1.0f;
+  conv.bias()[0] = 0.0f;
+  Tensor in(Shape{1, 3, 3}, {1, 1, 1, 1, 1, 1, 1, 1, 1});
+  const Tensor* ins[] = {&in};
+  Tensor out = conv.forward(ins);
+  EXPECT_EQ(out.at(0, 1, 1), 9.0f);  // center sees all 9
+  EXPECT_EQ(out.at(0, 0, 0), 4.0f);  // corner sees 4
+  EXPECT_EQ(out.at(0, 0, 1), 6.0f);  // edge sees 6
+}
+
+TEST(Conv, StrideAndShape) {
+  ConvLayer conv("c", {.in_channels = 3, .out_channels = 64, .kernel = 7,
+                       .stride = 2, .pad = 3});
+  Shape in[] = {Shape{3, 224, 224}};
+  EXPECT_EQ(conv.output_shape(in), (Shape{64, 112, 112}));  // GoogLeNet conv1
+  EXPECT_EQ(conv.param_count(), 64u * 3 * 7 * 7 + 64u);
+}
+
+TEST(Conv, MultiChannelAccumulation) {
+  ConvLayer conv("c", {.in_channels = 2, .out_channels = 1, .kernel = 1,
+                       .stride = 1, .pad = 0});
+  conv.weights()[0] = 1.0f;  // channel 0
+  conv.weights()[1] = 10.0f;  // channel 1
+  Tensor in(Shape{2, 1, 1}, {3, 4});
+  const Tensor* ins[] = {&in};
+  EXPECT_EQ(conv.forward(ins)[0], 43.0f);
+}
+
+TEST(Conv, RejectsBadInput) {
+  ConvLayer conv("c", {.in_channels = 3, .out_channels = 8, .kernel = 3,
+                       .stride = 1, .pad = 0});
+  Shape wrong_ch[] = {Shape{4, 8, 8}};
+  EXPECT_THROW(conv.output_shape(wrong_ch), std::invalid_argument);
+  Shape too_small[] = {Shape{3, 2, 2}};
+  EXPECT_THROW(conv.output_shape(too_small), std::invalid_argument);
+  EXPECT_THROW(ConvLayer("bad", {.in_channels = 0, .out_channels = 1,
+                                 .kernel = 1, .stride = 1, .pad = 0}),
+               std::invalid_argument);
+}
+
+TEST(Conv, FlopsFormula) {
+  ConvLayer conv("c", {.in_channels = 2, .out_channels = 4, .kernel = 3,
+                       .stride = 1, .pad = 1});
+  Shape in[] = {Shape{2, 8, 8}};
+  // out elems = 4*8*8 = 256; per elem 2*2*9+1 = 37.
+  EXPECT_EQ(conv.flops(in), 256u * 37u);
+}
+
+// ------------------------------------------------------------------- pool
+
+TEST(Pool, MaxHandCase) {
+  PoolLayer pool("p", {.kernel = 2, .stride = 2, .pad = 0}, false);
+  Tensor in(Shape{1, 2, 4}, {1, 5, 2, 0, 3, 4, 8, 7});
+  const Tensor* ins[] = {&in};
+  Tensor out = pool.forward(ins);
+  EXPECT_EQ(out.shape(), (Shape{1, 1, 2}));
+  EXPECT_EQ(out[0], 5.0f);
+  EXPECT_EQ(out[1], 8.0f);
+}
+
+TEST(Pool, AvgIncludesPaddingInDenominator) {
+  // Caffe's average pooling divides by the full kernel area.
+  PoolLayer pool("p", {.kernel = 2, .stride = 2, .pad = 0}, true);
+  Tensor in(Shape{1, 2, 2}, {2, 4, 6, 8});
+  const Tensor* ins[] = {&in};
+  EXPECT_EQ(pool.forward(ins)[0], 5.0f);
+}
+
+TEST(Pool, CeilModeShapes) {
+  // GoogLeNet's pyramid relies on ceil rounding: 112 → 56 → 28 → 14 → 7.
+  PoolLayer pool("p", {.kernel = 3, .stride = 2, .pad = 0}, false);
+  for (auto [in, expected] :
+       {std::pair{112L, 56L}, {56L, 28L}, {28L, 14L}, {14L, 7L}}) {
+    Shape s[] = {Shape{1, in, in}};
+    EXPECT_EQ(pool.output_shape(s)[1], expected) << in;
+  }
+}
+
+TEST(Pool, NegativeInputsSurviveMax) {
+  PoolLayer pool("p", {.kernel = 2, .stride = 2, .pad = 0}, false);
+  Tensor in(Shape{1, 2, 2}, {-5, -2, -9, -3});
+  const Tensor* ins[] = {&in};
+  EXPECT_EQ(pool.forward(ins)[0], -2.0f);
+}
+
+// --------------------------------------------------------------------- fc
+
+TEST(FullyConnected, HandCase) {
+  FullyConnectedLayer fc("f", 3, 2);
+  // Row 0: [1,2,3] bias 1; row 1: [0,0,1] bias -1.
+  auto params = std::vector<float>{1, 2, 3, 0, 0, 1};
+  util::BinaryWriter w;
+  for (float v : params) w.f32(v);
+  w.f32(1.0f);
+  w.f32(-1.0f);
+  util::Bytes blob = std::move(w).take();
+  util::BinaryReader r{std::span<const std::uint8_t>(blob)};
+  fc.read_params(r);
+  Tensor in(Shape{3}, {1, 1, 1});
+  const Tensor* ins[] = {&in};
+  Tensor out = fc.forward(ins);
+  EXPECT_EQ(out[0], 7.0f);
+  EXPECT_EQ(out[1], 0.0f);
+}
+
+TEST(FullyConnected, FlattensSpatialInput) {
+  FullyConnectedLayer fc("f", 8, 2);
+  Shape in[] = {Shape{2, 2, 2}};
+  EXPECT_EQ(fc.output_shape(in), (Shape{2}));
+  Shape bad[] = {Shape{9}};
+  EXPECT_THROW(fc.output_shape(bad), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ activations
+
+TEST(Activation, Relu) {
+  ReluLayer relu("r");
+  Tensor in(Shape{4}, {-1, 0, 2, -3});
+  const Tensor* ins[] = {&in};
+  Tensor out = relu.forward(ins);
+  EXPECT_EQ(out[0], 0.0f);
+  EXPECT_EQ(out[2], 2.0f);
+  EXPECT_EQ(out[3], 0.0f);
+}
+
+TEST(Activation, SoftmaxSumsToOne) {
+  SoftmaxLayer sm("s");
+  Tensor in(Shape{4}, {1, 2, 3, 4});
+  const Tensor* ins[] = {&in};
+  Tensor out = sm.forward(ins);
+  float sum = 0;
+  for (float v : out.data()) sum += v;
+  EXPECT_NEAR(sum, 1.0f, 1e-6f);
+  EXPECT_GT(out[3], out[0]);
+}
+
+TEST(Activation, SoftmaxNumericallyStable) {
+  SoftmaxLayer sm("s");
+  Tensor in(Shape{3}, {1000.0f, 1000.0f, 999.0f});
+  const Tensor* ins[] = {&in};
+  Tensor out = sm.forward(ins);
+  EXPECT_FALSE(std::isnan(out[0]));
+  EXPECT_NEAR(out[0], out[1], 1e-6f);
+}
+
+TEST(Activation, DropoutIsIdentityAtInference) {
+  DropoutLayer drop("d", 0.5);
+  Tensor in(Shape{3}, {1, 2, 3});
+  const Tensor* ins[] = {&in};
+  EXPECT_EQ(Tensor::max_abs_diff(drop.forward(ins), in), 0.0f);
+  Shape s[] = {Shape{3}};
+  EXPECT_EQ(drop.flops(s), 0u);
+}
+
+TEST(Lrn, NormalizesDownLargeActivations) {
+  LrnLayer lrn("n", LrnConfig{});
+  Tensor in = Tensor::full(Shape{8, 2, 2}, 10.0f);
+  const Tensor* ins[] = {&in};
+  Tensor out = lrn.forward(ins);
+  // (k + alpha/n * sum(sq))^beta > 1, so outputs shrink.
+  EXPECT_LT(out[0], 10.0f);
+  EXPECT_GT(out[0], 0.0f);
+}
+
+TEST(Concat, JoinsChannels) {
+  ConcatLayer cat("c");
+  Tensor a = Tensor::full(Shape{2, 2, 2}, 1.0f);
+  Tensor b = Tensor::full(Shape{3, 2, 2}, 2.0f);
+  const Tensor* ins[] = {&a, &b};
+  Tensor out = cat.forward(ins);
+  EXPECT_EQ(out.shape(), (Shape{5, 2, 2}));
+  EXPECT_EQ(out.at(0, 0, 0), 1.0f);
+  EXPECT_EQ(out.at(2, 0, 0), 2.0f);
+}
+
+TEST(Concat, RejectsSpatialMismatch) {
+  ConcatLayer cat("c");
+  Shape bad[] = {Shape{2, 2, 2}, Shape{2, 3, 3}};
+  EXPECT_THROW(cat.output_shape(bad), std::invalid_argument);
+  Shape one[] = {Shape{2, 2, 2}};
+  EXPECT_THROW(cat.output_shape(one), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- network
+
+TEST(Network, BuildErrors) {
+  Network net("t");
+  EXPECT_THROW(net.add(std::make_unique<ReluLayer>("r")),
+               std::invalid_argument);  // first node must be input
+  net.add(std::make_unique<InputLayer>("in", Shape{1, 4, 4}));
+  EXPECT_THROW(net.add(std::make_unique<InputLayer>("in", Shape{1, 4, 4})),
+               std::invalid_argument);  // duplicate name
+  EXPECT_THROW(net.add(std::make_unique<ReluLayer>("r"), {"nope"}),
+               std::out_of_range);  // unknown input
+  // Shape errors roll the node back.
+  EXPECT_THROW(
+      net.add(std::make_unique<ConvLayer>(
+          "c", ConvConfig{.in_channels = 9, .out_channels = 1, .kernel = 1,
+                          .stride = 1, .pad = 0})),
+      std::invalid_argument);
+  EXPECT_FALSE(net.has_layer("c"));
+  EXPECT_EQ(net.size(), 1u);
+}
+
+TEST(Network, ForwardMatchesManualComposition) {
+  auto net = build_tiny_cnn(21);
+  util::Pcg32 rng(4);
+  Tensor in = Tensor::random_uniform(Shape{3, 32, 32}, rng, 0.0f, 1.0f);
+  auto full = net->forward(in);
+  // front/rear composition at every cut point reproduces the full output.
+  for (std::size_t cut : net->cut_points()) {
+    if (cut + 1 >= net->size()) continue;
+    Tensor feature = net->forward_front(in, cut);
+    Tensor out = net->forward_rear(feature, cut);
+    EXPECT_EQ(Tensor::max_abs_diff(out, full.output), 0.0f) << "cut=" << cut;
+  }
+}
+
+TEST(Network, CutPointsOnChainAreEverywhere) {
+  auto net = build_tiny_cnn(21);
+  // A pure chain: every node is a cut point.
+  EXPECT_EQ(net->cut_points().size(), net->size());
+}
+
+TEST(Network, CutPointsSkipInceptionBranches) {
+  auto net = build_googlenet(7);
+  auto cuts = net->cut_points();
+  // Cut points exist (trunk) but are far fewer than nodes (branches are
+  // not valid cuts).
+  EXPECT_GT(cuts.size(), 10u);
+  EXPECT_LT(cuts.size(), net->size() / 2);
+  // No branch-internal conv (e.g. inc3a_3x3r) may be a cut point.
+  std::size_t branch_node = net->index_of("inc3a_3x3r");
+  for (auto c : cuts) EXPECT_NE(c, branch_node);
+  // Inception outputs are cut points.
+  std::size_t inc_out = net->index_of("inc3a_out");
+  EXPECT_NE(std::find(cuts.begin(), cuts.end(), inc_out), cuts.end());
+}
+
+TEST(Network, AnalyzeShapesAndFlops) {
+  auto net = build_tiny_cnn(21);
+  const auto& a = net->analyze();
+  EXPECT_EQ(a.shapes.size(), net->size());
+  EXPECT_EQ(a.shapes[0], (Shape{3, 32, 32}));
+  EXPECT_EQ(a.shapes.back(), (Shape{10}));
+  EXPECT_GT(a.total_flops, 1'000'000u);
+  // analyze is consistent with a real forward.
+  util::Pcg32 rng(4);
+  Tensor in = Tensor::random_uniform(Shape{3, 32, 32}, rng, 0.0f, 1.0f);
+  auto fwd = net->forward(in);
+  for (std::size_t i = 0; i < net->size(); ++i) {
+    EXPECT_EQ(fwd.output_bytes[i], a.output_bytes[i]) << i;
+  }
+}
+
+TEST(Network, ForwardRearRejectsBadFeature) {
+  auto net = build_tiny_cnn(21);
+  Tensor bad(Shape{7});
+  EXPECT_THROW(net->forward_rear(bad, 2), std::invalid_argument);
+  EXPECT_THROW(net->forward_rear(bad, net->size() - 1), std::out_of_range);
+}
+
+// ----------------------------------------------------------------- models
+
+TEST(Models, GoogLeNetMatchesPaperSizes) {
+  auto net = build_googlenet(7);
+  // ~7.0M parameters ≈ 27 MB fp32 (Table 1's GoogLeNet model size).
+  double mb = static_cast<double>(net->param_bytes()) / 1e6;
+  EXPECT_GT(mb, 24.0);
+  EXPECT_LT(mb, 30.0);
+  const auto& a = net->analyze();
+  // Fig. 1's published feature dims.
+  EXPECT_EQ(a.shapes[net->index_of("conv1")], (Shape{64, 112, 112}));
+  EXPECT_EQ(a.shapes[net->index_of("pool1")], (Shape{64, 56, 56}));
+  EXPECT_EQ(a.shapes[net->index_of("inc3a_out")], (Shape{256, 28, 28}));
+  EXPECT_EQ(a.shapes[net->index_of("inc3b_out")], (Shape{480, 28, 28}));
+  EXPECT_EQ(a.shapes[net->index_of("inc4e_out")], (Shape{832, 14, 14}));
+  EXPECT_EQ(a.shapes[net->index_of("inc5b_out")], (Shape{1024, 7, 7}));
+  EXPECT_EQ(a.shapes[net->index_of("pool5")], (Shape{1024, 1, 1}));
+  EXPECT_EQ(a.shapes.back(), (Shape{1000}));
+  // ~3 GFLOPs per forward.
+  EXPECT_GT(a.total_flops, 2'000'000'000u);
+  EXPECT_LT(a.total_flops, 5'000'000'000u);
+}
+
+TEST(Models, AgeGenderNetsMatchPaperSizes) {
+  auto age = build_agenet(11);
+  auto gender = build_gendernet(13);
+  // Table 1: 44 MB for both (they differ only in the last fc layer).
+  double age_mb = static_cast<double>(age->param_bytes()) / 1e6;
+  double gender_mb = static_cast<double>(gender->param_bytes()) / 1e6;
+  EXPECT_GT(age_mb, 40.0);
+  EXPECT_LT(age_mb, 48.0);
+  EXPECT_NEAR(age_mb, gender_mb, 0.1);
+  EXPECT_EQ(age->analyze().shapes.back(), (Shape{8}));
+  EXPECT_EQ(gender->analyze().shapes.back(), (Shape{2}));
+  // Levi–Hassner: conv1 56x56x96 after 7x7/4 on 227.
+  EXPECT_EQ(age->analyze().shapes[age->index_of("conv1")],
+            (Shape{96, 56, 56}));
+}
+
+TEST(Models, WeightInitIsDeterministicPerSeed) {
+  auto a = build_tiny_cnn(5);
+  auto b = build_tiny_cnn(5);
+  auto c = build_tiny_cnn(6);
+  util::Pcg32 rng(1);
+  Tensor in = Tensor::random_uniform(Shape{3, 32, 32}, rng, 0.0f, 1.0f);
+  EXPECT_EQ(Tensor::max_abs_diff(a->forward(in).output, b->forward(in).output),
+            0.0f);
+  EXPECT_NE(Tensor::max_abs_diff(a->forward(in).output, c->forward(in).output),
+            0.0f);
+}
+
+TEST(Models, ForwardOutputsAreFiniteProbabilities) {
+  auto net = build_tiny_cnn(17);
+  util::Pcg32 rng(2);
+  Tensor in = Tensor::random_uniform(Shape{3, 32, 32}, rng, 0.0f, 1.0f);
+  Tensor out = net->forward(in).output;
+  float sum = 0;
+  for (float v : out.data()) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, 0.0f);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-5f);
+}
+
+// --------------------------------------------------------------- model_io
+
+TEST(ModelIo, DescriptionRoundTrip) {
+  auto net = build_googlenet(7);
+  std::string desc = save_description(*net);
+  auto parsed = parse_description(desc);
+  EXPECT_EQ(parsed->name(), net->name());
+  EXPECT_EQ(parsed->size(), net->size());
+  EXPECT_EQ(save_description(*parsed), desc);
+  EXPECT_EQ(parsed->analyze().total_flops, net->analyze().total_flops);
+}
+
+TEST(ModelIo, WeightsRoundTripBitExact) {
+  auto net = build_tiny_cnn(23);
+  auto files = model_files(*net);
+  ASSERT_EQ(files.size(), 2u);
+  auto rebuilt =
+      parse_description(util::to_string(std::span(files[0].content)));
+  load_weights(*rebuilt, std::span(files[1].content));
+  util::Pcg32 rng(9);
+  Tensor in = Tensor::random_uniform(Shape{3, 32, 32}, rng, 0.0f, 1.0f);
+  EXPECT_EQ(Tensor::max_abs_diff(net->forward(in).output,
+                                 rebuilt->forward(in).output),
+            0.0f);
+}
+
+TEST(ModelIo, RearOnlySplit) {
+  auto net = build_tiny_cnn(23);
+  std::size_t cut = 2;  // after pool1
+  auto rear_files = model_files_rear_only(*net, cut);
+  // Rear bundle is smaller than the full bundle.
+  EXPECT_LT(total_size(rear_files), total_size(model_files(*net)));
+  auto rebuilt =
+      parse_description(util::to_string(std::span(rear_files[0].content)));
+  load_weights(*rebuilt, std::span(rear_files[1].content));
+  // Rear execution matches (front weights irrelevant for the rear range).
+  util::Pcg32 rng(9);
+  Tensor in = Tensor::random_uniform(Shape{3, 32, 32}, rng, 0.0f, 1.0f);
+  Tensor feature = net->forward_front(in, cut);
+  EXPECT_EQ(Tensor::max_abs_diff(net->forward_rear(feature, cut),
+                                 rebuilt->forward_rear(feature, cut)),
+            0.0f);
+  // But the rebuilt front differs (weights withheld → zeros).
+  EXPECT_NE(Tensor::max_abs_diff(net->forward_front(in, cut),
+                                 rebuilt->forward_front(in, cut)),
+            0.0f);
+}
+
+TEST(ModelIo, MalformedDescriptionThrows) {
+  EXPECT_THROW(parse_description(""), util::DecodeError);
+  EXPECT_THROW(parse_description("layer x conv\n"), util::DecodeError);
+  EXPECT_THROW(parse_description("model m\nlayer a bogus\n"),
+               util::DecodeError);
+  EXPECT_THROW(parse_description("model m\nlayer a conv in=1\n"),
+               util::DecodeError);
+}
+
+TEST(ModelIo, WeightsWrongNetworkThrows) {
+  auto a = build_tiny_cnn(1);
+  auto g = build_gendernet(2);
+  auto blob = save_weights(*a);
+  EXPECT_THROW(load_weights(*g, std::span(blob)), std::exception);
+}
+
+}  // namespace
+}  // namespace offload::nn

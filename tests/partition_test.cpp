@@ -1,0 +1,161 @@
+// Tests for the Neurosurgeon-style cost model and the partition-point
+// optimizer (Section III.B.2 mechanics).
+#include <gtest/gtest.h>
+
+#include "src/nn/cost_model.h"
+#include "src/nn/models.h"
+#include "src/nn/partition.h"
+
+namespace offload::nn {
+namespace {
+
+LayerCostModel fitted_model(const DeviceProfile& device) {
+  auto tiny = build_tiny_cnn(1);
+  auto age = build_agenet(2);
+  const Network* nets[] = {tiny.get(), age.get()};
+  return LayerCostModel::profile_device(device, nets);
+}
+
+TEST(CostModel, RecoversProfileThroughput) {
+  DeviceProfile client = DeviceProfile::embedded_client();
+  LayerCostModel model = fitted_model(client);
+  auto gender = build_gendernet(3);  // unseen network
+  double predicted = model.predict_network(*gender);
+  double actual = client.network_time_s(*gender);
+  EXPECT_NEAR(predicted / actual, 1.0, 0.05);
+}
+
+TEST(CostModel, PredictBeforeFitThrows) {
+  LayerCostModel model;
+  EXPECT_THROW(model.predict(LayerKind::kConv, 1000), std::logic_error);
+}
+
+TEST(CostModel, UnseenKindFallsBackToGlobalFit) {
+  LayerCostModel model;
+  model.add_sample(LayerKind::kConv, 1'000'000, 0.01);
+  model.add_sample(LayerKind::kConv, 2'000'000, 0.02);
+  model.fit();
+  EXPECT_FALSE(model.fitted(LayerKind::kLRN));
+  // Still predicts something sensible via the global regression.
+  EXPECT_NEAR(model.predict(LayerKind::kLRN, 1'500'000), 0.015, 0.003);
+}
+
+TEST(CostModel, MonotoneInFlops) {
+  LayerCostModel model = fitted_model(DeviceProfile::embedded_client());
+  EXPECT_LE(model.predict(LayerKind::kConv, 1'000'000),
+            model.predict(LayerKind::kConv, 10'000'000));
+}
+
+TEST(CostModel, ServerFasterThanClient) {
+  LayerCostModel client = fitted_model(DeviceProfile::embedded_client());
+  LayerCostModel server = fitted_model(DeviceProfile::edge_server());
+  auto net = build_agenet(5);
+  EXPECT_GT(client.predict_network(*net), 5 * server.predict_network(*net));
+}
+
+class PartitionerTest : public ::testing::Test {
+ protected:
+  PartitionerTest()
+      : net_(build_tiny_cnn(9)),
+        client_(fitted_model(DeviceProfile::embedded_client())),
+        server_(fitted_model(DeviceProfile::edge_server())) {}
+
+  std::unique_ptr<Network> net_;
+  LayerCostModel client_;
+  LayerCostModel server_;
+};
+
+TEST_F(PartitionerTest, CandidatesCoverAllCutPoints) {
+  Partitioner part(*net_, client_, server_);
+  auto candidates = part.evaluate(30e6, 0.001);
+  EXPECT_EQ(candidates.size(), net_->cut_points().size());
+  EXPECT_EQ(candidates.front().cut, 0u);
+  EXPECT_EQ(candidates.back().cut, net_->size() - 1);
+  // Input cut does not denature; later cuts do.
+  EXPECT_FALSE(candidates.front().denatures);
+  EXPECT_TRUE(candidates.back().denatures);
+}
+
+TEST_F(PartitionerTest, BestIsActuallyMinimal) {
+  PartitionerOptions opts;
+  opts.require_denature = false;
+  Partitioner part(*net_, client_, server_, opts);
+  auto candidates = part.evaluate(30e6, 0.001);
+  PartitionCandidate best = part.best(30e6, 0.001);
+  for (const auto& c : candidates) {
+    EXPECT_GE(c.total_s(), best.total_s() - 1e-12);
+  }
+}
+
+TEST_F(PartitionerTest, DenatureConstraintExcludesInput) {
+  PartitionerOptions opts;
+  opts.require_denature = true;
+  Partitioner part(*net_, client_, server_, opts);
+  PartitionCandidate best = part.best(30e6, 0.001);
+  EXPECT_TRUE(best.denatures);
+  EXPECT_NE(best.cut, 0u);
+}
+
+TEST_F(PartitionerTest, TerribleNetworkPrefersLocalExecution) {
+  Partitioner part(*net_, client_, server_);
+  PartitionCandidate best = part.best(1e3, 0.5);  // 1 kbps, 500 ms
+  EXPECT_EQ(best.cut, net_->size() - 1);  // fully local
+}
+
+TEST_F(PartitionerTest, FastNetworkPrefersEarlyOffload) {
+  PartitionerOptions opts;
+  opts.require_denature = false;
+  Partitioner part(*net_, client_, server_, opts);
+  PartitionCandidate best = part.best(10e9, 1e-6);  // 10 Gbps LAN
+  // With a near-free network, ship everything to the fast server.
+  EXPECT_EQ(best.cut, 0u);
+}
+
+TEST_F(PartitionerTest, FeatureBytesTrackNetworkShapes) {
+  Partitioner part(*net_, client_, server_);
+  auto candidates = part.evaluate(30e6, 0.001);
+  const auto& analysis = net_->analyze();
+  for (const auto& c : candidates) {
+    if (c.cut + 1 == net_->size()) continue;
+    EXPECT_EQ(c.feature_bytes, analysis.output_bytes[c.cut]);
+    EXPECT_GT(c.snapshot_bytes, c.feature_bytes);  // text expansion
+  }
+}
+
+TEST_F(PartitionerTest, BadBandwidthThrows) {
+  Partitioner part(*net_, client_, server_);
+  EXPECT_THROW(part.evaluate(0, 0.001), std::invalid_argument);
+}
+
+TEST(Partitioner, GoogLeNetPoolBeatsConvNeighbors) {
+  // The Fig. 8 sawtooth: offloading right after a pool layer beats the
+  // preceding conv because pooling shrinks the feature data 4x.
+  auto net = build_googlenet(7);
+  LayerCostModel client = fitted_model(DeviceProfile::embedded_client());
+  LayerCostModel server = fitted_model(DeviceProfile::edge_server());
+  Partitioner part(*net, client, server);
+  auto candidates = part.evaluate(30e6, 0.001);
+  auto find = [&](const std::string& name) -> const PartitionCandidate& {
+    for (const auto& c : candidates) {
+      if (c.layer_name == name) return c;
+    }
+    throw std::runtime_error("candidate not found: " + name);
+  };
+  EXPECT_LT(find("pool1").total_s(), find("conv1").total_s());
+  // And pool1's feature is 4x smaller than conv1's (112² vs 56² × 64ch).
+  EXPECT_EQ(find("conv1").feature_bytes, 4u * find("pool1").feature_bytes);
+}
+
+TEST(Partitioner, DenatureKindClassification) {
+  EXPECT_TRUE(denatures_input(LayerKind::kConv));
+  EXPECT_TRUE(denatures_input(LayerKind::kMaxPool));
+  EXPECT_TRUE(denatures_input(LayerKind::kFullyConnected));
+  EXPECT_TRUE(denatures_input(LayerKind::kLRN));
+  EXPECT_FALSE(denatures_input(LayerKind::kReLU));
+  EXPECT_FALSE(denatures_input(LayerKind::kInput));
+  EXPECT_FALSE(denatures_input(LayerKind::kDropout));
+  EXPECT_FALSE(denatures_input(LayerKind::kConcat));
+}
+
+}  // namespace
+}  // namespace offload::nn

@@ -1,0 +1,137 @@
+// Tests for the privacy substrate: similarity metrics and the
+// feature-inversion attack, including the paper's defense (withholding the
+// front weights makes inversion fail).
+#include <gtest/gtest.h>
+
+#include "src/nn/activation.h"
+#include "src/nn/conv.h"
+#include "src/nn/models.h"
+#include "src/nn/pool.h"
+#include "src/privacy/inversion.h"
+#include "src/privacy/metrics.h"
+
+namespace offload::privacy {
+namespace {
+
+using nn::Shape;
+using nn::Tensor;
+
+TEST(Metrics, MseBasics) {
+  Tensor a(Shape{4}, {1, 2, 3, 4});
+  Tensor b(Shape{4}, {1, 2, 3, 4});
+  EXPECT_EQ(mse(a, b), 0.0);
+  Tensor c(Shape{4}, {2, 3, 4, 5});
+  EXPECT_EQ(mse(a, c), 1.0);
+  Tensor wrong(Shape{3});
+  EXPECT_THROW(mse(a, wrong), std::invalid_argument);
+}
+
+TEST(Metrics, PsnrBehaviour) {
+  Tensor a(Shape{4}, {0.1f, 0.5f, 0.9f, 0.3f});
+  EXPECT_EQ(psnr_db(a, a), 99.0);  // identical caps out
+  Tensor noisy(Shape{4}, {0.2f, 0.4f, 1.0f, 0.2f});
+  double p = psnr_db(a, noisy);
+  EXPECT_GT(p, 5.0);
+  EXPECT_LT(p, 40.0);
+}
+
+TEST(Metrics, CorrelationBasics) {
+  Tensor a(Shape{5}, {1, 2, 3, 4, 5});
+  Tensor up(Shape{5}, {2, 4, 6, 8, 10});
+  Tensor down(Shape{5}, {5, 4, 3, 2, 1});
+  Tensor flat = Tensor::full(Shape{5}, 3.0f);
+  EXPECT_NEAR(correlation(a, up), 1.0, 1e-9);
+  EXPECT_NEAR(correlation(a, down), -1.0, 1e-9);
+  EXPECT_EQ(correlation(a, flat), 0.0);
+}
+
+/// A small front network the attack can chew through quickly: 3x16x16
+/// input, one 8-filter 3x3 conv (cut there) and a pool for the deeper-cut
+/// test. Mirrors the paper's shallow offloading points.
+std::unique_ptr<nn::Network> make_probe_front(std::uint64_t seed) {
+  auto net = std::make_unique<nn::Network>("probe");
+  net->add(std::make_unique<nn::InputLayer>("data", Shape{3, 16, 16}));
+  net->add(std::make_unique<nn::ConvLayer>(
+      "conv1", nn::ConvConfig{.in_channels = 3, .out_channels = 8,
+                              .kernel = 3, .stride = 1, .pad = 1}));
+  net->add(std::make_unique<nn::PoolLayer>(
+      "pool1", nn::PoolConfig{.kernel = 2, .stride = 2, .pad = 0}, false));
+  net->init_params(seed);
+  return net;
+}
+
+class InversionTest : public ::testing::Test {
+ protected:
+  InversionTest() : net_(make_probe_front(31)) {
+    // A structured "secret image": smooth gradient plus a bright square,
+    // so correlation against reconstructions is meaningful.
+    original_ = Tensor(Shape{3, 16, 16});
+    for (std::int64_t c = 0; c < 3; ++c) {
+      for (std::int64_t h = 0; h < 16; ++h) {
+        for (std::int64_t w = 0; w < 16; ++w) {
+          float v = static_cast<float>(h + w) / 32.0f;
+          if (h >= 4 && h < 10 && w >= 4 && w < 10) v = 0.95f;
+          original_.at(c, h, w) = v;
+        }
+      }
+    }
+    cut_ = net_->index_of("conv1");
+    feature_ = net_->forward_front(original_, cut_);
+  }
+
+  std::unique_ptr<nn::Network> net_;
+  Tensor original_;
+  std::size_t cut_ = 0;
+  Tensor feature_;
+};
+
+TEST_F(InversionTest, HillClimbingReducesFeatureLoss) {
+  InversionConfig cfg;
+  cfg.sweeps = 6;
+  InversionResult r = invert_features(*net_, cut_, feature_, cfg);
+  EXPECT_LT(r.final_feature_loss, r.initial_feature_loss * 0.2);
+  EXPECT_GT(r.accepted_steps, 100);
+  EXPECT_EQ(r.reconstruction.shape(), original_.shape());
+}
+
+TEST_F(InversionTest, WithWeightsBeatsWithoutWeights) {
+  // The paper's claim: withholding the front weights defeats inversion.
+  InversionConfig cfg;
+  InversionResult with_weights = invert_features(*net_, cut_, feature_, cfg);
+
+  // Surrogate front: same architecture, unknown (different) weights — what
+  // the server can construct from the description alone.
+  auto surrogate = make_probe_front(999);
+  InversionResult without = invert_features(*surrogate, cut_, feature_, cfg);
+
+  double corr_with = correlation(with_weights.reconstruction, original_);
+  double corr_without = correlation(without.reconstruction, original_);
+  EXPECT_GT(corr_with, 0.6);
+  EXPECT_GT(corr_with, corr_without + 0.3);
+  EXPECT_GT(psnr_db(with_weights.reconstruction, original_),
+            psnr_db(without.reconstruction, original_) + 3.0);
+}
+
+TEST_F(InversionTest, DeterministicForFixedSeed) {
+  InversionConfig cfg;
+  cfg.sweeps = 3;
+  InversionResult a = invert_features(*net_, cut_, feature_, cfg);
+  InversionResult b = invert_features(*net_, cut_, feature_, cfg);
+  EXPECT_EQ(Tensor::max_abs_diff(a.reconstruction, b.reconstruction), 0.0f);
+}
+
+TEST_F(InversionTest, DeeperCutIsHarderToInvert) {
+  InversionConfig cfg;
+  cfg.sweeps = 6;
+  InversionResult shallow = invert_features(*net_, cut_, feature_, cfg);
+  std::size_t deep_cut = net_->index_of("pool1");
+  Tensor deep_feature = net_->forward_front(original_, deep_cut);
+  InversionResult deep = invert_features(*net_, deep_cut, deep_feature, cfg);
+  // Max-pooling discards 3/4 of the constraints; reconstruction quality
+  // should not improve.
+  EXPECT_GE(correlation(shallow.reconstruction, original_),
+            correlation(deep.reconstruction, original_) - 0.05);
+}
+
+}  // namespace
+}  // namespace offload::privacy

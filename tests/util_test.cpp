@@ -1,0 +1,213 @@
+// Unit tests for the util layer: binary codecs, CRC, base64, RNG, stats,
+// strings, tables.
+#include <gtest/gtest.h>
+
+#include "src/util/base64.h"
+#include "src/util/bytes.h"
+#include "src/util/crc32.h"
+#include "src/util/hash.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/util/strings.h"
+#include "src/util/table.h"
+
+namespace offload::util {
+namespace {
+
+TEST(Bytes, WriterReaderRoundTrip) {
+  BinaryWriter w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i32(-42);
+  w.i64(-1);
+  w.f32(3.14f);
+  w.f64(-2.718281828459045);
+  w.varint(0);
+  w.varint(127);
+  w.varint(128);
+  w.varint(UINT64_MAX);
+  w.str("hello");
+  w.blob(as_bytes("blobby"));
+  Bytes data = std::move(w).take();
+
+  BinaryReader r{std::span<const std::uint8_t>(data)};
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.i64(), -1);
+  EXPECT_EQ(r.f32(), 3.14f);
+  EXPECT_EQ(r.f64(), -2.718281828459045);
+  EXPECT_EQ(r.varint(), 0u);
+  EXPECT_EQ(r.varint(), 127u);
+  EXPECT_EQ(r.varint(), 128u);
+  EXPECT_EQ(r.varint(), UINT64_MAX);
+  EXPECT_EQ(r.str(), "hello");
+  Bytes blob = r.blob();
+  EXPECT_EQ(to_string(std::span<const std::uint8_t>(blob)), "blobby");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, ReaderOverrunThrows) {
+  Bytes data{1, 2};
+  BinaryReader r{std::span<const std::uint8_t>(data)};
+  EXPECT_EQ(r.u16(), 0x0201);
+  EXPECT_THROW(r.u8(), DecodeError);
+}
+
+TEST(Bytes, VarintTooLongThrows) {
+  Bytes data(11, 0xff);
+  BinaryReader r{std::span<const std::uint8_t>(data)};
+  EXPECT_THROW(r.varint(), DecodeError);
+}
+
+TEST(Crc32, KnownVectors) {
+  // Standard test vector: "123456789" → 0xCBF43926.
+  EXPECT_EQ(crc32("123456789"), 0xcbf43926u);
+  EXPECT_EQ(crc32(""), 0u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  Crc32 inc;
+  inc.update("hello ");
+  inc.update("world");
+  EXPECT_EQ(inc.value(), crc32("hello world"));
+}
+
+TEST(Base64, KnownVectors) {
+  EXPECT_EQ(base64_encode(""), "");
+  EXPECT_EQ(base64_encode("f"), "Zg==");
+  EXPECT_EQ(base64_encode("fo"), "Zm8=");
+  EXPECT_EQ(base64_encode("foo"), "Zm9v");
+  EXPECT_EQ(base64_encode("foobar"), "Zm9vYmFy");
+}
+
+TEST(Base64, RoundTripBinary) {
+  Pcg32 rng(3);
+  Bytes data(1021);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u32());
+  Bytes back = base64_decode(base64_encode(std::span(data)));
+  EXPECT_EQ(back, data);
+}
+
+TEST(Base64, RejectsMalformed) {
+  EXPECT_THROW(base64_decode("abc"), DecodeError);     // bad length
+  EXPECT_THROW(base64_decode("ab!="), DecodeError);    // bad char
+  EXPECT_THROW(base64_decode("=abc"), DecodeError);    // early padding
+  EXPECT_THROW(base64_decode("Zg==Zg=="), DecodeError);  // data after pad
+}
+
+TEST(Rng, DeterministicStreams) {
+  Pcg32 a(42);
+  Pcg32 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+  Pcg32 c(43);
+  EXPECT_NE(a.next_u32(), c.next_u32());
+}
+
+TEST(Rng, BoundsRespected) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+    double d = rng.canonical();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    double u = rng.uniform(-2.0, 5.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 5.0);
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, GaussianMoments) {
+  Pcg32 rng(11);
+  Accumulator acc;
+  for (int i = 0; i < 20000; ++i) acc.add(rng.gaussian());
+  EXPECT_NEAR(acc.mean(), 0.0, 0.05);
+  EXPECT_NEAR(acc.stddev(), 1.0, 0.05);
+}
+
+TEST(Stats, AccumulatorBasics) {
+  Accumulator acc;
+  EXPECT_EQ(acc.mean(), 0.0);
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(v);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.stddev(), 2.138, 0.01);  // sample stddev
+  EXPECT_EQ(acc.min(), 2.0);
+  EXPECT_EQ(acc.max(), 9.0);
+  EXPECT_EQ(acc.sum(), 40.0);
+}
+
+TEST(Stats, Percentiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(s.percentile(100), 100.0, 1e-9);
+  EXPECT_NEAR(s.percentile(99), 99.01, 0.01);
+}
+
+TEST(Stats, EwmaConverges) {
+  Ewma e(0.5);
+  EXPECT_TRUE(e.empty());
+  e.add(10.0);
+  EXPECT_EQ(e.value(), 10.0);  // seeded by first sample
+  for (int i = 0; i < 50; ++i) e.add(20.0);
+  EXPECT_NEAR(e.value(), 20.0, 1e-6);
+}
+
+TEST(Strings, SplitAndJoin) {
+  auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(join(parts, "|"), "a|b||c");
+  auto ws = split_ws("  foo \t bar\nbaz  ");
+  ASSERT_EQ(ws.size(), 3u);
+  EXPECT_EQ(ws[1], "bar");
+}
+
+TEST(Strings, TrimAndPredicates) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_TRUE(starts_with("snapshot.js", "snap"));
+  EXPECT_FALSE(starts_with("s", "snap"));
+  EXPECT_TRUE(ends_with("model.weights", ".weights"));
+  EXPECT_EQ(to_lower("MiXeD"), "mixed");
+}
+
+TEST(Strings, Formatters) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(44.0 * 1024 * 1024), "44 MB");
+  EXPECT_EQ(format_seconds(12.073), "12.073 s");
+  EXPECT_EQ(format_seconds(0.0034), "3.40 ms");
+  EXPECT_EQ(format_seconds(0.00034), "340.0 us");
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+}
+
+TEST(Hash, Fnv1aStability) {
+  // FNV-1a("") is the offset basis; "a" is a known value.
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_NE(fnv1a("abc"), fnv1a("acb"));
+}
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable t;
+  t.header({"App", "Time (s)"});
+  t.row({"GoogleNet", "7.79"});
+  t.row({"AgeNet", "12.07"});
+  std::string out = t.str();
+  EXPECT_NE(out.find("| App"), std::string::npos);
+  EXPECT_NE(out.find("7.79"), std::string::npos);
+  EXPECT_NE(out.find("|---"), std::string::npos);
+  // Numeric cells right-align: "7.79" is padded on the left.
+  EXPECT_NE(out.find(" 7.79 |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace offload::util
