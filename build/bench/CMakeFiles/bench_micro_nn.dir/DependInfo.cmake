@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_nn.cpp" "bench/CMakeFiles/bench_micro_nn.dir/bench_micro_nn.cpp.o" "gcc" "bench/CMakeFiles/bench_micro_nn.dir/bench_micro_nn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/offload_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/privacy/CMakeFiles/offload_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/edge/CMakeFiles/offload_edge.dir/DependInfo.cmake"
+  "/root/repo/build/src/jsvm/CMakeFiles/offload_jsvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/offload_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmsynth/CMakeFiles/offload_vmsynth.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/offload_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/offload_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/offload_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_presend_bandwidth.dir/bench_presend_bandwidth.cpp.o"
+  "CMakeFiles/bench_presend_bandwidth.dir/bench_presend_bandwidth.cpp.o.d"
+  "bench_presend_bandwidth"
+  "bench_presend_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_presend_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

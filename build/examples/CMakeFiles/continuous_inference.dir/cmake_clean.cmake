@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/continuous_inference.dir/continuous_inference.cpp.o"
+  "CMakeFiles/continuous_inference.dir/continuous_inference.cpp.o.d"
+  "continuous_inference"
+  "continuous_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/continuous_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

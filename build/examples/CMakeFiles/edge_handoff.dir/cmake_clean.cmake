@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_handoff.dir/edge_handoff.cpp.o"
+  "CMakeFiles/edge_handoff.dir/edge_handoff.cpp.o.d"
+  "edge_handoff"
+  "edge_handoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_handoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

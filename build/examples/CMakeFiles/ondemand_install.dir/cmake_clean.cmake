@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ondemand_install.dir/ondemand_install.cpp.o"
+  "CMakeFiles/ondemand_install.dir/ondemand_install.cpp.o.d"
+  "ondemand_install"
+  "ondemand_install.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ondemand_install.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privacy_partition.dir/privacy_partition.cpp.o"
+  "CMakeFiles/privacy_partition.dir/privacy_partition.cpp.o.d"
+  "privacy_partition"
+  "privacy_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privacy_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

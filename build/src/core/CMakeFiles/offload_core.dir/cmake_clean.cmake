@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offload_core.dir/app.cpp.o"
+  "CMakeFiles/offload_core.dir/app.cpp.o.d"
+  "CMakeFiles/offload_core.dir/breakdown.cpp.o"
+  "CMakeFiles/offload_core.dir/breakdown.cpp.o.d"
+  "CMakeFiles/offload_core.dir/experiment.cpp.o"
+  "CMakeFiles/offload_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/offload_core.dir/runtime.cpp.o"
+  "CMakeFiles/offload_core.dir/runtime.cpp.o.d"
+  "liboffload_core.a"
+  "liboffload_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/edge/browser_host.cpp" "src/edge/CMakeFiles/offload_edge.dir/browser_host.cpp.o" "gcc" "src/edge/CMakeFiles/offload_edge.dir/browser_host.cpp.o.d"
+  "/root/repo/src/edge/client_device.cpp" "src/edge/CMakeFiles/offload_edge.dir/client_device.cpp.o" "gcc" "src/edge/CMakeFiles/offload_edge.dir/client_device.cpp.o.d"
+  "/root/repo/src/edge/edge_server.cpp" "src/edge/CMakeFiles/offload_edge.dir/edge_server.cpp.o" "gcc" "src/edge/CMakeFiles/offload_edge.dir/edge_server.cpp.o.d"
+  "/root/repo/src/edge/model_store.cpp" "src/edge/CMakeFiles/offload_edge.dir/model_store.cpp.o" "gcc" "src/edge/CMakeFiles/offload_edge.dir/model_store.cpp.o.d"
+  "/root/repo/src/edge/protocol.cpp" "src/edge/CMakeFiles/offload_edge.dir/protocol.cpp.o" "gcc" "src/edge/CMakeFiles/offload_edge.dir/protocol.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jsvm/CMakeFiles/offload_jsvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/offload_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/offload_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/offload_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmsynth/CMakeFiles/offload_vmsynth.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/offload_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offload_edge.dir/browser_host.cpp.o"
+  "CMakeFiles/offload_edge.dir/browser_host.cpp.o.d"
+  "CMakeFiles/offload_edge.dir/client_device.cpp.o"
+  "CMakeFiles/offload_edge.dir/client_device.cpp.o.d"
+  "CMakeFiles/offload_edge.dir/edge_server.cpp.o"
+  "CMakeFiles/offload_edge.dir/edge_server.cpp.o.d"
+  "CMakeFiles/offload_edge.dir/model_store.cpp.o"
+  "CMakeFiles/offload_edge.dir/model_store.cpp.o.d"
+  "CMakeFiles/offload_edge.dir/protocol.cpp.o"
+  "CMakeFiles/offload_edge.dir/protocol.cpp.o.d"
+  "liboffload_edge.a"
+  "liboffload_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

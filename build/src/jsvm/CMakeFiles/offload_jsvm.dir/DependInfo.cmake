@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jsvm/builtins.cpp" "src/jsvm/CMakeFiles/offload_jsvm.dir/builtins.cpp.o" "gcc" "src/jsvm/CMakeFiles/offload_jsvm.dir/builtins.cpp.o.d"
+  "/root/repo/src/jsvm/dom.cpp" "src/jsvm/CMakeFiles/offload_jsvm.dir/dom.cpp.o" "gcc" "src/jsvm/CMakeFiles/offload_jsvm.dir/dom.cpp.o.d"
+  "/root/repo/src/jsvm/env.cpp" "src/jsvm/CMakeFiles/offload_jsvm.dir/env.cpp.o" "gcc" "src/jsvm/CMakeFiles/offload_jsvm.dir/env.cpp.o.d"
+  "/root/repo/src/jsvm/fingerprint.cpp" "src/jsvm/CMakeFiles/offload_jsvm.dir/fingerprint.cpp.o" "gcc" "src/jsvm/CMakeFiles/offload_jsvm.dir/fingerprint.cpp.o.d"
+  "/root/repo/src/jsvm/interpreter.cpp" "src/jsvm/CMakeFiles/offload_jsvm.dir/interpreter.cpp.o" "gcc" "src/jsvm/CMakeFiles/offload_jsvm.dir/interpreter.cpp.o.d"
+  "/root/repo/src/jsvm/lexer.cpp" "src/jsvm/CMakeFiles/offload_jsvm.dir/lexer.cpp.o" "gcc" "src/jsvm/CMakeFiles/offload_jsvm.dir/lexer.cpp.o.d"
+  "/root/repo/src/jsvm/members.cpp" "src/jsvm/CMakeFiles/offload_jsvm.dir/members.cpp.o" "gcc" "src/jsvm/CMakeFiles/offload_jsvm.dir/members.cpp.o.d"
+  "/root/repo/src/jsvm/parser.cpp" "src/jsvm/CMakeFiles/offload_jsvm.dir/parser.cpp.o" "gcc" "src/jsvm/CMakeFiles/offload_jsvm.dir/parser.cpp.o.d"
+  "/root/repo/src/jsvm/snapshot.cpp" "src/jsvm/CMakeFiles/offload_jsvm.dir/snapshot.cpp.o" "gcc" "src/jsvm/CMakeFiles/offload_jsvm.dir/snapshot.cpp.o.d"
+  "/root/repo/src/jsvm/snapshot_diff.cpp" "src/jsvm/CMakeFiles/offload_jsvm.dir/snapshot_diff.cpp.o" "gcc" "src/jsvm/CMakeFiles/offload_jsvm.dir/snapshot_diff.cpp.o.d"
+  "/root/repo/src/jsvm/value.cpp" "src/jsvm/CMakeFiles/offload_jsvm.dir/value.cpp.o" "gcc" "src/jsvm/CMakeFiles/offload_jsvm.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/offload_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

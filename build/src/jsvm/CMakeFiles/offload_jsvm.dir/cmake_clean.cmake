@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offload_jsvm.dir/builtins.cpp.o"
+  "CMakeFiles/offload_jsvm.dir/builtins.cpp.o.d"
+  "CMakeFiles/offload_jsvm.dir/dom.cpp.o"
+  "CMakeFiles/offload_jsvm.dir/dom.cpp.o.d"
+  "CMakeFiles/offload_jsvm.dir/env.cpp.o"
+  "CMakeFiles/offload_jsvm.dir/env.cpp.o.d"
+  "CMakeFiles/offload_jsvm.dir/fingerprint.cpp.o"
+  "CMakeFiles/offload_jsvm.dir/fingerprint.cpp.o.d"
+  "CMakeFiles/offload_jsvm.dir/interpreter.cpp.o"
+  "CMakeFiles/offload_jsvm.dir/interpreter.cpp.o.d"
+  "CMakeFiles/offload_jsvm.dir/lexer.cpp.o"
+  "CMakeFiles/offload_jsvm.dir/lexer.cpp.o.d"
+  "CMakeFiles/offload_jsvm.dir/members.cpp.o"
+  "CMakeFiles/offload_jsvm.dir/members.cpp.o.d"
+  "CMakeFiles/offload_jsvm.dir/parser.cpp.o"
+  "CMakeFiles/offload_jsvm.dir/parser.cpp.o.d"
+  "CMakeFiles/offload_jsvm.dir/snapshot.cpp.o"
+  "CMakeFiles/offload_jsvm.dir/snapshot.cpp.o.d"
+  "CMakeFiles/offload_jsvm.dir/snapshot_diff.cpp.o"
+  "CMakeFiles/offload_jsvm.dir/snapshot_diff.cpp.o.d"
+  "CMakeFiles/offload_jsvm.dir/value.cpp.o"
+  "CMakeFiles/offload_jsvm.dir/value.cpp.o.d"
+  "liboffload_jsvm.a"
+  "liboffload_jsvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_jsvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offload_net.dir/bandwidth.cpp.o"
+  "CMakeFiles/offload_net.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/offload_net.dir/channel.cpp.o"
+  "CMakeFiles/offload_net.dir/channel.cpp.o.d"
+  "CMakeFiles/offload_net.dir/link.cpp.o"
+  "CMakeFiles/offload_net.dir/link.cpp.o.d"
+  "CMakeFiles/offload_net.dir/message.cpp.o"
+  "CMakeFiles/offload_net.dir/message.cpp.o.d"
+  "liboffload_net.a"
+  "liboffload_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/cost_model.cpp" "src/nn/CMakeFiles/offload_nn.dir/cost_model.cpp.o" "gcc" "src/nn/CMakeFiles/offload_nn.dir/cost_model.cpp.o.d"
+  "/root/repo/src/nn/device.cpp" "src/nn/CMakeFiles/offload_nn.dir/device.cpp.o" "gcc" "src/nn/CMakeFiles/offload_nn.dir/device.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/offload_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/offload_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/model_io.cpp" "src/nn/CMakeFiles/offload_nn.dir/model_io.cpp.o" "gcc" "src/nn/CMakeFiles/offload_nn.dir/model_io.cpp.o.d"
+  "/root/repo/src/nn/models.cpp" "src/nn/CMakeFiles/offload_nn.dir/models.cpp.o" "gcc" "src/nn/CMakeFiles/offload_nn.dir/models.cpp.o.d"
+  "/root/repo/src/nn/network.cpp" "src/nn/CMakeFiles/offload_nn.dir/network.cpp.o" "gcc" "src/nn/CMakeFiles/offload_nn.dir/network.cpp.o.d"
+  "/root/repo/src/nn/partition.cpp" "src/nn/CMakeFiles/offload_nn.dir/partition.cpp.o" "gcc" "src/nn/CMakeFiles/offload_nn.dir/partition.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/nn/CMakeFiles/offload_nn.dir/tensor.cpp.o" "gcc" "src/nn/CMakeFiles/offload_nn.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/offload_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/offload_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

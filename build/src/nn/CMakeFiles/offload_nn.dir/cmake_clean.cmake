@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offload_nn.dir/cost_model.cpp.o"
+  "CMakeFiles/offload_nn.dir/cost_model.cpp.o.d"
+  "CMakeFiles/offload_nn.dir/device.cpp.o"
+  "CMakeFiles/offload_nn.dir/device.cpp.o.d"
+  "CMakeFiles/offload_nn.dir/layers.cpp.o"
+  "CMakeFiles/offload_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/offload_nn.dir/model_io.cpp.o"
+  "CMakeFiles/offload_nn.dir/model_io.cpp.o.d"
+  "CMakeFiles/offload_nn.dir/models.cpp.o"
+  "CMakeFiles/offload_nn.dir/models.cpp.o.d"
+  "CMakeFiles/offload_nn.dir/network.cpp.o"
+  "CMakeFiles/offload_nn.dir/network.cpp.o.d"
+  "CMakeFiles/offload_nn.dir/partition.cpp.o"
+  "CMakeFiles/offload_nn.dir/partition.cpp.o.d"
+  "CMakeFiles/offload_nn.dir/tensor.cpp.o"
+  "CMakeFiles/offload_nn.dir/tensor.cpp.o.d"
+  "liboffload_nn.a"
+  "liboffload_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

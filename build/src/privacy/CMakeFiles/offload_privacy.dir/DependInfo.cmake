@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/privacy/inversion.cpp" "src/privacy/CMakeFiles/offload_privacy.dir/inversion.cpp.o" "gcc" "src/privacy/CMakeFiles/offload_privacy.dir/inversion.cpp.o.d"
+  "/root/repo/src/privacy/metrics.cpp" "src/privacy/CMakeFiles/offload_privacy.dir/metrics.cpp.o" "gcc" "src/privacy/CMakeFiles/offload_privacy.dir/metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/offload_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/offload_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/offload_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

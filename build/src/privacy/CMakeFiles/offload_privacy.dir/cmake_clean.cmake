@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offload_privacy.dir/inversion.cpp.o"
+  "CMakeFiles/offload_privacy.dir/inversion.cpp.o.d"
+  "CMakeFiles/offload_privacy.dir/metrics.cpp.o"
+  "CMakeFiles/offload_privacy.dir/metrics.cpp.o.d"
+  "liboffload_privacy.a"
+  "liboffload_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

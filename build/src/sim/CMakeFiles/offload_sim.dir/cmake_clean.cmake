@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offload_sim.dir/simulation.cpp.o"
+  "CMakeFiles/offload_sim.dir/simulation.cpp.o.d"
+  "liboffload_sim.a"
+  "liboffload_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offload_util.dir/base64.cpp.o"
+  "CMakeFiles/offload_util.dir/base64.cpp.o.d"
+  "CMakeFiles/offload_util.dir/bytes.cpp.o"
+  "CMakeFiles/offload_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/offload_util.dir/crc32.cpp.o"
+  "CMakeFiles/offload_util.dir/crc32.cpp.o.d"
+  "CMakeFiles/offload_util.dir/logging.cpp.o"
+  "CMakeFiles/offload_util.dir/logging.cpp.o.d"
+  "CMakeFiles/offload_util.dir/stats.cpp.o"
+  "CMakeFiles/offload_util.dir/stats.cpp.o.d"
+  "CMakeFiles/offload_util.dir/strings.cpp.o"
+  "CMakeFiles/offload_util.dir/strings.cpp.o.d"
+  "CMakeFiles/offload_util.dir/table.cpp.o"
+  "CMakeFiles/offload_util.dir/table.cpp.o.d"
+  "liboffload_util.a"
+  "liboffload_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

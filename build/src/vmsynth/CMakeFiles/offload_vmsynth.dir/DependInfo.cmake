@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vmsynth/compress.cpp" "src/vmsynth/CMakeFiles/offload_vmsynth.dir/compress.cpp.o" "gcc" "src/vmsynth/CMakeFiles/offload_vmsynth.dir/compress.cpp.o.d"
+  "/root/repo/src/vmsynth/overlay.cpp" "src/vmsynth/CMakeFiles/offload_vmsynth.dir/overlay.cpp.o" "gcc" "src/vmsynth/CMakeFiles/offload_vmsynth.dir/overlay.cpp.o.d"
+  "/root/repo/src/vmsynth/vmimage.cpp" "src/vmsynth/CMakeFiles/offload_vmsynth.dir/vmimage.cpp.o" "gcc" "src/vmsynth/CMakeFiles/offload_vmsynth.dir/vmimage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/offload_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offload_vmsynth.dir/compress.cpp.o"
+  "CMakeFiles/offload_vmsynth.dir/compress.cpp.o.d"
+  "CMakeFiles/offload_vmsynth.dir/overlay.cpp.o"
+  "CMakeFiles/offload_vmsynth.dir/overlay.cpp.o.d"
+  "CMakeFiles/offload_vmsynth.dir/vmimage.cpp.o"
+  "CMakeFiles/offload_vmsynth.dir/vmimage.cpp.o.d"
+  "liboffload_vmsynth.a"
+  "liboffload_vmsynth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_vmsynth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_server_test.dir/edge_server_test.cpp.o"
+  "CMakeFiles/edge_server_test.dir/edge_server_test.cpp.o.d"
+  "edge_server_test"
+  "edge_server_test.pdb"
+  "edge_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

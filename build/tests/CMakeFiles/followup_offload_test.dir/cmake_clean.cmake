@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/followup_offload_test.dir/followup_offload_test.cpp.o"
+  "CMakeFiles/followup_offload_test.dir/followup_offload_test.cpp.o.d"
+  "followup_offload_test"
+  "followup_offload_test.pdb"
+  "followup_offload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/followup_offload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

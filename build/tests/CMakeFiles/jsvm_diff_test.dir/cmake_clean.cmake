@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsvm_diff_test.dir/jsvm_diff_test.cpp.o"
+  "CMakeFiles/jsvm_diff_test.dir/jsvm_diff_test.cpp.o.d"
+  "jsvm_diff_test"
+  "jsvm_diff_test.pdb"
+  "jsvm_diff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsvm_diff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

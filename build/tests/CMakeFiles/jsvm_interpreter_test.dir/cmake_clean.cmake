@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsvm_interpreter_test.dir/jsvm_interpreter_test.cpp.o"
+  "CMakeFiles/jsvm_interpreter_test.dir/jsvm_interpreter_test.cpp.o.d"
+  "jsvm_interpreter_test"
+  "jsvm_interpreter_test.pdb"
+  "jsvm_interpreter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsvm_interpreter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

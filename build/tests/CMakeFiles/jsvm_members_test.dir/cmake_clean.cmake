@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsvm_members_test.dir/jsvm_members_test.cpp.o"
+  "CMakeFiles/jsvm_members_test.dir/jsvm_members_test.cpp.o.d"
+  "jsvm_members_test"
+  "jsvm_members_test.pdb"
+  "jsvm_members_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsvm_members_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

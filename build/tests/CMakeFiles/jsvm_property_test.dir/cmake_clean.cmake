@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsvm_property_test.dir/jsvm_property_test.cpp.o"
+  "CMakeFiles/jsvm_property_test.dir/jsvm_property_test.cpp.o.d"
+  "jsvm_property_test"
+  "jsvm_property_test.pdb"
+  "jsvm_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsvm_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

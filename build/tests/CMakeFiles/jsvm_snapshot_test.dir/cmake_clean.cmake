@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsvm_snapshot_test.dir/jsvm_snapshot_test.cpp.o"
+  "CMakeFiles/jsvm_snapshot_test.dir/jsvm_snapshot_test.cpp.o.d"
+  "jsvm_snapshot_test"
+  "jsvm_snapshot_test.pdb"
+  "jsvm_snapshot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsvm_snapshot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

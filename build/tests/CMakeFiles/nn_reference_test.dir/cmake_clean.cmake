@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_reference_test.dir/nn_reference_test.cpp.o"
+  "CMakeFiles/nn_reference_test.dir/nn_reference_test.cpp.o.d"
+  "nn_reference_test"
+  "nn_reference_test.pdb"
+  "nn_reference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_reference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmsynth_test.dir/vmsynth_test.cpp.o"
+  "CMakeFiles/vmsynth_test.dir/vmsynth_test.cpp.o.d"
+  "vmsynth_test"
+  "vmsynth_test.pdb"
+  "vmsynth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmsynth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

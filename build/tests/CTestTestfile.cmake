@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/jsvm_interpreter_test[1]_include.cmake")
+include("/root/repo/build/tests/jsvm_snapshot_test[1]_include.cmake")
+include("/root/repo/build/tests/jsvm_diff_test[1]_include.cmake")
+include("/root/repo/build/tests/jsvm_property_test[1]_include.cmake")
+include("/root/repo/build/tests/jsvm_members_test[1]_include.cmake")
+include("/root/repo/build/tests/vmsynth_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/followup_offload_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_injection_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_net_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_reference_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/partition_test[1]_include.cmake")
+include("/root/repo/build/tests/privacy_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_server_test[1]_include.cmake")
