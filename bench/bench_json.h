@@ -1,0 +1,100 @@
+// Machine-readable output for the google-benchmark micro benches: a
+// reporter that mirrors the console output and additionally collects every
+// run into a JSON array (op, shape label, wall ns/iter, user counters,
+// thread count) written next to the binary — BENCH_micro_nn.json etc. —
+// so the perf trajectory is trackable across PRs.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/util/thread_pool.h"
+
+namespace offload::bench {
+
+class JsonReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      Entry e;
+      e.op = run.benchmark_name();
+      e.shape = run.report_label;
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      e.wall_ns = run.real_accumulated_time * 1e9 / iters;
+      for (const auto& [name, counter] : run.counters) {
+        e.counters.emplace_back(name, counter.value);
+      }
+      entries_.push_back(std::move(e));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  /// Write everything collected so far as a JSON array to `path`.
+  /// Returns false (and prints to stderr) if the file cannot be written.
+  bool write_json(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "bench_json: cannot write %s\n", path.c_str());
+      return false;
+    }
+    const std::size_t threads = util::default_pool().size();
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      std::fprintf(f, "  {\"op\": \"%s\", \"shape\": \"%s\", ",
+                   json_escape(e.op).c_str(), json_escape(e.shape).c_str());
+      std::fprintf(f, "\"wall_ns\": %.1f, \"threads\": %zu", e.wall_ns,
+                   threads);
+      for (const auto& [name, value] : e.counters) {
+        std::fprintf(f, ", \"%s\": %.6g", json_escape(name).c_str(), value);
+      }
+      std::fprintf(f, "}%s\n", i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  struct Entry {
+    std::string op;
+    std::string shape;
+    double wall_ns = 0;
+    std::vector<std::pair<std::string, double>> counters;
+  };
+
+  static std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::vector<Entry> entries_;
+};
+
+/// Shared main() body: run all registered benchmarks with a JsonReporter
+/// and drop the JSON file. Returns a process exit code.
+inline int run_benchmarks_with_json(int argc, char** argv,
+                                    const char* json_path) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  return reporter.write_json(json_path) ? 0 : 1;
+}
+
+}  // namespace offload::bench

@@ -2,6 +2,7 @@
 // overlays: throughput and ratio across content redundancy levels.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
 #include "src/vmsynth/compress.h"
 #include "src/vmsynth/overlay.h"
 #include "src/vmsynth/vmimage.h"
@@ -26,6 +27,7 @@ void BM_Compress(benchmark::State& state) {
       benchmark::Counter::kIsRate);
   state.counters["ratio"] =
       static_cast<double>(input.size()) / static_cast<double>(out_size);
+  state.SetLabel("4MB redundancy=" + std::to_string(state.range(0)) + "%");
 }
 BENCHMARK(BM_Compress)->Arg(0)->Arg(40)->Arg(57)->Arg(80)->Unit(
     benchmark::kMillisecond);
@@ -42,6 +44,7 @@ void BM_Decompress(benchmark::State& state) {
       static_cast<double>(input.size()) *
           static_cast<double>(state.iterations()) / 1e6,
       benchmark::Counter::kIsRate);
+  state.SetLabel("4MB redundancy=57%");
 }
 BENCHMARK(BM_Decompress)->Unit(benchmark::kMillisecond);
 
@@ -74,4 +77,7 @@ BENCHMARK(BM_OverlaySynthesize)->Unit(benchmark::kMillisecond)->Iterations(3);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return offload::bench::run_benchmarks_with_json(argc, argv,
+                                                  "BENCH_micro_compress.json");
+}

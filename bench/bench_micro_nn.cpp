@@ -4,6 +4,7 @@
 // by the experiments are derived from FLOP counts, not from these).
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
 #include "src/nn/activation.h"
 #include "src/nn/conv.h"
 #include "src/nn/dense.h"
@@ -38,6 +39,7 @@ void BM_ConvGoogLeNetStem(benchmark::State& state) {
       static_cast<double>(conv.flops(shapes)) * static_cast<double>(
           state.iterations()) / 1e9,
       benchmark::Counter::kIsRate);
+  state.SetLabel("3x224x224 7x7/2p3 -> 64x112x112");
 }
 BENCHMARK(BM_ConvGoogLeNetStem)->Unit(benchmark::kMillisecond);
 
@@ -52,6 +54,12 @@ void BM_Conv3x3(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(conv.forward(ins));
   }
+  Shape shapes[] = {in.shape()};
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(conv.flops(shapes)) * static_cast<double>(
+          state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+  state.SetLabel(std::to_string(channels) + "x56x56 3x3/1p1");
 }
 BENCHMARK(BM_Conv3x3)->Arg(32)->Arg(64)->Arg(128)->Unit(
     benchmark::kMillisecond);
@@ -63,6 +71,7 @@ void BM_MaxPool(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(pool.forward(ins));
   }
+  state.SetLabel("64x112x112 3x3/2");
 }
 BENCHMARK(BM_MaxPool)->Unit(benchmark::kMillisecond);
 
@@ -75,6 +84,10 @@ void BM_FullyConnected(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(fc.forward(ins));
   }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * 18816 * 512 * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+  state.SetLabel("18816 -> 512");
 }
 BENCHMARK(BM_FullyConnected)->Unit(benchmark::kMillisecond);
 
@@ -85,6 +98,7 @@ void BM_Lrn(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(lrn.forward(ins));
   }
+  state.SetLabel("64x56x56 n=5");
 }
 BENCHMARK(BM_Lrn)->Unit(benchmark::kMillisecond);
 
@@ -94,6 +108,7 @@ void BM_TinyCnnForward(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(net->forward(in));
   }
+  state.SetLabel("3x32x32");
 }
 BENCHMARK(BM_TinyCnnForward)->Unit(benchmark::kMillisecond);
 
@@ -103,6 +118,7 @@ void BM_AgeNetForward(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(net->forward(in));
   }
+  state.SetLabel("3x227x227");
 }
 BENCHMARK(BM_AgeNetForward)->Unit(benchmark::kMillisecond)->Iterations(3);
 
@@ -112,9 +128,13 @@ void BM_GoogLeNetForward(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(net->forward(in));
   }
+  state.SetLabel("3x224x224");
 }
 BENCHMARK(BM_GoogLeNetForward)->Unit(benchmark::kMillisecond)->Iterations(2);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return offload::bench::run_benchmarks_with_json(argc, argv,
+                                                  "BENCH_micro_nn.json");
+}

@@ -1,6 +1,12 @@
 // 2-D convolution layer (Caffe semantics: floor output rounding, zero
-// padding). Forward runs as im2col + GEMM, the same strategy Caffe.js uses.
+// padding, optional channel groups). Forward runs as im2col + a packed,
+// cache-blocked, register-tiled GEMM parallelized over output tiles through
+// util::parallel_for — see layers.cpp for the kernel.
 #pragma once
+
+#include <atomic>
+#include <mutex>
+#include <vector>
 
 #include "src/nn/layer.h"
 
@@ -12,6 +18,9 @@ struct ConvConfig {
   std::int64_t kernel = 1;
   std::int64_t stride = 1;
   std::int64_t pad = 0;
+  /// Channel groups (AlexNet/AgeNet style): group g convolves input
+  /// channels [g*in/G, (g+1)*in/G) into output channels [g*out/G, ...).
+  std::int64_t groups = 1;
 };
 
 class ConvLayer final : public Layer {
@@ -30,15 +39,30 @@ class ConvLayer final : public Layer {
   std::string config_str() const override;
 
   const ConvConfig& config() const { return config_; }
-  Tensor& weights() { return weights_; }
+  /// Mutable access invalidates the packed GEMM panels; they are rebuilt
+  /// lazily on the next forward().
+  Tensor& weights() {
+    packed_valid_.store(false, std::memory_order_release);
+    return weights_;
+  }
   Tensor& bias() { return bias_; }
 
  private:
   void check_input(const Shape& in) const;
+  /// Repack weights_ into kMR-row panels (k-major within a panel) if stale.
+  void ensure_packed() const;
 
   ConvConfig config_;
-  Tensor weights_;  ///< {out_ch, in_ch, k, k}
+  Tensor weights_;  ///< {out_ch, in_ch/groups, k, k}
   Tensor bias_;     ///< {out_ch}
+
+  // Panel-packed copy of weights_, built once per weight mutation so
+  // steady-state forward passes touch no heap. Guarded by pack_mutex_ for
+  // the (rare) rebuild; packed_valid_ uses acquire/release so readers that
+  // observe `true` also observe the packed data.
+  mutable std::vector<float> packed_;
+  mutable std::atomic<bool> packed_valid_{false};
+  mutable std::mutex pack_mutex_;
 };
 
 }  // namespace offload::nn

@@ -9,6 +9,8 @@
 #include "src/nn/dense.h"
 #include "src/nn/lrn.h"
 #include "src/nn/pool.h"
+#include "src/util/arena.h"
+#include "src/util/thread_pool.h"
 
 namespace offload::nn {
 namespace {
@@ -111,15 +113,146 @@ std::string InputLayer::config_str() const {
 }
 
 // ----------------------------------------------------------------- ConvLayer
+//
+// forward() = parallel im2col + packed, register-tiled GEMM. The GEMM
+// partitions the output matrix into kRowBlock x kColBlock macro-tiles that
+// run as independent parallel_for tasks (disjoint output ranges), and each
+// macro-tile is computed with a kMR x kNR register micro-kernel over
+// panel-packed weights. Every output element accumulates bias-first then k
+// ascending, so results are bit-identical at any thread count.
+
+namespace {
+
+constexpr std::int64_t kMR = 4;   ///< micro-kernel rows (output channels)
+constexpr std::int64_t kNR = 8;   ///< micro-kernel cols (output pixels)
+constexpr std::int64_t kRowBlock = 64;   ///< C rows per task (multiple of kMR)
+constexpr std::int64_t kColBlock = 512;  ///< C cols per task (multiple of kNR)
+
+/// col[r][ow..] rows for r in [row_lo, row_hi), r = (c*K + kh)*K + kw.
+/// Writes zeros where the window reads padding, so the buffer needs no
+/// pre-clearing (it comes from the scratch arena, not calloc).
+void im2col_rows(const float* src, std::int64_t H, std::int64_t W,
+                 std::int64_t K, std::int64_t S, std::int64_t P,
+                 std::int64_t OH, std::int64_t OW, float* col,
+                 std::int64_t row_lo, std::int64_t row_hi) {
+  const std::int64_t N = OH * OW;
+  for (std::int64_t r = row_lo; r < row_hi; ++r) {
+    const std::int64_t c = r / (K * K);
+    const std::int64_t kh = (r / K) % K;
+    const std::int64_t kw = r % K;
+    float* dst = col + r * N;
+    // ow range whose input column iw = ow*S + kw - P lands inside [0, W).
+    const std::int64_t ow0 =
+        kw >= P ? 0 : std::min(OW, (P - kw + S - 1) / S);
+    const std::int64_t ow1 =
+        W - 1 - kw + P < 0
+            ? ow0
+            : std::max(ow0, std::min(OW, (W - 1 - kw + P) / S + 1));
+    for (std::int64_t oh = 0; oh < OH; ++oh) {
+      const std::int64_t ih = oh * S + kh - P;
+      if (ih < 0 || ih >= H) {
+        std::fill(dst, dst + OW, 0.0f);
+        dst += OW;
+        continue;
+      }
+      const float* row = src + (c * H + ih) * W;
+      std::fill(dst, dst + ow0, 0.0f);
+      if (S == 1) {
+        const float* from = row + ow0 + kw - P;
+        std::copy(from, from + (ow1 - ow0), dst + ow0);
+      } else {
+        for (std::int64_t ow = ow0; ow < ow1; ++ow) {
+          dst[ow] = row[ow * S + kw - P];
+        }
+      }
+      std::fill(dst + ow1, dst + OW, 0.0f);
+      dst += OW;
+    }
+  }
+}
+
+/// One macro-tile: C[i0:i1) x [j0:j1) = Apack * B + bias, full depth Kd.
+/// Apack holds kMR-row panels (panel[k*kMR + m]); B is row-major Kd x N.
+void gemm_tile(const float* apack, std::int64_t kd, const float* b,
+               std::int64_t n, const float* bias, float* c, std::int64_t m_total,
+               std::int64_t i0, std::int64_t i1, std::int64_t j0,
+               std::int64_t j1) {
+  for (std::int64_t i = i0; i < i1; i += kMR) {
+    const float* panel = apack + (i / kMR) * (kd * kMR);
+    const std::int64_t mr = std::min(kMR, m_total - i);
+    for (std::int64_t j = j0; j < j1; j += kNR) {
+      const std::int64_t nr = std::min(kNR, j1 - j);
+      float acc[kMR][kNR];
+      if (mr == kMR && nr == kNR) {
+        for (std::int64_t m = 0; m < kMR; ++m) {
+          const float bm = bias[i + m];
+          for (std::int64_t v = 0; v < kNR; ++v) acc[m][v] = bm;
+        }
+        for (std::int64_t k = 0; k < kd; ++k) {
+          const float* bk = b + k * n + j;
+          const float* ak = panel + k * kMR;
+          for (std::int64_t m = 0; m < kMR; ++m) {
+            const float a = ak[m];
+            for (std::int64_t v = 0; v < kNR; ++v) acc[m][v] += a * bk[v];
+          }
+        }
+        for (std::int64_t m = 0; m < kMR; ++m) {
+          float* crow = c + (i + m) * n + j;
+          for (std::int64_t v = 0; v < kNR; ++v) crow[v] = acc[m][v];
+        }
+      } else {
+        for (std::int64_t m = 0; m < mr; ++m) {
+          const float bm = bias[i + m];
+          for (std::int64_t v = 0; v < nr; ++v) acc[m][v] = bm;
+        }
+        for (std::int64_t k = 0; k < kd; ++k) {
+          const float* bk = b + k * n + j;
+          const float* ak = panel + k * kMR;
+          for (std::int64_t m = 0; m < mr; ++m) {
+            const float a = ak[m];
+            for (std::int64_t v = 0; v < nr; ++v) acc[m][v] += a * bk[v];
+          }
+        }
+        for (std::int64_t m = 0; m < mr; ++m) {
+          float* crow = c + (i + m) * n + j;
+          for (std::int64_t v = 0; v < nr; ++v) crow[v] = acc[m][v];
+        }
+      }
+    }
+  }
+}
+
+/// C[m_total x n] = Apack * B + bias, parallel over macro-tiles.
+void gemm_parallel(const float* apack, std::int64_t kd, const float* b,
+                   std::int64_t n, const float* bias, float* c,
+                   std::int64_t m_total) {
+  const std::int64_t row_blocks = (m_total + kRowBlock - 1) / kRowBlock;
+  const std::int64_t col_blocks = (n + kColBlock - 1) / kColBlock;
+  auto run = [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t t = lo; t < hi; ++t) {
+      const std::int64_t rb = t / col_blocks;
+      const std::int64_t cb = t % col_blocks;
+      gemm_tile(apack, kd, b, n, bias, c, m_total, rb * kRowBlock,
+                std::min(m_total, (rb + 1) * kRowBlock), cb * kColBlock,
+                std::min(n, (cb + 1) * kColBlock));
+    }
+  };
+  util::parallel_for(0, row_blocks * col_blocks, 1, run);
+}
+
+}  // namespace
 
 ConvLayer::ConvLayer(std::string name, const ConvConfig& config)
     : Layer(std::move(name)),
       config_(config),
-      weights_(Shape{config.out_channels, config.in_channels, config.kernel,
-                     config.kernel}),
+      weights_(Shape{config.out_channels,
+                     config.in_channels / std::max<std::int64_t>(1, config.groups),
+                     config.kernel, config.kernel}),
       bias_(Shape{config.out_channels}) {
   if (config.in_channels <= 0 || config.out_channels <= 0 ||
-      config.kernel <= 0 || config.stride <= 0 || config.pad < 0) {
+      config.kernel <= 0 || config.stride <= 0 || config.pad < 0 ||
+      config.groups <= 0 || config.in_channels % config.groups != 0 ||
+      config.out_channels % config.groups != 0) {
     throw std::invalid_argument("conv " + this->name() + ": bad config");
   }
 }
@@ -149,12 +282,39 @@ Shape ConvLayer::output_shape(std::span<const Shape> inputs) const {
 
 std::uint64_t ConvLayer::flops(std::span<const Shape> inputs) const {
   Shape out = output_shape(inputs);
-  // Per output element: in_ch*k*k multiply-adds (2 flops each) plus bias.
-  std::uint64_t per_elem = 2ull * static_cast<std::uint64_t>(
-                                      config_.in_channels * config_.kernel *
-                                      config_.kernel) +
-                           1;
+  // Per output element: (in_ch/groups)*k*k multiply-adds (2 flops each)
+  // plus bias.
+  std::uint64_t per_elem =
+      2ull * static_cast<std::uint64_t>((config_.in_channels /
+                                         config_.groups) *
+                                        config_.kernel * config_.kernel) +
+      1;
   return static_cast<std::uint64_t>(out.elements()) * per_elem;
+}
+
+void ConvLayer::ensure_packed() const {
+  if (packed_valid_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lk(pack_mutex_);
+  if (packed_valid_.load(std::memory_order_relaxed)) return;
+  const std::int64_t G = config_.groups;
+  const std::int64_t Mg = config_.out_channels / G;
+  const std::int64_t Kd =
+      (config_.in_channels / G) * config_.kernel * config_.kernel;
+  const std::int64_t tiles = (Mg + kMR - 1) / kMR;
+  packed_.assign(static_cast<std::size_t>(G * tiles * Kd * kMR), 0.0f);
+  const float* w = weights_.data().data();
+  for (std::int64_t g = 0; g < G; ++g) {
+    for (std::int64_t t = 0; t < tiles; ++t) {
+      float* panel = packed_.data() + (g * tiles + t) * Kd * kMR;
+      for (std::int64_t m = 0; m < kMR; ++m) {
+        const std::int64_t row = t * kMR + m;
+        if (row >= Mg) continue;  // padding rows stay zero
+        const float* src = w + (g * Mg + row) * Kd;
+        for (std::int64_t k = 0; k < Kd; ++k) panel[k * kMR + m] = src[k];
+      }
+    }
+  }
+  packed_valid_.store(true, std::memory_order_release);
 }
 
 Tensor ConvLayer::forward(std::span<const Tensor* const> inputs) const {
@@ -170,49 +330,39 @@ Tensor ConvLayer::forward(std::span<const Tensor* const> inputs) const {
   const std::int64_t OH = conv_out_dim(H, K, S, P);
   const std::int64_t OW = conv_out_dim(W, K, S, P);
   const std::int64_t M = config_.out_channels;
-  const std::int64_t Kdim = C * K * K;  // GEMM inner dimension
+  const std::int64_t G = config_.groups;
   const std::int64_t N = OH * OW;
+  const std::int64_t Mg = M / G;
+  const std::int64_t Kd = (C / G) * K * K;  // per-group GEMM depth
 
-  // im2col: col[(c*K+kh)*K+kw][oh*OW+ow] = in[c][oh*S+kh-P][ow*S+kw-P]
-  std::vector<float> col(static_cast<std::size_t>(Kdim * N), 0.0f);
+  ensure_packed();
+  Tensor out(Shape{M, OH, OW});
+  util::ScratchArena::Frame scratch(util::ScratchArena::local());
+
+  // im2col: col[(c*K+kh)*K+kw][oh*OW+ow] = in[c][oh*S+kh-P][ow*S+kw-P].
+  // Rows are independent, so they im2col in parallel; a 1x1/s1/p0 conv is
+  // the identity im2col and reads the input directly (GoogLeNet is full of
+  // those).
   const float* src = in.data().data();
-  for (std::int64_t c = 0; c < C; ++c) {
-    for (std::int64_t kh = 0; kh < K; ++kh) {
-      for (std::int64_t kw = 0; kw < K; ++kw) {
-        float* dst = col.data() + ((c * K + kh) * K + kw) * N;
-        for (std::int64_t oh = 0; oh < OH; ++oh) {
-          const std::int64_t ih = oh * S + kh - P;
-          if (ih < 0 || ih >= H) {
-            dst += OW;
-            continue;
-          }
-          const float* row = src + (c * H + ih) * W;
-          for (std::int64_t ow = 0; ow < OW; ++ow) {
-            const std::int64_t iw = ow * S + kw - P;
-            *dst++ = (iw >= 0 && iw < W) ? row[iw] : 0.0f;
-          }
-        }
-      }
-    }
+  const float* col;
+  if (K == 1 && S == 1 && P == 0) {
+    col = src;
+  } else {
+    float* buf = scratch.floats(static_cast<std::size_t>(C * K * K * N));
+    auto fill = [&](std::int64_t lo, std::int64_t hi) {
+      im2col_rows(src, H, W, K, S, P, OH, OW, buf, lo, hi);
+    };
+    util::parallel_for(0, C * K * K, 1, fill);
+    col = buf;
   }
 
-  // GEMM: out[M x N] = weights[M x Kdim] * col[Kdim x N], ikj loop order so
-  // the inner loop streams over contiguous memory and auto-vectorizes.
-  Tensor out(Shape{M, OH, OW});
-  float* o = out.data().data();
-  const float* wts = weights_.data().data();
-  for (std::int64_t i = 0; i < M; ++i) {
-    float* orow = o + i * N;
-    std::fill(orow, orow + N, bias_[i]);
-    const float* wrow = wts + i * Kdim;
-    for (std::int64_t k = 0; k < Kdim; ++k) {
-      const float a = wrow[k];
-      if (a == 0.0f) continue;
-      const float* brow = col.data() + k * N;
-      for (std::int64_t j = 0; j < N; ++j) {
-        orow[j] += a * brow[j];
-      }
-    }
+  // Per-group GEMM over the packed panels; group g's col rows and output
+  // rows are contiguous slices.
+  const std::int64_t tiles = (Mg + kMR - 1) / kMR;
+  for (std::int64_t g = 0; g < G; ++g) {
+    gemm_parallel(packed_.data() + g * tiles * Kd * kMR, Kd,
+                  col + g * Kd * N, N, bias_.data().data() + g * Mg,
+                  out.data().data() + g * Mg * N, Mg);
   }
   return out;
 }
@@ -224,8 +374,9 @@ std::uint64_t ConvLayer::param_count() const {
 void ConvLayer::init_params(util::Pcg32& rng) {
   // Xavier-style scale keeps activations bounded through deep stacks so
   // synthetic-weight forward passes stay numerically sane.
-  const double fan_in = static_cast<double>(config_.in_channels *
-                                            config_.kernel * config_.kernel);
+  const double fan_in =
+      static_cast<double>((config_.in_channels / config_.groups) *
+                          config_.kernel * config_.kernel);
   const float scale = static_cast<float>(std::sqrt(3.0 / fan_in));
   for (auto& v : weights_.data()) {
     v = static_cast<float>(rng.uniform(-scale, scale));
@@ -233,6 +384,8 @@ void ConvLayer::init_params(util::Pcg32& rng) {
   for (auto& v : bias_.data()) {
     v = static_cast<float>(rng.uniform(-0.01, 0.01));
   }
+  packed_valid_.store(false, std::memory_order_release);
+  ensure_packed();  // pack once up front; forward never repacks
 }
 
 void ConvLayer::write_params(util::BinaryWriter& w) const {
@@ -243,14 +396,20 @@ void ConvLayer::write_params(util::BinaryWriter& w) const {
 void ConvLayer::read_params(util::BinaryReader& r) {
   for (auto& v : weights_.data()) v = r.f32();
   for (auto& v : bias_.data()) v = r.f32();
+  packed_valid_.store(false, std::memory_order_release);
+  ensure_packed();
 }
 
 std::string ConvLayer::config_str() const {
-  return "in=" + std::to_string(config_.in_channels) +
-         " out=" + std::to_string(config_.out_channels) +
-         " k=" + std::to_string(config_.kernel) +
-         " s=" + std::to_string(config_.stride) +
-         " p=" + std::to_string(config_.pad);
+  std::string s = "in=" + std::to_string(config_.in_channels) +
+                  " out=" + std::to_string(config_.out_channels) +
+                  " k=" + std::to_string(config_.kernel) +
+                  " s=" + std::to_string(config_.stride) +
+                  " p=" + std::to_string(config_.pad);
+  // Emitted only when non-default so existing model descriptions (and
+  // their fingerprints) are unchanged.
+  if (config_.groups != 1) s += " g=" + std::to_string(config_.groups);
+  return s;
 }
 
 // ----------------------------------------------------------------- PoolLayer
@@ -294,35 +453,41 @@ Tensor PoolLayer::forward(std::span<const Tensor* const> inputs) const {
   const std::int64_t OH = out_shape[1];
   const std::int64_t OW = out_shape[2];
   Tensor out(out_shape);
-  for (std::int64_t c = 0; c < C; ++c) {
-    for (std::int64_t oh = 0; oh < OH; ++oh) {
-      for (std::int64_t ow = 0; ow < OW; ++ow) {
-        const std::int64_t h0 = oh * config_.stride - config_.pad;
-        const std::int64_t w0 = ow * config_.stride - config_.pad;
-        const std::int64_t h1 = std::min(h0 + config_.kernel, H);
-        const std::int64_t w1 = std::min(w0 + config_.kernel, W);
-        const std::int64_t hs = std::max<std::int64_t>(h0, 0);
-        const std::int64_t ws = std::max<std::int64_t>(w0, 0);
-        if (average_) {
-          float sum = 0.0f;
-          for (std::int64_t h = hs; h < h1; ++h) {
-            for (std::int64_t w = ws; w < w1; ++w) sum += in.at(c, h, w);
-          }
-          // Caffe averages over the full kernel area including padding.
-          out.at(c, oh, ow) =
-              sum / static_cast<float>(config_.kernel * config_.kernel);
-        } else {
-          float m = -std::numeric_limits<float>::infinity();
-          for (std::int64_t h = hs; h < h1; ++h) {
-            for (std::int64_t w = ws; w < w1; ++w) {
-              m = std::max(m, in.at(c, h, w));
+  // Channels are independent → parallel over c; each task writes only its
+  // own output plane, and per-element window math is order-identical at
+  // any thread count.
+  auto pool_channels = [&](std::int64_t c_lo, std::int64_t c_hi) {
+    for (std::int64_t c = c_lo; c < c_hi; ++c) {
+      for (std::int64_t oh = 0; oh < OH; ++oh) {
+        for (std::int64_t ow = 0; ow < OW; ++ow) {
+          const std::int64_t h0 = oh * config_.stride - config_.pad;
+          const std::int64_t w0 = ow * config_.stride - config_.pad;
+          const std::int64_t h1 = std::min(h0 + config_.kernel, H);
+          const std::int64_t w1 = std::min(w0 + config_.kernel, W);
+          const std::int64_t hs = std::max<std::int64_t>(h0, 0);
+          const std::int64_t ws = std::max<std::int64_t>(w0, 0);
+          if (average_) {
+            float sum = 0.0f;
+            for (std::int64_t h = hs; h < h1; ++h) {
+              for (std::int64_t w = ws; w < w1; ++w) sum += in.at(c, h, w);
             }
+            // Caffe averages over the full kernel area including padding.
+            out.at(c, oh, ow) =
+                sum / static_cast<float>(config_.kernel * config_.kernel);
+          } else {
+            float m = -std::numeric_limits<float>::infinity();
+            for (std::int64_t h = hs; h < h1; ++h) {
+              for (std::int64_t w = ws; w < w1; ++w) {
+                m = std::max(m, in.at(c, h, w));
+              }
+            }
+            out.at(c, oh, ow) = m;
           }
-          out.at(c, oh, ow) = m;
         }
       }
     }
-  }
+  };
+  util::parallel_for(0, C, 1, pool_channels);
   return out;
 }
 
@@ -374,12 +539,16 @@ Tensor FullyConnectedLayer::forward(
   Tensor out(Shape{out_});
   const float* x = in.data().data();
   const float* wts = weights_.data().data();
-  for (std::int64_t i = 0; i < out_; ++i) {
-    const float* row = wts + i * in_;
-    float acc = bias_[i];
-    for (std::int64_t j = 0; j < in_; ++j) acc += row[j] * x[j];
-    out[i] = acc;
-  }
+  // Output rows are independent dot products → parallel over i.
+  auto rows = [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const float* row = wts + i * in_;
+      float acc = bias_[i];
+      for (std::int64_t j = 0; j < in_; ++j) acc += row[j] * x[j];
+      out[i] = acc;
+    }
+  };
+  util::parallel_for(0, out_, 8, rows);
   return out;
 }
 
@@ -427,7 +596,11 @@ std::uint64_t ReluLayer::flops(std::span<const Shape> inputs) const {
 Tensor ReluLayer::forward(std::span<const Tensor* const> inputs) const {
   if (inputs.size() != 1) throw std::invalid_argument("relu: one input");
   Tensor out = *inputs[0];
-  for (auto& v : out.data()) v = std::max(v, 0.0f);
+  float* data = out.data().data();
+  auto clamp = [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) data[i] = std::max(data[i], 0.0f);
+  };
+  util::parallel_for(0, out.elements(), 1 << 15, clamp);
   return out;
 }
 
@@ -503,22 +676,26 @@ Tensor LrnLayer::forward(std::span<const Tensor* const> inputs) const {
   Tensor out(in.shape());
   const double alpha_over_n =
       config_.alpha / static_cast<double>(config_.local_size);
-  for (std::int64_t h = 0; h < H; ++h) {
-    for (std::int64_t w = 0; w < W; ++w) {
-      for (std::int64_t c = 0; c < C; ++c) {
-        const std::int64_t c0 = std::max<std::int64_t>(0, c - half);
-        const std::int64_t c1 = std::min(C - 1, c + half);
-        double sum = 0.0;
-        for (std::int64_t cc = c0; cc <= c1; ++cc) {
-          const double v = in.at(cc, h, w);
-          sum += v * v;
+  // Spatial positions are independent → parallel over rows.
+  auto lrn_rows = [&](std::int64_t h_lo, std::int64_t h_hi) {
+    for (std::int64_t h = h_lo; h < h_hi; ++h) {
+      for (std::int64_t w = 0; w < W; ++w) {
+        for (std::int64_t c = 0; c < C; ++c) {
+          const std::int64_t c0 = std::max<std::int64_t>(0, c - half);
+          const std::int64_t c1 = std::min(C - 1, c + half);
+          double sum = 0.0;
+          for (std::int64_t cc = c0; cc <= c1; ++cc) {
+            const double v = in.at(cc, h, w);
+            sum += v * v;
+          }
+          const double denom =
+              std::pow(config_.k + alpha_over_n * sum, config_.beta);
+          out.at(c, h, w) = static_cast<float>(in.at(c, h, w) / denom);
         }
-        const double denom =
-            std::pow(config_.k + alpha_over_n * sum, config_.beta);
-        out.at(c, h, w) = static_cast<float>(in.at(c, h, w) / denom);
       }
     }
-  }
+  };
+  util::parallel_for(0, H, 1, lrn_rows);
   return out;
 }
 

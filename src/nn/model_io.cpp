@@ -75,12 +75,17 @@ LayerPtr make_layer(const std::string& kind, const std::string& name,
     return std::make_unique<InputLayer>(name, parse_shape(it->second), scale);
   }
   if (kind == "conv") {
+    // "g" (channel groups) is optional so pre-group descriptions parse
+    // unchanged.
+    std::int64_t groups = 1;
+    if (auto g = kv.find("g"); g != kv.end()) groups = std::stoll(g->second);
     return std::make_unique<ConvLayer>(
         name, ConvConfig{.in_channels = kv_int(kv, "in"),
                          .out_channels = kv_int(kv, "out"),
                          .kernel = kv_int(kv, "k"),
                          .stride = kv_int(kv, "s"),
-                         .pad = kv_int(kv, "p")});
+                         .pad = kv_int(kv, "p"),
+                         .groups = groups});
   }
   if (kind == "maxpool" || kind == "avgpool") {
     return std::make_unique<PoolLayer>(

@@ -1,0 +1,71 @@
+#include "src/util/arena.h"
+
+#include <algorithm>
+
+namespace offload::util {
+namespace {
+
+constexpr std::size_t kAlign = 64;
+
+std::size_t align_up(std::size_t n) {
+  return (n + (kAlign - 1)) & ~(kAlign - 1);
+}
+
+std::byte* aligned_base(std::vector<std::byte>& storage) {
+  auto v = reinterpret_cast<std::uintptr_t>(storage.data());
+  v = (v + (kAlign - 1)) & ~static_cast<std::uintptr_t>(kAlign - 1);
+  return reinterpret_cast<std::byte*>(v);
+}
+
+}  // namespace
+
+ScratchArena& ScratchArena::local() {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+std::size_t ScratchArena::capacity() const {
+  std::size_t n = main_.size();
+  for (const auto& b : overflow_) n += b.size();
+  return n;
+}
+
+void* ScratchArena::allocate(std::size_t bytes) {
+  bytes = align_up(std::max<std::size_t>(bytes, 1));
+  const std::size_t usable = main_.size() < kAlign ? 0 : main_.size() - kAlign;
+  if (offset_ + bytes > usable) {
+    if (offset_ == 0) {
+      // No live pointers into main_ yet — safe to regrow it in place.
+      const std::size_t want =
+          std::max({bytes, main_.size() * 2, std::size_t{64} * 1024});
+      main_.assign(want + kAlign, std::byte{0});
+      ++block_allocations_;
+    } else {
+      // Frames hold pointers into main_; satisfy this request from a
+      // dedicated overflow block instead.
+      overflow_.emplace_back(bytes + kAlign);
+      ++block_allocations_;
+      high_water_ = std::max(high_water_, offset_ + bytes);
+      return aligned_base(overflow_.back());
+    }
+  }
+  void* p = aligned_base(main_) + offset_;
+  offset_ += bytes;
+  high_water_ = std::max(high_water_, offset_);
+  return p;
+}
+
+void ScratchArena::rewind(std::size_t offset) {
+  offset_ = offset;
+  if (offset_ == 0 && !overflow_.empty()) {
+    // Consolidate: one block sized for the peak demand, so the next frame
+    // sequence allocates nothing.
+    std::size_t total = high_water_;
+    for (const auto& b : overflow_) total += b.size();
+    overflow_.clear();
+    main_.assign(align_up(total) + kAlign, std::byte{0});
+    ++block_allocations_;
+  }
+}
+
+}  // namespace offload::util

@@ -1,0 +1,150 @@
+#include "src/util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+namespace offload::util {
+namespace {
+
+/// True while the current thread is executing a parallel_for chunk; nested
+/// parallel_for calls then run inline instead of deadlocking on job_mutex_.
+thread_local bool t_in_parallel_region = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = default_thread_count();
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_chunks() {
+  const bool was_in_region = t_in_parallel_region;
+  t_in_parallel_region = true;
+  while (true) {
+    const std::int64_t c = next_chunk_.fetch_add(1);
+    if (c >= chunk_count_) break;
+    const std::int64_t lo = job_begin_ + c * chunk_size_;
+    const std::int64_t hi = std::min(job_end_, lo + chunk_size_);
+    try {
+      fn_(lo, hi);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(m_);
+      if (!error_) error_ = std::current_exception();
+    }
+    completed_.fetch_add(1);
+  }
+  t_in_parallel_region = was_in_region;
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      cv_start_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      // A worker can wake after the job it was notified for already
+      // completed (the caller only waits for chunk completion, not for
+      // every notified worker). Joining then would race with the next
+      // job's initialization, so re-check under the lock that this
+      // generation still has chunks to hand out.
+      if (completed_.load() >= chunk_count_) continue;
+      ++active_;
+    }
+    run_chunks();
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      --active_;
+    }
+    cv_done_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end,
+                              std::int64_t grain, RangeFn fn) {
+  if (end <= begin) return;
+  if (grain < 1) grain = 1;
+  const std::int64_t range = end - begin;
+  // Sequential fallback: no workers, tiny range, or nested invocation. The
+  // callee sees the exact same [begin, end) split it would see as a single
+  // chunk, so results are identical by construction.
+  if (workers_.empty() || range <= grain || t_in_parallel_region) {
+    fn(begin, end);
+    return;
+  }
+
+  std::lock_guard<std::mutex> job_lock(job_mutex_);
+  // ~4 chunks per thread gives dynamic load balancing without handing out
+  // chunks so small the atomic fetch_add dominates.
+  const std::int64_t target_chunks = static_cast<std::int64_t>(size()) * 4;
+  const std::int64_t chunk =
+      std::max(grain, (range + target_chunks - 1) / target_chunks);
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    fn_ = fn;
+    job_begin_ = begin;
+    job_end_ = end;
+    chunk_size_ = chunk;
+    chunk_count_ = (range + chunk - 1) / chunk;
+    next_chunk_.store(0);
+    completed_.store(0);
+    error_ = nullptr;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  run_chunks();  // caller participates
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lk(m_);
+    cv_done_.wait(lk, [&] {
+      return active_ == 0 && completed_.load() == chunk_count_;
+    });
+    err = error_;
+    error_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("OFFLOAD_THREADS"); env && *env) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<std::size_t>(v);
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? hc : 1;
+}
+
+namespace {
+std::mutex g_default_pool_mutex;
+std::unique_ptr<ThreadPool> g_default_pool;
+}  // namespace
+
+ThreadPool& default_pool() {
+  std::lock_guard<std::mutex> lk(g_default_pool_mutex);
+  if (!g_default_pool) {
+    g_default_pool = std::make_unique<ThreadPool>(default_thread_count());
+  }
+  return *g_default_pool;
+}
+
+void set_default_pool_threads(std::size_t threads) {
+  std::lock_guard<std::mutex> lk(g_default_pool_mutex);
+  g_default_pool = std::make_unique<ThreadPool>(
+      threads == 0 ? default_thread_count() : threads);
+}
+
+}  // namespace offload::util

@@ -1,0 +1,109 @@
+// Fixed-size thread pool with a parallel_for primitive — the execution
+// substrate for the DNN kernels and the block-parallel compressor. Worker
+// count comes from the OFFLOAD_THREADS environment variable (default:
+// hardware_concurrency). A pool of size 1 never spawns threads and runs
+// every parallel_for inline on the caller, which makes the sequential
+// fallback *exact*: kernels write disjoint output ranges and compute each
+// element in a fixed order, so results are bit-identical at any pool size.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace offload::util {
+
+/// Non-owning reference to a callable `void(int64 lo, int64 hi)`. Avoids
+/// std::function's possible heap allocation so steady-state kernel launches
+/// stay allocation-free.
+class RangeFn {
+ public:
+  RangeFn() = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, RangeFn>)
+  RangeFn(F& fn)  // NOLINT: implicit by design
+      : obj_(const_cast<void*>(static_cast<const void*>(&fn))),
+        call_([](void* o, std::int64_t lo, std::int64_t hi) {
+          (*static_cast<F*>(o))(lo, hi);
+        }) {}
+
+  void operator()(std::int64_t lo, std::int64_t hi) const {
+    call_(obj_, lo, hi);
+  }
+
+ private:
+  void* obj_ = nullptr;
+  void (*call_)(void*, std::int64_t, std::int64_t) = nullptr;
+};
+
+class ThreadPool {
+ public:
+  /// `threads` is the total degree of parallelism including the calling
+  /// thread; 0 means hardware_concurrency. A pool of size n spawns n-1
+  /// workers.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size() + 1; }
+
+  /// Partition [begin, end) into chunks of at least `grain` indices and run
+  /// `fn(lo, hi)` over them, caller participating. Blocks until every chunk
+  /// finished. Concurrent calls from different threads serialize; a nested
+  /// call from inside a running chunk executes inline (no deadlock). The
+  /// first exception thrown by `fn` is rethrown on the caller.
+  void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                    RangeFn fn);
+
+ private:
+  void worker_loop();
+  void run_chunks();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex job_mutex_;  ///< serializes whole jobs
+
+  std::mutex m_;  ///< guards job state handoff below
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::size_t active_ = 0;  ///< workers currently inside run_chunks
+
+  // Current job (valid while a parallel_for is in flight).
+  RangeFn fn_;
+  std::int64_t job_begin_ = 0;
+  std::int64_t job_end_ = 0;
+  std::int64_t chunk_size_ = 1;
+  std::int64_t chunk_count_ = 0;
+  std::atomic<std::int64_t> next_chunk_{0};
+  std::atomic<std::int64_t> completed_{0};
+  std::exception_ptr error_;
+};
+
+/// Thread count the default pool uses: OFFLOAD_THREADS if set (>= 1),
+/// otherwise hardware_concurrency (>= 1).
+std::size_t default_thread_count();
+
+/// Process-wide pool, created lazily with default_thread_count() workers.
+ThreadPool& default_pool();
+
+/// Replace the default pool with one of `threads` workers (0 → re-read the
+/// environment). Intended for tests and benchmarks that sweep thread
+/// counts; do not call while kernels are executing on other threads.
+void set_default_pool_threads(std::size_t threads);
+
+/// parallel_for on the default pool.
+template <typename F>
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  F&& fn) {
+  default_pool().parallel_for(begin, end, grain, RangeFn(fn));
+}
+
+}  // namespace offload::util

@@ -13,7 +13,15 @@
 namespace offload::vmsynth {
 
 /// Compress `input`. Output embeds a header with the original size.
+/// Inputs larger than one block (1 MiB) use a framed container whose
+/// blocks compress and decompress in parallel on the OFFLOAD_THREADS pool;
+/// the bytes produced are identical at any thread count.
 util::Bytes compress(std::span<const std::uint8_t> input);
+
+/// Force the legacy single-stream encoding regardless of input size.
+/// Exposed so tests and benches can bound the framed format's ratio
+/// penalty; decompress() reads both formats.
+util::Bytes compress_single_stream(std::span<const std::uint8_t> input);
 
 /// Decompress a buffer produced by compress(). Throws util::DecodeError on
 /// corrupt input.

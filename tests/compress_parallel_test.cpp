@@ -1,0 +1,144 @@
+// Property tests for the block-framed mlzma container: round-trips across
+// the single-stream/blocked size threshold and redundancy levels, byte
+// reproducibility at any thread count, ratio bound vs the single stream,
+// and corruption detection.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "src/util/bytes.h"
+#include "src/util/rng.h"
+#include "src/util/thread_pool.h"
+#include "src/vmsynth/compress.h"
+#include "src/vmsynth/vmimage.h"
+
+namespace {
+
+using namespace offload;
+
+constexpr std::size_t kBlockSize = 1 << 20;
+
+struct PoolGuard {
+  ~PoolGuard() { util::set_default_pool_threads(0); }
+};
+
+util::Bytes make_content(std::uint64_t size, double redundancy,
+                         std::uint64_t seed) {
+  return vmsynth::synthetic_file_content(size, redundancy, seed);
+}
+
+TEST(CompressFramed, RoundTripAcrossSizesAndRedundancy) {
+  PoolGuard guard;
+  util::set_default_pool_threads(4);
+  std::uint64_t seed = 1;
+  for (std::uint64_t size :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{1000},
+        std::uint64_t{kBlockSize - 1}, std::uint64_t{kBlockSize},
+        std::uint64_t{kBlockSize + 1}, std::uint64_t{3 * kBlockSize + 12345}}) {
+    for (double redundancy : {0.0, 0.5, 0.9}) {
+      util::Bytes input = make_content(size, redundancy, seed++);
+      util::Bytes compressed =
+          vmsynth::compress(std::span<const std::uint8_t>(input));
+      util::Bytes restored =
+          vmsynth::decompress(std::span<const std::uint8_t>(compressed));
+      ASSERT_EQ(input, restored)
+          << "size=" << size << " redundancy=" << redundancy;
+    }
+  }
+}
+
+TEST(CompressFramed, MagicSelectionBySize) {
+  util::Bytes small = make_content(kBlockSize, 0.5, 11);
+  util::Bytes c1 = vmsynth::compress(std::span<const std::uint8_t>(small));
+  ASSERT_GE(c1.size(), 4u);
+  EXPECT_EQ(std::string(c1.begin(), c1.begin() + 4), "MLZ1");
+
+  util::Bytes large = make_content(kBlockSize + 1, 0.5, 12);
+  util::Bytes c2 = vmsynth::compress(std::span<const std::uint8_t>(large));
+  ASSERT_GE(c2.size(), 4u);
+  EXPECT_EQ(std::string(c2.begin(), c2.begin() + 4), "MLZB");
+}
+
+TEST(CompressFramed, BytesIdenticalAtAnyThreadCount) {
+  PoolGuard guard;
+  util::Bytes input = make_content(5 * kBlockSize + 777, 0.6, 13);
+  util::set_default_pool_threads(1);
+  util::Bytes seq = vmsynth::compress(std::span<const std::uint8_t>(input));
+  util::set_default_pool_threads(4);
+  util::Bytes par = vmsynth::compress(std::span<const std::uint8_t>(input));
+  EXPECT_EQ(seq, par);
+}
+
+TEST(CompressFramed, RatioWithinFivePercentOfSingleStream) {
+  for (double redundancy : {0.4, 0.57, 0.8}) {
+    util::Bytes input = make_content(4 * kBlockSize, redundancy, 14);
+    const auto span = std::span<const std::uint8_t>(input);
+    const double blocked = static_cast<double>(vmsynth::compress(span).size());
+    const double single =
+        static_cast<double>(vmsynth::compress_single_stream(span).size());
+    EXPECT_LE(blocked, single * 1.05)
+        << "redundancy=" << redundancy << " blocked=" << blocked
+        << " single=" << single;
+  }
+}
+
+TEST(CompressFramed, LegacySingleStreamStillDecodes) {
+  // decompress() must keep reading the pre-framing format regardless of
+  // input size, since stored overlays may carry it.
+  util::Bytes input = make_content(2 * kBlockSize, 0.5, 15);
+  util::Bytes legacy =
+      vmsynth::compress_single_stream(std::span<const std::uint8_t>(input));
+  EXPECT_EQ(std::string(legacy.begin(), legacy.begin() + 4), "MLZ1");
+  util::Bytes restored =
+      vmsynth::decompress(std::span<const std::uint8_t>(legacy));
+  EXPECT_EQ(input, restored);
+}
+
+TEST(CompressFramed, CorruptionDetected) {
+  util::Bytes input = make_content(2 * kBlockSize + 99, 0.6, 16);
+  util::Bytes compressed =
+      vmsynth::compress(std::span<const std::uint8_t>(input));
+
+  // Bad magic.
+  util::Bytes bad_magic = compressed;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_THROW(
+      vmsynth::decompress(std::span<const std::uint8_t>(bad_magic)),
+      util::DecodeError);
+
+  // Truncation at various points (header, frame table, payload).
+  for (std::size_t keep :
+       {std::size_t{3}, std::size_t{8}, compressed.size() / 2,
+        compressed.size() - 1}) {
+    util::Bytes truncated(compressed.begin(),
+                          compressed.begin() + static_cast<std::ptrdiff_t>(
+                                                   keep));
+    EXPECT_THROW(
+        vmsynth::decompress(std::span<const std::uint8_t>(truncated)),
+        util::DecodeError)
+        << "keep=" << keep;
+  }
+
+  // Payload bit flips must be caught (by sequence bounds checks or the
+  // whole-output CRC).
+  util::Pcg32 rng(17);
+  for (int i = 0; i < 16; ++i) {
+    util::Bytes flipped = compressed;
+    const std::size_t pos =
+        20 + rng.next_u64() % (flipped.size() - 20);
+    flipped[pos] ^= static_cast<std::uint8_t>(1 + rng.next_u64() % 255);
+    try {
+      util::Bytes out =
+          vmsynth::decompress(std::span<const std::uint8_t>(flipped));
+      // Extremely unlikely, but if it decodes it must decode wrong data —
+      // equality would mean the flip was silently ignored.
+      EXPECT_NE(out, input) << "pos=" << pos;
+    } catch (const util::DecodeError&) {
+      // Expected: corruption detected.
+    }
+  }
+}
+
+}  // namespace
