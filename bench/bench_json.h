@@ -2,16 +2,17 @@
 // reporter that mirrors the console output and additionally collects every
 // run into a JSON array (op, shape label, wall ns/iter, user counters,
 // thread count) written next to the binary — BENCH_micro_nn.json etc. —
-// so the perf trajectory is trackable across PRs.
+// so the perf trajectory is trackable across PRs. The rendering itself
+// lives in json_writer.h, shared with the plain experiment benches.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "bench/json_writer.h"
 #include "src/util/thread_pool.h"
 
 namespace offload::bench {
@@ -21,14 +22,15 @@ class JsonReporter : public benchmark::ConsoleReporter {
   void ReportRuns(const std::vector<Run>& reports) override {
     for (const Run& run : reports) {
       if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
-      Entry e;
-      e.op = run.benchmark_name();
-      e.shape = run.report_label;
       const double iters =
           run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
-      e.wall_ns = run.real_accumulated_time * 1e9 / iters;
+      JsonObject e;
+      e.set("op", run.benchmark_name());
+      e.set("shape", run.report_label);
+      e.set("wall_ns", run.real_accumulated_time * 1e9 / iters, "%.1f");
+      e.set("threads", util::default_pool().size());
       for (const auto& [name, counter] : run.counters) {
-        e.counters.emplace_back(name, counter.value);
+        e.set(name, static_cast<double>(counter.value));
       }
       entries_.push_back(std::move(e));
     }
@@ -38,52 +40,11 @@ class JsonReporter : public benchmark::ConsoleReporter {
   /// Write everything collected so far as a JSON array to `path`.
   /// Returns false (and prints to stderr) if the file cannot be written.
   bool write_json(const std::string& path) const {
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (!f) {
-      std::fprintf(stderr, "bench_json: cannot write %s\n", path.c_str());
-      return false;
-    }
-    const std::size_t threads = util::default_pool().size();
-    std::fprintf(f, "[\n");
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-      const Entry& e = entries_[i];
-      std::fprintf(f, "  {\"op\": \"%s\", \"shape\": \"%s\", ",
-                   json_escape(e.op).c_str(), json_escape(e.shape).c_str());
-      std::fprintf(f, "\"wall_ns\": %.1f, \"threads\": %zu", e.wall_ns,
-                   threads);
-      for (const auto& [name, value] : e.counters) {
-        std::fprintf(f, ", \"%s\": %.6g", json_escape(name).c_str(), value);
-      }
-      std::fprintf(f, "}%s\n", i + 1 < entries_.size() ? "," : "");
-    }
-    std::fprintf(f, "]\n");
-    std::fclose(f);
-    return true;
+    return write_json_array(path, entries_);
   }
 
  private:
-  struct Entry {
-    std::string op;
-    std::string shape;
-    double wall_ns = 0;
-    std::vector<std::pair<std::string, double>> counters;
-  };
-
-  static std::string json_escape(const std::string& s) {
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-      if (c == '"' || c == '\\') out.push_back('\\');
-      if (c == '\n') {
-        out += "\\n";
-        continue;
-      }
-      out.push_back(c);
-    }
-    return out;
-  }
-
-  std::vector<Entry> entries_;
+  std::vector<JsonObject> entries_;
 };
 
 /// Shared main() body: run all registered benchmarks with a JsonReporter

@@ -1,0 +1,95 @@
+// Plain JSON emission shared by every bench binary: the google-benchmark
+// micro benches (via bench_json.h) and the plain experiment binaries like
+// bench_multiclient. Flat objects of ordered scalar fields, written as a
+// JSON array — enough structure for cross-PR tracking without pulling in
+// a JSON library.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace offload::bench {
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// A flat JSON object: ordered key → scalar fields, rendered as they are
+/// set. Keys keep insertion order so diffs between runs stay readable.
+class JsonObject {
+ public:
+  JsonObject& set(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, "\"" + json_escape(value) + "\"");
+    return *this;
+  }
+  JsonObject& set(const std::string& key, const char* value) {
+    return set(key, std::string(value));
+  }
+  /// `fmt` is a printf format for one double (default keeps 6 significant
+  /// digits, matching the old bench_json counter output).
+  JsonObject& set(const std::string& key, double value,
+                  const char* fmt = "%.6g") {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, fmt, value);
+    fields_.emplace_back(key, buf);
+    return *this;
+  }
+  JsonObject& set(const std::string& key, std::int64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  JsonObject& set(const std::string& key, int value) {
+    return set(key, static_cast<std::int64_t>(value));
+  }
+  JsonObject& set(const std::string& key, std::size_t value) {
+    return set(key, static_cast<std::int64_t>(value));
+  }
+
+  std::string str() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i) out += ", ";
+      out += "\"" + json_escape(fields_[i].first) + "\": " +
+             fields_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Write `entries` as a JSON array to `path`. Returns false (and prints to
+/// stderr) if the file cannot be written.
+inline bool write_json_array(const std::string& path,
+                             const std::vector<JsonObject>& entries) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "json_writer: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    std::fprintf(f, "  %s%s\n", entries[i].str().c_str(),
+                 i + 1 < entries.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace offload::bench

@@ -6,7 +6,8 @@ const std::vector<std::string>& InferenceBreakdown::labels() {
   static const std::vector<std::string> kLabels = {
       "DNN Execution (C)",     "Snapshot Capture (C)", "Transmission (C->S)",
       "Snapshot Restore (S)",  "DNN Execution (S)",    "Snapshot Capture (S)",
-      "Transmission (S->C)",   "Snapshot Restore (C)", "Other",
+      "Queue Wait (S)",        "Batch Formation (S)",  "Transmission (S->C)",
+      "Snapshot Restore (C)",  "Other",
   };
   return kLabels;
 }
@@ -14,8 +15,8 @@ const std::vector<std::string>& InferenceBreakdown::labels() {
 std::vector<double> InferenceBreakdown::values() const {
   return {dnn_execution_client,  snapshot_capture_client, transmission_up,
           snapshot_restore_server, dnn_execution_server,
-          snapshot_capture_server, transmission_down,
-          snapshot_restore_client, other};
+          snapshot_capture_server, server_queue_wait, server_batch_wait,
+          transmission_down, snapshot_restore_client, other};
 }
 
 }  // namespace offload::core

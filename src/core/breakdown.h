@@ -15,15 +15,17 @@ struct InferenceBreakdown {
   double snapshot_restore_server = 0;
   double dnn_execution_server = 0;
   double snapshot_capture_server = 0;
+  double server_queue_wait = 0;       ///< waited for a server replica
+  double server_batch_wait = 0;       ///< held while a batch formed
   double transmission_down = 0;       ///< result snapshot S→C
   double snapshot_restore_client = 0;
-  double other = 0;                   ///< residual (queueing not on a link)
+  double other = 0;                   ///< residual (e.g. refusal round trips)
 
   double total() const {
     return dnn_execution_client + snapshot_capture_client + transmission_up +
            snapshot_restore_server + dnn_execution_server +
-           snapshot_capture_server + transmission_down +
-           snapshot_restore_client + other;
+           snapshot_capture_server + server_queue_wait + server_batch_wait +
+           transmission_down + snapshot_restore_client + other;
   }
 
   /// Fig. 7 category labels, in stack order.

@@ -52,9 +52,11 @@ RunResult OffloadingRuntime::run() {
     b.snapshot_restore_server = record.restore_s;
     b.dnn_execution_server = record.execute_s;
     b.snapshot_capture_server = record.capture_s;
+    b.server_queue_wait = record.queue_wait_s;
+    b.server_batch_wait = record.batch_wait_s;
     b.transmission_down =
         (*result.timeline.result_received - record.received_at).to_seconds() -
-        record.busy_s() - record.queue_wait_s;
+        record.busy_s() - record.queue_wait_s - record.batch_wait_s;
     b.snapshot_restore_client = result.timeline.restore_s;
     // Residual between the measured end-to-end latency and the categorized
     // parts (e.g. waiting for a refused snapshot to be re-sendable).

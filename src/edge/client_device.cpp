@@ -314,6 +314,19 @@ void ClientDevice::on_message(const net::Message& message) {
         send_snapshot_message(std::move(msg), recapture_s);
         return;
       }
+      if (util::starts_with(message.name, "overloaded") && awaiting_result_) {
+        // The server shed our request (admission queue full). The realm is
+        // untouched since capture — the offloaded event is still at the
+        // queue front — so finish this inference locally.
+        OFFLOAD_LOG_INFO << "client: server overloaded, falling back to "
+                            "local execution";
+        awaiting_result_ = false;
+        inflight_snapshot_.reset();
+        timeline_.local_fallback = true;
+        timeline_.offloaded = false;  // the result never came from the server
+        run_locally();
+        return;
+      }
       if (util::starts_with(message.name, "not_installed")) {
         if (config_.install_on_demand && !overlay_sent_) {
           OFFLOAD_LOG_INFO << "client: server lacks offloading system, "

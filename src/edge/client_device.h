@@ -82,7 +82,8 @@ struct ClientTimeline {
   double restore_s = 0;      ///< result-snapshot restore on the client
   std::optional<sim::SimTime> finished;
   bool offloaded = false;
-  /// This inference ran locally because the model ACK was pending.
+  /// This inference ran locally — either the model ACK was still pending,
+  /// or the server shed the request ("overloaded:" control reply).
   bool local_fallback = false;
   /// This inference shipped a differential snapshot.
   bool used_differential = false;

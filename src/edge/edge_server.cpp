@@ -12,6 +12,9 @@ EdgeServer::EdgeServer(sim::Simulation& sim, net::Endpoint& endpoint,
       config_(std::move(config)),
       store_(std::make_shared<ModelStore>()),
       base_image_(vmsynth::make_base_image()) {
+  serve::SchedulerConfig sched = config_.scheduler;
+  sched.profile = config_.profile;  // the server's compute, not a default
+  scheduler_ = std::make_unique<serve::Scheduler>(sim_, std::move(sched));
   attach(endpoint);
 }
 
@@ -19,14 +22,6 @@ void EdgeServer::attach(net::Endpoint& endpoint) {
   endpoint.set_handler([this, &endpoint](const net::Message& m) {
     on_message(endpoint, m);
   });
-}
-
-std::pair<sim::SimTime, sim::SimTime> EdgeServer::reserve_compute(
-    double busy_s) {
-  sim::SimTime start = std::max(sim_.now(), compute_busy_until_);
-  sim::SimTime end = start + sim::SimTime::seconds(busy_s);
-  compute_busy_until_ = end;
-  return {start, end};
 }
 
 void EdgeServer::on_message(net::Endpoint& from, const net::Message& message) {
@@ -76,6 +71,17 @@ void EdgeServer::handle_model_files(net::Endpoint& from,
 
 void EdgeServer::handle_snapshot(net::Endpoint& from,
                                  const net::Message& message) {
+  if (!scheduler_->would_admit()) {
+    // Load shed before restoring anything: the client's realm still holds
+    // the offloaded event, so it finishes this inference locally.
+    ++stats_.snapshots_shed;
+    net::Message reply;
+    reply.type = net::MessageType::kControl;
+    reply.name = "overloaded:" + message.name;
+    from.send(std::move(reply));
+    return;
+  }
+
   SnapshotPayload payload = SnapshotPayload::decode(std::span(message.payload));
 
   ServerExecutionRecord record;
@@ -142,12 +148,13 @@ void EdgeServer::handle_snapshot(net::Endpoint& from,
   reply.payload = reply_payload.encode();
   record.snapshot_out_bytes = reply.wire_size();
 
-  // The server's compute is a shared resource: concurrent offloads from
-  // different clients queue FIFO (a quad-core box running one browser
-  // instance per request would contend similarly).
-  auto [start, end] = reserve_compute(record.busy_s());
-  record.queue_wait_s = (start - record.received_at).to_seconds();
+  // The server's compute is a shared resource: executions from all
+  // clients queue on the serving scheduler (the default 1-replica FIFO
+  // configuration is exactly the old compute reservation). Snapshot jobs
+  // are opaque to the batcher — each one is a full JS VM execution in its
+  // own realm, so there is nothing to fuse.
   ++stats_.snapshots_executed;
+  const std::size_t record_index = executions_.size();
   executions_.push_back(record);
   last_browser_ = browser_.get();
   if (config_.keep_sessions) {
@@ -156,9 +163,15 @@ void EdgeServer::handle_snapshot(net::Endpoint& from,
     session.browser = std::move(browser_);
     sessions_[message.name] = std::move(session);
   }
-  sim_.schedule_at(end, [&from, reply = std::move(reply)]() mutable {
-    from.send(std::move(reply));
-  });
+  scheduler_->submit_opaque(
+      record.busy_s(),
+      [this, &from, record_index,
+       reply = std::move(reply)](const serve::RequestTiming& t) mutable {
+        ServerExecutionRecord& rec = executions_[record_index];
+        rec.queue_wait_s = t.queue_wait_s;
+        rec.batch_wait_s = t.batch_wait_s;
+        from.send(std::move(reply));
+      });
 }
 
 void EdgeServer::handle_overlay(net::Endpoint& from,

@@ -19,6 +19,7 @@
 #include "src/edge/model_store.h"
 #include "src/edge/protocol.h"
 #include "src/net/channel.h"
+#include "src/serve/scheduler.h"
 #include "src/sim/simulation.h"
 #include "src/vmsynth/overlay.h"
 
@@ -36,12 +37,20 @@ struct EdgeServerConfig {
   /// snapshots (the paper's Section VI future work).
   bool keep_sessions = true;
   jsvm::SnapshotOptions snapshot_options;
+  /// Compute-scheduler knobs: replica lanes, queue policy, batching window
+  /// and the admission bound (0 = never shed). The `profile` field inside
+  /// is ignored — the server's own profile above is used. The default
+  /// (1 replica, FIFO, batch 1, unbounded) reproduces the original FIFO
+  /// compute reservation bit-for-bit.
+  serve::SchedulerConfig scheduler;
 };
 
 /// Per-offload server-side timing, for the Fig. 7 breakdown.
 struct ServerExecutionRecord {
   sim::SimTime received_at;
   double queue_wait_s = 0;  ///< waited for earlier requests (contention)
+  double batch_wait_s = 0;  ///< replica idle while a batch formed (zero
+                            ///< for snapshot jobs unless batching is on)
   double restore_s = 0;   ///< parse+run the incoming snapshot
   double execute_s = 0;   ///< DNN execution on the server browser
   double capture_s = 0;   ///< producing the result snapshot
@@ -74,6 +83,7 @@ class EdgeServer {
     int diff_version_misses = 0;
     int overlays_installed = 0;
     int refused = 0;
+    int snapshots_shed = 0;  ///< load-shed by scheduler admission control
     double vm_synthesis_compute_s = 0;
   };
   const Stats& stats() const { return stats_; }
@@ -85,19 +95,22 @@ class EdgeServer {
   /// keep_sessions on, this is the live session realm.
   BrowserHost* last_browser() { return last_browser_; }
 
+  /// The compute scheduler all snapshot executions queue on. Exposed so
+  /// callers can register models for direct inference jobs and so tests
+  /// can inspect batching/shedding stats.
+  serve::Scheduler& scheduler() { return *scheduler_; }
+  const serve::Scheduler& scheduler() const { return *scheduler_; }
+
  private:
   void on_message(net::Endpoint& from, const net::Message& message);
   void handle_model_files(net::Endpoint& from, const net::Message& message);
   void handle_snapshot(net::Endpoint& from, const net::Message& message);
   void handle_overlay(net::Endpoint& from, const net::Message& message);
   void refuse(net::Endpoint& from, const net::Message& message);
-  /// Reserve the server's compute for `busy_s` starting no earlier than
-  /// now; returns {start, end} honoring earlier reservations (FIFO).
-  std::pair<sim::SimTime, sim::SimTime> reserve_compute(double busy_s);
 
   sim::Simulation& sim_;
   EdgeServerConfig config_;
-  sim::SimTime compute_busy_until_;
+  std::unique_ptr<serve::Scheduler> scheduler_;
   std::shared_ptr<ModelStore> store_;
   std::unique_ptr<BrowserHost> browser_;
   BrowserHost* last_browser_ = nullptr;

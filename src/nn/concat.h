@@ -13,6 +13,8 @@ class ConcatLayer final : public Layer {
   Shape output_shape(std::span<const Shape> inputs) const override;
   std::uint64_t flops(std::span<const Shape> inputs) const override;
   Tensor forward(std::span<const Tensor* const> inputs) const override;
+  Tensor forward_batch(std::span<const Tensor* const> inputs,
+                       std::int64_t batch) const override;
 };
 
 }  // namespace offload::nn

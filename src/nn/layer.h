@@ -45,12 +45,25 @@ class Layer {
   /// on arity/shape mismatches so graph bugs surface at build time.
   virtual Shape output_shape(std::span<const Shape> inputs) const = 0;
 
-  /// Floating-point operation count for one forward pass (multiply and add
-  /// counted separately, the Neurosurgeon convention). Drives the device
-  /// cost model.
+  /// Floating-point operation count for one forward pass over a single
+  /// sample (multiply and add counted separately, the Neurosurgeon
+  /// convention). Drives the device cost model; a fused batch of B samples
+  /// costs B x this many FLOPs (see DeviceProfile::layer_batch_time_s for
+  /// how the dispatch overhead amortizes).
   virtual std::uint64_t flops(std::span<const Shape> inputs) const = 0;
 
   virtual Tensor forward(std::span<const Tensor* const> inputs) const = 0;
+
+  /// Batched forward: every input tensor carries a leading batch dimension
+  /// prepended to its per-sample shape (a CHW input becomes {B, C, H, W}),
+  /// and the output does too. The default implementation slices each
+  /// sample, runs forward(), and stacks the outputs, so every layer is
+  /// batch-correct by construction; the hot layers (conv, pool, fc, relu,
+  /// lrn, concat) override it with kernels that parallelize across the
+  /// whole batch. Results are bit-identical to per-sample forward() at any
+  /// batch size and thread count.
+  virtual Tensor forward_batch(std::span<const Tensor* const> inputs,
+                               std::int64_t batch) const;
 
   virtual std::uint64_t param_count() const { return 0; }
   virtual void init_params(util::Pcg32& /*rng*/) {}

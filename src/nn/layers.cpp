@@ -22,6 +22,28 @@ void require_rank3(const Shape& s, const char* what) {
   }
 }
 
+/// Per-sample shape of a batched tensor: validates the leading batch dim
+/// and strips it.
+Shape strip_batch(const Tensor& t, std::int64_t batch, const char* what) {
+  if (t.shape().rank() < 1 || t.shape()[0] != batch) {
+    throw std::invalid_argument(std::string(what) +
+                                ": expected leading batch dim " +
+                                std::to_string(batch) + ", got " +
+                                t.shape().str());
+  }
+  return Shape(std::vector<std::int64_t>(t.shape().dims().begin() + 1,
+                                         t.shape().dims().end()));
+}
+
+/// {B, dims...}.
+Shape with_batch(const Shape& per_sample, std::int64_t batch) {
+  std::vector<std::int64_t> dims;
+  dims.reserve(per_sample.rank() + 1);
+  dims.push_back(batch);
+  for (auto d : per_sample.dims()) dims.push_back(d);
+  return Shape(std::move(dims));
+}
+
 /// Caffe conv output size: floor((in + 2p - k) / s) + 1.
 std::int64_t conv_out_dim(std::int64_t in, std::int64_t k, std::int64_t s,
                           std::int64_t p) {
@@ -73,6 +95,31 @@ void Layer::require_arity(std::span<const Shape> inputs, std::size_t n,
                                 std::to_string(n) + " inputs, got " +
                                 std::to_string(inputs.size()));
   }
+}
+
+Tensor Layer::forward_batch(std::span<const Tensor* const> inputs,
+                            std::int64_t batch) const {
+  if (batch <= 0) {
+    throw std::invalid_argument("forward_batch: batch must be >= 1");
+  }
+  std::vector<Tensor> slices(inputs.size());
+  std::vector<const Tensor*> ptrs(inputs.size());
+  Tensor out;
+  std::int64_t per_out = 0;
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (std::size_t k = 0; k < inputs.size(); ++k) {
+      slices[k] = inputs[k]->sample(b);
+      ptrs[k] = &slices[k];
+    }
+    Tensor s = forward(ptrs);
+    if (b == 0) {
+      per_out = s.elements();
+      out = Tensor(with_batch(s.shape(), batch));
+    }
+    auto src = s.data();
+    std::copy(src.begin(), src.end(), out.data().begin() + b * per_out);
+  }
+  return out;
 }
 
 // ---------------------------------------------------------------- InputLayer
@@ -367,6 +414,85 @@ Tensor ConvLayer::forward(std::span<const Tensor* const> inputs) const {
   return out;
 }
 
+Tensor ConvLayer::forward_batch(std::span<const Tensor* const> inputs,
+                                std::int64_t batch) const {
+  if (inputs.size() != 1) throw std::invalid_argument("conv: one input");
+  const Tensor& in = *inputs[0];
+  const Shape per = strip_batch(in, batch, "conv");
+  check_input(per);
+  const std::int64_t C = per[0];
+  const std::int64_t H = per[1];
+  const std::int64_t W = per[2];
+  const std::int64_t K = config_.kernel;
+  const std::int64_t S = config_.stride;
+  const std::int64_t P = config_.pad;
+  const std::int64_t OH = conv_out_dim(H, K, S, P);
+  const std::int64_t OW = conv_out_dim(W, K, S, P);
+  const std::int64_t M = config_.out_channels;
+  const std::int64_t G = config_.groups;
+  const std::int64_t N = OH * OW;
+  const std::int64_t Mg = M / G;
+  const std::int64_t Kd = (C / G) * K * K;
+  const std::int64_t CKK = C * K * K;
+
+  ensure_packed();
+  Tensor out(Shape{batch, M, OH, OW});
+  util::ScratchArena::Frame scratch(util::ScratchArena::local());
+
+  // im2col every sample into one buffer (rows of all samples fill in
+  // parallel); each task computes the same rows the single-sample path
+  // would, so the column data is identical.
+  const float* src = in.data().data();
+  const float* col_base;
+  std::int64_t col_stride;  // floats between consecutive samples' columns
+  if (K == 1 && S == 1 && P == 0) {
+    col_base = src;
+    col_stride = C * H * W;
+  } else {
+    float* buf = scratch.floats(static_cast<std::size_t>(batch * CKK * N));
+    auto fill = [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t t = lo; t < hi; ++t) {
+        const std::int64_t b = t / CKK;
+        const std::int64_t r = t % CKK;
+        im2col_rows(src + b * C * H * W, H, W, K, S, P, OH, OW,
+                    buf + b * CKK * N, r, r + 1);
+      }
+    };
+    util::parallel_for(0, batch * CKK, 1, fill);
+    col_base = buf;
+    col_stride = CKK * N;
+  }
+
+  // One parallel GEMM over every (sample, group, macro-tile) task. Each
+  // task runs the identical gemm_tile the single-sample path runs, so the
+  // batched output is bit-identical to B per-sample forwards — but the
+  // thread pool sees B x the tiles, which keeps every core busy even on
+  // the small late-network feature maps.
+  const std::int64_t tiles = (Mg + kMR - 1) / kMR;
+  const std::int64_t row_blocks = (Mg + kRowBlock - 1) / kRowBlock;
+  const std::int64_t col_blocks = (N + kColBlock - 1) / kColBlock;
+  const std::int64_t per_sample_tasks = G * row_blocks * col_blocks;
+  const float* bias = bias_.data().data();
+  float* out_data = out.data().data();
+  auto run = [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t t = lo; t < hi; ++t) {
+      const std::int64_t b = t / per_sample_tasks;
+      std::int64_t rem = t % per_sample_tasks;
+      const std::int64_t g = rem / (row_blocks * col_blocks);
+      rem %= row_blocks * col_blocks;
+      const std::int64_t rb = rem / col_blocks;
+      const std::int64_t cb = rem % col_blocks;
+      gemm_tile(packed_.data() + g * tiles * Kd * kMR, Kd,
+                col_base + b * col_stride + g * Kd * N, N, bias + g * Mg,
+                out_data + (b * M + g * Mg) * N, Mg, rb * kRowBlock,
+                std::min(Mg, (rb + 1) * kRowBlock), cb * kColBlock,
+                std::min(N, (cb + 1) * kColBlock));
+    }
+  };
+  util::parallel_for(0, batch * per_sample_tasks, 1, run);
+  return out;
+}
+
 std::uint64_t ConvLayer::param_count() const {
   return static_cast<std::uint64_t>(weights_.elements() + bias_.elements());
 }
@@ -414,6 +540,45 @@ std::string ConvLayer::config_str() const {
 
 // ----------------------------------------------------------------- PoolLayer
 
+namespace {
+
+/// Pool one CHW channel plane. Both the single-sample and the batched
+/// kernels funnel through this, so their per-element arithmetic (and hence
+/// their bits) is identical.
+void pool_plane(const float* in, float* out, std::int64_t H, std::int64_t W,
+                std::int64_t OH, std::int64_t OW, const PoolConfig& cfg,
+                bool average) {
+  for (std::int64_t oh = 0; oh < OH; ++oh) {
+    for (std::int64_t ow = 0; ow < OW; ++ow) {
+      const std::int64_t h0 = oh * cfg.stride - cfg.pad;
+      const std::int64_t w0 = ow * cfg.stride - cfg.pad;
+      const std::int64_t h1 = std::min(h0 + cfg.kernel, H);
+      const std::int64_t w1 = std::min(w0 + cfg.kernel, W);
+      const std::int64_t hs = std::max<std::int64_t>(h0, 0);
+      const std::int64_t ws = std::max<std::int64_t>(w0, 0);
+      if (average) {
+        float sum = 0.0f;
+        for (std::int64_t h = hs; h < h1; ++h) {
+          for (std::int64_t w = ws; w < w1; ++w) sum += in[h * W + w];
+        }
+        // Caffe averages over the full kernel area including padding.
+        out[oh * OW + ow] =
+            sum / static_cast<float>(cfg.kernel * cfg.kernel);
+      } else {
+        float m = -std::numeric_limits<float>::infinity();
+        for (std::int64_t h = hs; h < h1; ++h) {
+          for (std::int64_t w = ws; w < w1; ++w) {
+            m = std::max(m, in[h * W + w]);
+          }
+        }
+        out[oh * OW + ow] = m;
+      }
+    }
+  }
+}
+
+}  // namespace
+
 PoolLayer::PoolLayer(std::string name, const PoolConfig& config, bool average)
     : Layer(std::move(name)), config_(config), average_(average) {
   if (config.kernel <= 0 || config.stride <= 0 || config.pad < 0) {
@@ -456,38 +621,41 @@ Tensor PoolLayer::forward(std::span<const Tensor* const> inputs) const {
   // Channels are independent → parallel over c; each task writes only its
   // own output plane, and per-element window math is order-identical at
   // any thread count.
+  const float* src = in.data().data();
+  float* dst = out.data().data();
   auto pool_channels = [&](std::int64_t c_lo, std::int64_t c_hi) {
     for (std::int64_t c = c_lo; c < c_hi; ++c) {
-      for (std::int64_t oh = 0; oh < OH; ++oh) {
-        for (std::int64_t ow = 0; ow < OW; ++ow) {
-          const std::int64_t h0 = oh * config_.stride - config_.pad;
-          const std::int64_t w0 = ow * config_.stride - config_.pad;
-          const std::int64_t h1 = std::min(h0 + config_.kernel, H);
-          const std::int64_t w1 = std::min(w0 + config_.kernel, W);
-          const std::int64_t hs = std::max<std::int64_t>(h0, 0);
-          const std::int64_t ws = std::max<std::int64_t>(w0, 0);
-          if (average_) {
-            float sum = 0.0f;
-            for (std::int64_t h = hs; h < h1; ++h) {
-              for (std::int64_t w = ws; w < w1; ++w) sum += in.at(c, h, w);
-            }
-            // Caffe averages over the full kernel area including padding.
-            out.at(c, oh, ow) =
-                sum / static_cast<float>(config_.kernel * config_.kernel);
-          } else {
-            float m = -std::numeric_limits<float>::infinity();
-            for (std::int64_t h = hs; h < h1; ++h) {
-              for (std::int64_t w = ws; w < w1; ++w) {
-                m = std::max(m, in.at(c, h, w));
-              }
-            }
-            out.at(c, oh, ow) = m;
-          }
-        }
-      }
+      pool_plane(src + c * H * W, dst + c * OH * OW, H, W, OH, OW, config_,
+                 average_);
     }
   };
   util::parallel_for(0, C, 1, pool_channels);
+  return out;
+}
+
+Tensor PoolLayer::forward_batch(std::span<const Tensor* const> inputs,
+                                std::int64_t batch) const {
+  if (inputs.size() != 1) throw std::invalid_argument("pool: one input");
+  const Tensor& in = *inputs[0];
+  Shape per = strip_batch(in, batch, "pool");
+  Shape shapes[1] = {per};
+  Shape out_per = output_shape(shapes);
+  const std::int64_t C = per[0];
+  const std::int64_t H = per[1];
+  const std::int64_t W = per[2];
+  const std::int64_t OH = out_per[1];
+  const std::int64_t OW = out_per[2];
+  Tensor out(with_batch(out_per, batch));
+  // All B*C planes are independent — one flat parallel_for across them.
+  const float* src = in.data().data();
+  float* dst = out.data().data();
+  auto pool_planes = [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t t = lo; t < hi; ++t) {
+      pool_plane(src + t * H * W, dst + t * OH * OW, H, W, OH, OW, config_,
+                 average_);
+    }
+  };
+  util::parallel_for(0, batch * C, 1, pool_planes);
   return out;
 }
 
@@ -552,6 +720,36 @@ Tensor FullyConnectedLayer::forward(
   return out;
 }
 
+Tensor FullyConnectedLayer::forward_batch(
+    std::span<const Tensor* const> inputs, std::int64_t batch) const {
+  if (inputs.size() != 1) throw std::invalid_argument("fc: one input");
+  const Tensor& in = *inputs[0];
+  if (in.shape().rank() < 1 || in.shape()[0] != batch ||
+      in.elements() != batch * in_) {
+    throw std::invalid_argument("fc " + name() +
+                                ": batched feature count mismatch");
+  }
+  Tensor out(Shape{batch, out_});
+  const float* x = in.data().data();
+  const float* wts = weights_.data().data();
+  float* y = out.data().data();
+  // All B*out_ dot products are independent; each accumulates in the same
+  // j-ascending order as the single-sample kernel.
+  auto rows = [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t t = lo; t < hi; ++t) {
+      const std::int64_t b = t / out_;
+      const std::int64_t i = t % out_;
+      const float* row = wts + i * in_;
+      const float* xb = x + b * in_;
+      float acc = bias_[i];
+      for (std::int64_t j = 0; j < in_; ++j) acc += row[j] * xb[j];
+      y[t] = acc;
+    }
+  };
+  util::parallel_for(0, batch * out_, 8, rows);
+  return out;
+}
+
 std::uint64_t FullyConnectedLayer::param_count() const {
   return static_cast<std::uint64_t>(weights_.elements() + bias_.elements());
 }
@@ -595,6 +793,21 @@ std::uint64_t ReluLayer::flops(std::span<const Shape> inputs) const {
 
 Tensor ReluLayer::forward(std::span<const Tensor* const> inputs) const {
   if (inputs.size() != 1) throw std::invalid_argument("relu: one input");
+  Tensor out = *inputs[0];
+  float* data = out.data().data();
+  auto clamp = [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) data[i] = std::max(data[i], 0.0f);
+  };
+  util::parallel_for(0, out.elements(), 1 << 15, clamp);
+  return out;
+}
+
+Tensor ReluLayer::forward_batch(std::span<const Tensor* const> inputs,
+                                std::int64_t batch) const {
+  if (inputs.size() != 1) throw std::invalid_argument("relu: one input");
+  strip_batch(*inputs[0], batch, "relu");
+  // Elementwise: identical arithmetic no matter how the index space is
+  // chunked, so the flat batched range is trivially bit-exact.
   Tensor out = *inputs[0];
   float* data = out.data().data();
   auto clamp = [&](std::int64_t lo, std::int64_t hi) {
@@ -666,36 +879,75 @@ std::uint64_t LrnLayer::flops(std::span<const Shape> inputs) const {
          (2ull * static_cast<std::uint64_t>(config_.local_size) + 3ull);
 }
 
+namespace {
+
+/// Normalizes one spatial row (all W positions × all C channels) of a CHW
+/// plane. Shared by the single-sample and batched paths so both produce the
+/// same bits for the same row.
+void lrn_row(const float* in, float* out, std::int64_t C, std::int64_t H,
+             std::int64_t W, std::int64_t h, const LrnConfig& cfg) {
+  const std::int64_t half = cfg.local_size / 2;
+  const double alpha_over_n = cfg.alpha / static_cast<double>(cfg.local_size);
+  for (std::int64_t w = 0; w < W; ++w) {
+    for (std::int64_t c = 0; c < C; ++c) {
+      const std::int64_t c0 = std::max<std::int64_t>(0, c - half);
+      const std::int64_t c1 = std::min(C - 1, c + half);
+      double sum = 0.0;
+      for (std::int64_t cc = c0; cc <= c1; ++cc) {
+        const double v = in[(cc * H + h) * W + w];
+        sum += v * v;
+      }
+      const double denom = std::pow(cfg.k + alpha_over_n * sum, cfg.beta);
+      out[(c * H + h) * W + w] =
+          static_cast<float>(in[(c * H + h) * W + w] / denom);
+    }
+  }
+}
+
+}  // namespace
+
 Tensor LrnLayer::forward(std::span<const Tensor* const> inputs) const {
   if (inputs.size() != 1) throw std::invalid_argument("lrn: one input");
   const Tensor& in = *inputs[0];
   const std::int64_t C = in.shape()[0];
   const std::int64_t H = in.shape()[1];
   const std::int64_t W = in.shape()[2];
-  const std::int64_t half = config_.local_size / 2;
   Tensor out(in.shape());
-  const double alpha_over_n =
-      config_.alpha / static_cast<double>(config_.local_size);
+  const float* src = in.data().data();
+  float* dst = out.data().data();
   // Spatial positions are independent → parallel over rows.
   auto lrn_rows = [&](std::int64_t h_lo, std::int64_t h_hi) {
     for (std::int64_t h = h_lo; h < h_hi; ++h) {
-      for (std::int64_t w = 0; w < W; ++w) {
-        for (std::int64_t c = 0; c < C; ++c) {
-          const std::int64_t c0 = std::max<std::int64_t>(0, c - half);
-          const std::int64_t c1 = std::min(C - 1, c + half);
-          double sum = 0.0;
-          for (std::int64_t cc = c0; cc <= c1; ++cc) {
-            const double v = in.at(cc, h, w);
-            sum += v * v;
-          }
-          const double denom =
-              std::pow(config_.k + alpha_over_n * sum, config_.beta);
-          out.at(c, h, w) = static_cast<float>(in.at(c, h, w) / denom);
-        }
-      }
+      lrn_row(src, dst, C, H, W, h, config_);
     }
   };
   util::parallel_for(0, H, 1, lrn_rows);
+  return out;
+}
+
+Tensor LrnLayer::forward_batch(std::span<const Tensor* const> inputs,
+                               std::int64_t batch) const {
+  if (inputs.size() != 1) throw std::invalid_argument("lrn: one input");
+  const Tensor& in = *inputs[0];
+  const Shape per = strip_batch(in, batch, "lrn");
+  require_rank3(per, "lrn");
+  const std::int64_t C = per[0];
+  const std::int64_t H = per[1];
+  const std::int64_t W = per[2];
+  const std::int64_t plane = C * H * W;
+  Tensor out(in.shape());
+  const float* src = in.data().data();
+  float* dst = out.data().data();
+  // Flat task space over every (sample, row) pair; each task runs the same
+  // per-row kernel as the single-sample path.
+  auto lrn_rows = [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t t = lo; t < hi; ++t) {
+      const std::int64_t b = t / H;
+      const std::int64_t h = t % H;
+      lrn_row(src + b * plane, dst + b * plane, C, H, W, h, config_);
+    }
+  };
+  util::parallel_for(0, batch * H, 1, lrn_rows);
   return out;
 }
 
@@ -743,6 +995,33 @@ Tensor ConcatLayer::forward(std::span<const Tensor* const> inputs) const {
     std::copy(src.begin(), src.end(), dst);
     dst += src.size();
   }
+  return out;
+}
+
+Tensor ConcatLayer::forward_batch(std::span<const Tensor* const> inputs,
+                                  std::int64_t batch) const {
+  std::vector<Shape> shapes;
+  shapes.reserve(inputs.size());
+  for (const Tensor* t : inputs) {
+    shapes.push_back(strip_batch(*t, batch, "concat"));
+  }
+  const Shape per_out = output_shape(shapes);
+  Tensor out(with_batch(per_out, batch));
+  const std::int64_t out_stride = per_out.elements();
+  float* base = out.data().data();
+  // Pure copies — order within a sample matches the single-sample path.
+  auto copy_samples = [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t b = lo; b < hi; ++b) {
+      float* dst = base + b * out_stride;
+      for (std::size_t i = 0; i < inputs.size(); ++i) {
+        const std::int64_t stride = shapes[i].elements();
+        const float* src = inputs[i]->data().data() + b * stride;
+        std::copy(src, src + stride, dst);
+        dst += stride;
+      }
+    }
+  };
+  util::parallel_for(0, batch, 1, copy_samples);
   return out;
 }
 

@@ -133,6 +133,63 @@ Network::ForwardResult Network::forward(const Tensor& input) const {
   return result;
 }
 
+Tensor Network::run_range_batch(std::size_t begin, std::size_t end,
+                                std::vector<Tensor>& values,
+                                std::int64_t batch) const {
+  for (std::size_t i = begin; i < end; ++i) {
+    const Node& node = nodes_[i];
+    std::vector<const Tensor*> ins;
+    ins.reserve(node.inputs.size());
+    for (auto idx : node.inputs) {
+      if (values[idx].elements() == 0) {
+        throw std::logic_error("Network: node " + node.layer->name() +
+                               " reads unavailable value");
+      }
+      ins.push_back(&values[idx]);
+    }
+    values[i] = node.layer->forward_batch(ins, batch);
+  }
+  return values[end - 1];
+}
+
+Tensor Network::forward_batch(const Tensor& input) const {
+  if (nodes_.empty()) {
+    throw std::logic_error("Network::forward_batch: empty graph");
+  }
+  if (input.shape().rank() < 1 || input.shape()[0] < 1) {
+    throw std::invalid_argument(
+        "Network::forward_batch: input needs a leading batch dim");
+  }
+  const std::int64_t batch = input.shape()[0];
+  std::vector<Tensor> values(nodes_.size());
+  const Tensor* in[] = {&input};
+  values[0] = nodes_[0].layer->forward_batch(in, batch);
+  if (nodes_.size() == 1) return values[0];
+  return run_range_batch(1, nodes_.size(), values, batch);
+}
+
+Tensor Network::forward_rear_batch(const Tensor& features,
+                                   std::size_t cut) const {
+  if (cut + 1 >= nodes_.size()) {
+    throw std::out_of_range("forward_rear_batch: nothing after cut");
+  }
+  if (features.shape().rank() < 1 || features.shape()[0] < 1) {
+    throw std::invalid_argument(
+        "forward_rear_batch: features need a leading batch dim");
+  }
+  const std::int64_t batch = features.shape()[0];
+  std::vector<std::int64_t> per(features.shape().dims().begin() + 1,
+                                features.shape().dims().end());
+  if (Shape(per) != analyze().shapes[cut]) {
+    throw std::invalid_argument("forward_rear_batch: per-sample shape " +
+                                Shape(per).str() + " != expected " +
+                                analyze().shapes[cut].str());
+  }
+  std::vector<Tensor> values(nodes_.size());
+  values[cut] = features;
+  return run_range_batch(cut + 1, nodes_.size(), values, batch);
+}
+
 Tensor Network::forward_front(const Tensor& input, std::size_t cut) const {
   if (cut >= nodes_.size()) {
     throw std::out_of_range("forward_front: cut out of range");

@@ -70,6 +70,14 @@ class Network {
   /// Run nodes (cut, end) from a feature tensor produced at `cut`.
   Tensor forward_rear(const Tensor& feature, std::size_t cut) const;
 
+  /// Full forward over a batched input {B, dims...}; returns the batched
+  /// output of the last node. Bit-identical to forwarding each sample alone
+  /// and stacking the results, at any batch size and thread count.
+  Tensor forward_batch(const Tensor& input) const;
+  /// Run nodes (cut, end) from a batched feature tensor {B, dims-of-cut...}.
+  /// The serving scheduler's fused-dispatch path.
+  Tensor forward_rear_batch(const Tensor& features, std::size_t cut) const;
+
   /// Node indices that are valid offloading points: every edge into the
   /// downstream subgraph originates at that node. Always contains node 0
   /// (the input = full offloading) and the last node.
@@ -86,6 +94,11 @@ class Network {
   Tensor run_range(std::size_t begin, std::size_t end,
                    std::vector<Tensor>& values,
                    ForwardResult* result) const;
+
+  /// Batched analogue of run_range: every value carries a leading batch dim.
+  Tensor run_range_batch(std::size_t begin, std::size_t end,
+                         std::vector<Tensor>& values,
+                         std::int64_t batch) const;
 
   std::string name_;
   std::vector<Node> nodes_;

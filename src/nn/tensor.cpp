@@ -58,6 +58,44 @@ Tensor Tensor::reshaped(Shape new_shape) const {
   return Tensor(std::move(new_shape), data_);
 }
 
+Tensor Tensor::stack(std::span<const Tensor> samples) {
+  if (samples.empty()) {
+    throw std::invalid_argument("Tensor::stack: no samples");
+  }
+  const Shape& per = samples[0].shape();
+  std::vector<std::int64_t> dims;
+  dims.reserve(per.rank() + 1);
+  dims.push_back(static_cast<std::int64_t>(samples.size()));
+  for (auto d : per.dims()) dims.push_back(d);
+  Tensor out(Shape{std::move(dims)});
+  const std::int64_t stride = per.elements();
+  for (std::size_t b = 0; b < samples.size(); ++b) {
+    if (samples[b].shape() != per) {
+      throw std::invalid_argument("Tensor::stack: sample shapes differ: " +
+                                  per.str() + " vs " +
+                                  samples[b].shape().str());
+    }
+    auto src = samples[b].data();
+    std::copy(src.begin(), src.end(),
+              out.data_.begin() + static_cast<std::int64_t>(b) * stride);
+  }
+  return out;
+}
+
+Tensor Tensor::sample(std::int64_t b) const {
+  if (shape_.rank() < 1 || b < 0 || b >= shape_[0]) {
+    throw std::out_of_range("Tensor::sample: index " + std::to_string(b) +
+                            " out of batch " + shape_.str());
+  }
+  Shape per(std::vector<std::int64_t>(shape_.dims().begin() + 1,
+                                      shape_.dims().end()));
+  const std::int64_t stride = per.elements();
+  Tensor out(per);
+  std::copy(data_.begin() + b * stride, data_.begin() + (b + 1) * stride,
+            out.data_.begin());
+  return out;
+}
+
 std::int64_t Tensor::argmax() const {
   if (data_.empty()) throw std::logic_error("Tensor::argmax on empty tensor");
   return std::max_element(data_.begin(), data_.end()) - data_.begin();

@@ -1,6 +1,8 @@
-// Dense float32 tensor in CHW layout (batch size is always 1 for the
-// paper's inference workloads). This is the value type flowing between DNN
-// layers and — serialized as a typed array — inside snapshots.
+// Dense float32 tensor in CHW layout. This is the value type flowing
+// between DNN layers and — serialized as a typed array — inside snapshots.
+// A tensor either holds one sample (a CHW image is {C, H, W}) or, for the
+// serving runtime's fused batches, N samples with a leading batch
+// dimension ({N, C, H, W}); stack()/sample() convert between the two.
 #pragma once
 
 #include <cstdint>
@@ -75,6 +77,13 @@ class Tensor {
 
   /// Same storage, new shape (element counts must match).
   Tensor reshaped(Shape new_shape) const;
+
+  /// Stack samples (all the same shape) into a batched tensor whose shape
+  /// is {N, dims...}.
+  static Tensor stack(std::span<const Tensor> samples);
+  /// Copy sample `b` out of a batched tensor (leading dim = batch count);
+  /// the result drops the batch dimension.
+  Tensor sample(std::int64_t b) const;
 
   /// Index of the maximum element (argmax over the flat data).
   std::int64_t argmax() const;

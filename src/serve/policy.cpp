@@ -1,0 +1,15 @@
+#include "src/serve/policy.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace offload::serve {
+
+std::unique_ptr<QueuePolicy> make_policy(std::string_view name) {
+  if (name == "fifo") return std::make_unique<FifoPolicy>();
+  if (name == "edf") return std::make_unique<EdfPolicy>();
+  throw std::invalid_argument("make_policy: unknown policy '" +
+                              std::string(name) + "' (want fifo|edf)");
+}
+
+}  // namespace offload::serve

@@ -1,0 +1,56 @@
+// Queue-ordering policies for the serving scheduler. A policy is a strict
+// weak order over waiting jobs; the scheduler dispatches the minimum. Ties
+// always break by admission sequence, so every policy is deterministic and
+// starvation-free for jobs that share a priority.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "src/sim/time.h"
+
+namespace offload::serve {
+
+/// The slice of a queued job a policy may look at.
+struct JobInfo {
+  std::uint64_t id = 0;  ///< admission sequence (monotone per scheduler)
+  sim::SimTime submitted;
+  sim::SimTime deadline = sim::SimTime::max();  ///< max() = no deadline
+};
+
+class QueuePolicy {
+ public:
+  virtual ~QueuePolicy() = default;
+  virtual std::string_view name() const = 0;
+  /// True if `a` should dispatch before `b` (strict weak order).
+  virtual bool before(const JobInfo& a, const JobInfo& b) const = 0;
+};
+
+/// First-come-first-served by admission sequence. The degenerate
+/// configuration (1 replica, batch 1, FIFO) reproduces the original
+/// edge-server compute reservation exactly.
+class FifoPolicy final : public QueuePolicy {
+ public:
+  std::string_view name() const override { return "fifo"; }
+  bool before(const JobInfo& a, const JobInfo& b) const override {
+    return a.id < b.id;
+  }
+};
+
+/// Earliest-deadline-first; jobs without a deadline (SimTime::max()) sort
+/// after every deadlined job, and equal deadlines fall back to FIFO.
+class EdfPolicy final : public QueuePolicy {
+ public:
+  std::string_view name() const override { return "edf"; }
+  bool before(const JobInfo& a, const JobInfo& b) const override {
+    if (a.deadline != b.deadline) return a.deadline < b.deadline;
+    return a.id < b.id;
+  }
+};
+
+/// Factory for config strings: "fifo" or "edf". Throws
+/// std::invalid_argument on anything else.
+std::unique_ptr<QueuePolicy> make_policy(std::string_view name);
+
+}  // namespace offload::serve

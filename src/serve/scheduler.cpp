@@ -1,0 +1,258 @@
+#include "src/serve/scheduler.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+namespace offload::serve {
+
+const char* reject_reason_name(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kQueueFull:
+      return "queue_full";
+    case RejectReason::kUnknownModel:
+      return "unknown_model";
+  }
+  return "unknown";
+}
+
+Scheduler::Scheduler(sim::Simulation& sim, SchedulerConfig config)
+    : sim_(sim),
+      config_(std::move(config)),
+      policy_(make_policy(config_.policy)) {
+  if (config_.replicas < 1) {
+    throw std::invalid_argument("Scheduler: replicas must be >= 1");
+  }
+  if (config_.max_batch < 1) {
+    throw std::invalid_argument("Scheduler: max_batch must be >= 1");
+  }
+  lanes_.resize(static_cast<std::size_t>(config_.replicas));
+}
+
+void Scheduler::register_model(std::shared_ptr<const nn::Network> net) {
+  if (!net) throw std::invalid_argument("Scheduler: null model");
+  models_[net->name()] = std::move(net);
+}
+
+bool Scheduler::has_model(const std::string& name) const {
+  return models_.count(name) > 0;
+}
+
+SubmitResult Scheduler::submit_opaque(double busy_s, OpaqueDoneFn on_done,
+                                      sim::SimTime deadline) {
+  Job job;
+  job.opaque = true;
+  job.busy_s = busy_s;
+  job.deadline = deadline;
+  job.on_opaque_done = std::move(on_done);
+  return admit(std::move(job));
+}
+
+SubmitResult Scheduler::submit_infer(const std::string& model, std::size_t cut,
+                                     nn::Tensor feature, InferDoneFn on_done,
+                                     sim::SimTime deadline) {
+  Job job;
+  job.opaque = false;
+  job.model = model;
+  job.cut = cut;
+  job.feature = std::move(feature);
+  job.deadline = deadline;
+  job.on_infer_done = std::move(on_done);
+  return admit(std::move(job));
+}
+
+SubmitResult Scheduler::admit(Job job) {
+  SubmitResult result;
+  if (!job.opaque && !has_model(job.model)) {
+    ++stats_.rejected;
+    result.reject = {RejectReason::kUnknownModel, pending_.size()};
+    return result;
+  }
+  if (config_.max_queue > 0 && pending_.size() >= config_.max_queue) {
+    ++stats_.rejected;
+    result.reject = {RejectReason::kQueueFull, pending_.size()};
+    return result;
+  }
+  job.id = next_id_++;
+  job.submitted = sim_.now();
+  ++stats_.submitted;
+  result.admitted = true;
+  result.id = job.id;
+  pending_.push_back(std::move(job));
+  stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, pending_.size());
+  pump();
+  return result;
+}
+
+void Scheduler::pump() {
+  for (;;) {
+    int lane = -1;
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+      if (lanes_[i].busy_until <= sim_.now()) {
+        lane = static_cast<int>(i);
+        break;
+      }
+    }
+    if (lane < 0 || pending_.empty()) return;
+
+    // Policy order over the waiting jobs (ids break all ties, so this is a
+    // total, deterministic order).
+    std::vector<std::size_t> order(pending_.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [this](std::size_t a, std::size_t b) {
+                return policy_->before(pending_[a].info(), pending_[b].info());
+              });
+
+    bool dispatched = false;
+    sim::SimTime earliest_ready = sim::SimTime::max();
+    // Heads already passed over because their batch is still forming; any
+    // later job of the same key must wait with them (dispatching it alone
+    // would reorder within the key).
+    std::vector<std::size_t> held_heads;
+    for (std::size_t oi = 0; oi < order.size(); ++oi) {
+      const Job& head = pending_[order[oi]];
+      bool held = false;
+      for (std::size_t h : held_heads) {
+        if (head.fuses_with(pending_[h])) {
+          held = true;
+          break;
+        }
+      }
+      if (held) continue;
+
+      if (head.opaque || config_.max_batch <= 1) {
+        dispatch({order[oi]}, lane);
+        dispatched = true;
+        break;
+      }
+      std::vector<std::size_t> batch;
+      sim::SimTime oldest = head.submitted;
+      for (std::size_t oj = oi;
+           oj < order.size() && batch.size() < config_.max_batch; ++oj) {
+        const Job& j = pending_[order[oj]];
+        if (oj == oi || j.fuses_with(head)) {
+          batch.push_back(order[oj]);
+          oldest = std::min(oldest, j.submitted);
+        }
+      }
+      const sim::SimTime ready_at = oldest + config_.max_batch_wait;
+      if (batch.size() >= config_.max_batch || sim_.now() >= ready_at) {
+        dispatch(batch, lane);
+        dispatched = true;
+        break;
+      }
+      held_heads.push_back(order[oi]);
+      earliest_ready = std::min(earliest_ready, ready_at);
+    }
+    if (dispatched) continue;  // lane + queue changed; rescan
+
+    // Everything waiting is a batch still forming. Arm (or retarget) the
+    // hold timer for the soonest formation deadline.
+    if (earliest_ready != sim::SimTime::max() &&
+        earliest_ready != hold_timer_at_) {
+      if (hold_timer_.valid()) sim_.cancel(hold_timer_);
+      hold_timer_at_ = earliest_ready;
+      hold_timer_ = sim_.schedule_at(earliest_ready, [this] {
+        hold_timer_ = {};
+        hold_timer_at_ = sim::SimTime::max();
+        pump();
+      });
+    }
+    return;
+  }
+}
+
+void Scheduler::dispatch(const std::vector<std::size_t>& indices, int lane) {
+  const sim::SimTime now = sim_.now();
+  std::vector<Job> batch;
+  batch.reserve(indices.size());
+  for (std::size_t idx : indices) batch.push_back(std::move(pending_[idx]));
+  std::vector<std::size_t> erase_order = indices;
+  std::sort(erase_order.begin(), erase_order.end(),
+            std::greater<std::size_t>());
+  for (std::size_t idx : erase_order) {
+    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(idx));
+  }
+
+  const Job& head = batch.front();
+  double compute_s = 0;
+  if (head.opaque) {
+    compute_s = head.busy_s;
+  } else {
+    const auto& net = models_.at(head.model);
+    compute_s = config_.profile.network_batch_time_s(
+        *net, head.cut + 1, net->size(),
+        static_cast<std::int64_t>(batch.size()));
+  }
+  const sim::SimTime end = now + sim::SimTime::seconds(compute_s);
+
+  Lane& l = lanes_[static_cast<std::size_t>(lane)];
+  std::vector<RequestTiming> timings;
+  timings.reserve(batch.size());
+  for (const Job& j : batch) {
+    RequestTiming t;
+    t.submitted = j.submitted;
+    t.dispatched = now;
+    t.completed = end;
+    const sim::SimTime available = std::max(j.submitted, l.free_since);
+    t.queue_wait_s = (available - j.submitted).to_seconds();
+    t.batch_wait_s = (now - available).to_seconds();
+    t.compute_s = compute_s;
+    t.batch_size = static_cast<int>(batch.size());
+    t.replica = lane;
+    timings.push_back(t);
+  }
+  l.busy_until = end;
+
+  ++stats_.launches;
+  stats_.largest_batch =
+      std::max(stats_.largest_batch, static_cast<int>(batch.size()));
+  if (batch.size() > 1) stats_.fused_jobs += batch.size();
+
+  sim_.schedule_at(end, [this, lane, batch = std::move(batch),
+                         timings = std::move(timings)]() mutable {
+    complete(std::move(batch), std::move(timings), lane);
+  });
+}
+
+void Scheduler::complete(std::vector<Job> batch,
+                         std::vector<RequestTiming> timings, int lane) {
+  // Mark the lane idle before callbacks run: a completion callback may
+  // synchronously submit follow-up work that should see this lane free.
+  lanes_[static_cast<std::size_t>(lane)].free_since = sim_.now();
+
+  if (batch.front().opaque) {
+    ++stats_.completed;
+    if (batch.front().on_opaque_done) batch.front().on_opaque_done(timings[0]);
+  } else {
+    const auto& net = models_.at(batch.front().model);
+    const std::size_t cut = batch.front().cut;
+    std::vector<nn::Tensor> features;
+    features.reserve(batch.size());
+    for (Job& j : batch) features.push_back(std::move(j.feature));
+    if (cut + 1 >= net->size()) {
+      // Nothing after the cut: each job's output is its own feature.
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        ++stats_.completed;
+        if (batch[i].on_infer_done) {
+          batch[i].on_infer_done(std::move(features[i]), timings[i]);
+        }
+      }
+    } else {
+      nn::Tensor stacked = nn::Tensor::stack(features);
+      nn::Tensor out = net->forward_rear_batch(stacked, cut);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        ++stats_.completed;
+        if (batch[i].on_infer_done) {
+          batch[i].on_infer_done(out.sample(static_cast<std::int64_t>(i)),
+                                 timings[i]);
+        }
+      }
+    }
+  }
+  pump();
+}
+
+}  // namespace offload::serve

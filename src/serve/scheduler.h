@@ -1,0 +1,140 @@
+// The serving scheduler: one bounded queue of jobs from many concurrent
+// clients, a configurable ordering policy (FIFO / EDF), dynamic batching
+// of compatible inference jobs, and a pool of model-replica lanes.
+//
+// Event-driven over the discrete-event simulation: a job dispatches only
+// when a lane is idle at the current sim time; lane completions and batch
+// hold-timers re-pump the queue. All decisions depend only on sim time and
+// admission order, so results are deterministic at any OFFLOAD_THREADS.
+//
+// Batching (the reason this subsystem exists): jobs that agree on
+// (model, cut) fuse into one batched rear-range forward of up to
+// `max_batch` samples. A partial batch is held until the oldest member has
+// waited `max_batch_wait`, unless the batch fills first. Fused launches
+// amortize per-layer overhead and run marginal samples at the profile's
+// batch_marginal_speedup, which is where the throughput win over
+// request-at-a-time FIFO comes from.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/nn/device.h"
+#include "src/nn/network.h"
+#include "src/serve/policy.h"
+#include "src/serve/request.h"
+#include "src/sim/simulation.h"
+
+namespace offload::serve {
+
+struct SchedulerConfig {
+  nn::DeviceProfile profile = nn::DeviceProfile::edge_server();
+  /// Model-replica lanes. Each lane executes one launch at a time; the
+  /// whole pool shares the one queue.
+  int replicas = 1;
+  /// Max inference jobs fused into one launch. 1 = no batching.
+  std::size_t max_batch = 1;
+  /// How long a partial batch may hold an idle lane, measured from the
+  /// submission of its oldest member. Zero = dispatch immediately.
+  sim::SimTime max_batch_wait = sim::SimTime::zero();
+  /// Admission bound on the pending queue; submissions beyond it are shed
+  /// with Reject{kQueueFull}. 0 = unbounded.
+  std::size_t max_queue = 0;
+  /// Queue ordering: "fifo" or "edf".
+  std::string policy = "fifo";
+};
+
+class Scheduler {
+ public:
+  Scheduler(sim::Simulation& sim, SchedulerConfig config);
+
+  /// Make `net` available for inference jobs under net->name(). The
+  /// network is shared by all lanes (weights are read-only at serve time).
+  void register_model(std::shared_ptr<const nn::Network> net);
+  bool has_model(const std::string& name) const;
+
+  /// Opaque job: occupies a lane for exactly `busy_s`; never fused.
+  /// `on_done` runs at the completion sim-time.
+  SubmitResult submit_opaque(double busy_s, OpaqueDoneFn on_done,
+                             sim::SimTime deadline = sim::SimTime::max());
+
+  /// Inference job: rear-range forward of `model` from `cut` over
+  /// `feature`. May fuse with compatible jobs. `on_done` receives this
+  /// request's output slice at the completion sim-time.
+  SubmitResult submit_infer(const std::string& model, std::size_t cut,
+                            nn::Tensor feature, InferDoneFn on_done,
+                            sim::SimTime deadline = sim::SimTime::max());
+
+  std::size_t queue_depth() const { return pending_.size(); }
+  /// Whether a submission at this instant would pass admission control.
+  /// Lets callers shed *before* doing per-request work (e.g. the edge
+  /// server refuses a snapshot before restoring it).
+  bool would_admit() const {
+    return config_.max_queue == 0 || pending_.size() < config_.max_queue;
+  }
+  const SchedulerConfig& config() const { return config_; }
+  std::string_view policy_name() const { return policy_->name(); }
+
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t rejected = 0;   ///< load-shed at admission
+    std::uint64_t launches = 0;   ///< lane dispatches (batches + singles)
+    std::uint64_t fused_jobs = 0; ///< jobs that rode in a batch of size > 1
+    std::size_t peak_queue_depth = 0;
+    int largest_batch = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Job {
+    std::uint64_t id = 0;
+    bool opaque = false;
+    std::string model;     // inference only
+    std::size_t cut = 0;   // inference only
+    nn::Tensor feature;    // inference only
+    double busy_s = 0;     // opaque only
+    sim::SimTime submitted;
+    sim::SimTime deadline = sim::SimTime::max();
+    OpaqueDoneFn on_opaque_done;
+    InferDoneFn on_infer_done;
+
+    JobInfo info() const { return {id, submitted, deadline}; }
+    /// Fusion key: opaque jobs never share a key.
+    bool fuses_with(const Job& other) const {
+      return !opaque && !other.opaque && model == other.model &&
+             cut == other.cut;
+    }
+  };
+
+  struct Lane {
+    sim::SimTime busy_until;
+    sim::SimTime free_since;  ///< when the lane last became idle
+  };
+
+  SubmitResult admit(Job job);
+  /// Dispatch as much ready work as idle lanes allow; arm the hold timer
+  /// for batches still forming.
+  void pump();
+  /// Take the jobs at `indices` (policy order) out of pending_ and launch
+  /// them on `lane` now.
+  void dispatch(const std::vector<std::size_t>& indices, int lane);
+  void complete(std::vector<Job> batch, std::vector<RequestTiming> timings,
+                int lane);
+
+  sim::Simulation& sim_;
+  SchedulerConfig config_;
+  std::unique_ptr<QueuePolicy> policy_;
+  std::map<std::string, std::shared_ptr<const nn::Network>> models_;
+  std::vector<Job> pending_;
+  std::vector<Lane> lanes_;
+  sim::EventHandle hold_timer_;
+  sim::SimTime hold_timer_at_ = sim::SimTime::max();
+  std::uint64_t next_id_ = 1;
+  Stats stats_;
+};
+
+}  // namespace offload::serve

@@ -1,0 +1,459 @@
+// Tests for the serving scheduler: degenerate FIFO reproduces the old
+// compute-reservation model exactly, results are deterministic across runs
+// and thread counts, batched dispatch is bit-identical to sequential
+// execution, EDF reorders by deadline, admission control bounds the queue,
+// no job starves, the batch hold-timer fires on schedule, and the edge
+// server sheds overload with an "overloaded:" control reply that clients
+// answer by falling back to local execution.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/app.h"
+#include "src/core/experiment.h"
+#include "src/edge/client_device.h"
+#include "src/edge/edge_server.h"
+#include "src/nn/models.h"
+#include "src/serve/scheduler.h"
+#include "src/util/rng.h"
+#include "src/util/thread_pool.h"
+
+namespace offload::serve {
+namespace {
+
+/// Restores the default pool to the environment-derived size on scope exit.
+struct PoolGuard {
+  ~PoolGuard() { util::set_default_pool_threads(0); }
+};
+
+void expect_bit_identical(const nn::Tensor& a, const nn::Tensor& b,
+                          const std::string& what) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  ASSERT_EQ(0, std::memcmp(a.data().data(), b.data().data(),
+                           static_cast<std::size_t>(a.bytes())))
+      << what << ": bits differ";
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate configuration == the old FIFO compute reservation
+
+TEST(SchedulerTest, FifoDegenerateMatchesHandComputedReservation) {
+  sim::Simulation sim;
+  SchedulerConfig cfg;  // 1 replica, fifo, batch 1, unbounded
+  Scheduler sched(sim, cfg);
+
+  std::vector<RequestTiming> timings;
+  for (double busy : {1.0, 0.5, 0.25}) {
+    SubmitResult r = sched.submit_opaque(
+        busy, [&](const RequestTiming& t) { timings.push_back(t); });
+    EXPECT_TRUE(r.admitted);
+  }
+  sim.run();
+
+  // The old model: start_i = max(arrival, busy_until), served in order.
+  ASSERT_EQ(timings.size(), 3u);
+  const double starts[] = {0.0, 1.0, 1.5};
+  const double ends[] = {1.0, 1.5, 1.75};
+  for (int i = 0; i < 3; ++i) {
+    const RequestTiming& t = timings[static_cast<std::size_t>(i)];
+    EXPECT_DOUBLE_EQ(t.dispatched.to_seconds(), starts[i]) << i;
+    EXPECT_DOUBLE_EQ(t.completed.to_seconds(), ends[i]) << i;
+    EXPECT_DOUBLE_EQ(t.queue_wait_s, starts[i]) << i;  // submitted at t=0
+    EXPECT_DOUBLE_EQ(t.batch_wait_s, 0.0) << i;        // never held
+    EXPECT_EQ(t.batch_size, 1) << i;
+    EXPECT_EQ(t.replica, 0) << i;
+  }
+  EXPECT_EQ(sched.stats().launches, 3u);
+  EXPECT_EQ(sched.stats().fused_jobs, 0u);
+}
+
+TEST(SchedulerTest, UnknownModelRejectedTyped) {
+  sim::Simulation sim;
+  Scheduler sched(sim, {});
+  SubmitResult r = sched.submit_infer(
+      "nope", 0, nn::Tensor::zeros(nn::Shape{1}),
+      [](nn::Tensor, const RequestTiming&) { FAIL() << "must not run"; });
+  EXPECT_FALSE(r.admitted);
+  EXPECT_EQ(r.reject.reason, RejectReason::kUnknownModel);
+  EXPECT_STREQ(reject_reason_name(r.reject.reason), "unknown_model");
+  EXPECT_EQ(sched.stats().rejected, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism across runs and thread counts
+
+struct WorkloadResult {
+  std::vector<sim::SimTime> completions;  // in submission order
+  std::vector<nn::Tensor> outputs;
+};
+
+/// A Poisson stream of tiny-CNN partial inferences against a batching EDF
+/// scheduler with two replica lanes — every scheduler feature at once.
+WorkloadResult run_workload() {
+  sim::Simulation sim;
+  std::shared_ptr<const nn::Network> net = nn::build_tiny_cnn(17);
+  const std::size_t cut = net->index_of("pool2");
+  const nn::Shape feature_shape = net->analyze().shapes[cut];
+
+  SchedulerConfig cfg;
+  cfg.replicas = 2;
+  cfg.max_batch = 4;
+  cfg.max_batch_wait = sim::SimTime::millis(5);
+  cfg.policy = "edf";
+  Scheduler sched(sim, cfg);
+  sched.register_model(net);
+
+  constexpr int kJobs = 24;
+  WorkloadResult out;
+  out.completions.resize(kJobs);
+  out.outputs.resize(kJobs, nn::Tensor::zeros(nn::Shape{1}));
+
+  util::Pcg32 rng(99, 7);
+  double t = 0;
+  for (int i = 0; i < kJobs; ++i) {
+    t += rng.uniform(0.0, 0.004);
+    const sim::SimTime at = sim::SimTime::seconds(t);
+    const sim::SimTime deadline =
+        at + sim::SimTime::seconds(rng.uniform(0.01, 0.05));
+    nn::Tensor feature =
+        nn::Tensor::random_uniform(feature_shape, rng, -1.0f, 1.0f);
+    sim.schedule_at(at, [&sched, &net, &out, cut, i, deadline,
+                         feature = std::move(feature)] {
+      sched.submit_infer(
+          net->name(), cut, feature,
+          [&out, i](nn::Tensor output, const RequestTiming& timing) {
+            out.completions[static_cast<std::size_t>(i)] = timing.completed;
+            out.outputs[static_cast<std::size_t>(i)] = std::move(output);
+          },
+          deadline);
+    });
+  }
+  sim.run();
+  return out;
+}
+
+TEST(SchedulerTest, DeterministicAcrossRunsAndThreadCounts) {
+  PoolGuard guard;
+  util::set_default_pool_threads(1);
+  WorkloadResult a = run_workload();
+  WorkloadResult b = run_workload();
+  util::set_default_pool_threads(4);
+  WorkloadResult c = run_workload();
+
+  for (std::size_t i = 0; i < a.completions.size(); ++i) {
+    EXPECT_EQ(a.completions[i], b.completions[i]) << "rerun, job " << i;
+    EXPECT_EQ(a.completions[i], c.completions[i]) << "threads, job " << i;
+    expect_bit_identical(a.outputs[i], b.outputs[i],
+                         "rerun output " + std::to_string(i));
+    expect_bit_identical(a.outputs[i], c.outputs[i],
+                         "threaded output " + std::to_string(i));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batched dispatch == sequential execution, bit for bit
+
+TEST(SchedulerTest, BatchedOutputsMatchSequentialBits) {
+  sim::Simulation sim;
+  std::shared_ptr<const nn::Network> net = nn::build_tiny_cnn(17);
+  const std::size_t cut = net->index_of("pool1");
+  const nn::Shape feature_shape = net->analyze().shapes[cut];
+
+  SchedulerConfig cfg;
+  cfg.max_batch = 3;
+  cfg.max_batch_wait = sim::SimTime::seconds(10);
+  Scheduler sched(sim, cfg);
+  sched.register_model(net);
+
+  util::Pcg32 rng(42, 1);
+  std::vector<nn::Tensor> features;
+  std::vector<nn::Tensor> outputs(3, nn::Tensor::zeros(nn::Shape{1}));
+  std::vector<RequestTiming> timings(3);
+  for (int i = 0; i < 3; ++i) {
+    features.push_back(
+        nn::Tensor::random_uniform(feature_shape, rng, -1.0f, 1.0f));
+    sched.submit_infer(net->name(), cut, features.back(),
+                       [&outputs, &timings, i](nn::Tensor output,
+                                               const RequestTiming& timing) {
+                         outputs[static_cast<std::size_t>(i)] =
+                             std::move(output);
+                         timings[static_cast<std::size_t>(i)] = timing;
+                       });
+  }
+  sim.run();
+
+  for (int i = 0; i < 3; ++i) {
+    expect_bit_identical(
+        outputs[static_cast<std::size_t>(i)],
+        net->forward_rear(features[static_cast<std::size_t>(i)], cut),
+        "fused job " + std::to_string(i));
+    EXPECT_EQ(timings[static_cast<std::size_t>(i)].batch_size, 3);
+  }
+  EXPECT_EQ(sched.stats().launches, 1u);   // one fused launch, not three
+  EXPECT_EQ(sched.stats().fused_jobs, 3u);
+  EXPECT_EQ(sched.stats().largest_batch, 3);
+}
+
+// ---------------------------------------------------------------------------
+// EDF ordering
+
+/// Submit one blocking job, then three more with deadlines in reverse
+/// submission order; return the completion order of the last three.
+std::vector<int> completion_order(const std::string& policy) {
+  sim::Simulation sim;
+  SchedulerConfig cfg;
+  cfg.policy = policy;
+  Scheduler sched(sim, cfg);
+
+  std::vector<int> order;
+  sched.submit_opaque(1.0, [](const RequestTiming&) {});  // occupies the lane
+  const double deadlines[] = {3.0, 2.0, 1.0};  // reverse of submission order
+  for (int i = 0; i < 3; ++i) {
+    sched.submit_opaque(
+        0.1, [&order, i](const RequestTiming&) { order.push_back(i); },
+        sim::SimTime::seconds(deadlines[i]));
+  }
+  sim.run();
+  return order;
+}
+
+TEST(SchedulerTest, EdfDispatchesByDeadlineFifoByArrival) {
+  EXPECT_EQ(completion_order("edf"), (std::vector<int>{2, 1, 0}));
+  EXPECT_EQ(completion_order("fifo"), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SchedulerTest, NoStarvationUnderMixedDeadlines) {
+  // Jobs with no deadline (SimTime::max()) sort after every dated job
+  // under EDF, but once arrivals stop the queue drains — nothing is lost.
+  sim::Simulation sim;
+  SchedulerConfig cfg;
+  cfg.policy = "edf";
+  Scheduler sched(sim, cfg);
+
+  constexpr int kJobs = 20;
+  int completed = 0;
+  bool undated_done[kJobs] = {};
+  for (int i = 0; i < kJobs; ++i) {
+    const bool dated = (i % 2) == 0;
+    sched.submit_opaque(
+        0.05,
+        [&completed, &undated_done, i](const RequestTiming&) {
+          ++completed;
+          undated_done[i] = true;
+        },
+        dated ? sim::SimTime::seconds(0.1 * i) : sim::SimTime::max());
+  }
+  sim.run();
+  EXPECT_EQ(completed, kJobs);
+  for (int i = 1; i < kJobs; i += 2) {
+    EXPECT_TRUE(undated_done[i]) << "undated job " << i << " starved";
+  }
+  EXPECT_EQ(sched.stats().completed, static_cast<std::uint64_t>(kJobs));
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+
+TEST(SchedulerTest, BoundedQueueShedsBeyondCapacity) {
+  sim::Simulation sim;
+  SchedulerConfig cfg;
+  cfg.max_queue = 2;
+  Scheduler sched(sim, cfg);
+
+  int admitted = 0;
+  int rejected = 0;
+  for (int i = 0; i < 5; ++i) {
+    SubmitResult r = sched.submit_opaque(1.0, [](const RequestTiming&) {});
+    if (r.admitted) {
+      ++admitted;
+    } else {
+      ++rejected;
+      EXPECT_EQ(r.reject.reason, RejectReason::kQueueFull);
+      EXPECT_EQ(r.reject.queue_depth, 2u);
+    }
+  }
+  // First dispatches immediately (lane idle), two queue, two are shed.
+  EXPECT_EQ(admitted, 3);
+  EXPECT_EQ(rejected, 2);
+  EXPECT_EQ(sched.queue_depth(), 2u);
+  EXPECT_FALSE(sched.would_admit());
+  EXPECT_EQ(sched.stats().rejected, 2u);
+  EXPECT_EQ(sched.stats().peak_queue_depth, 2u);
+  sim.run();
+  EXPECT_EQ(sched.stats().completed, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Batch hold-timer
+
+TEST(SchedulerTest, PartialBatchDispatchesAtMaxBatchWait) {
+  sim::Simulation sim;
+  std::shared_ptr<const nn::Network> net = nn::build_tiny_cnn(17);
+  const std::size_t cut = net->index_of("pool1");
+  const nn::Shape feature_shape = net->analyze().shapes[cut];
+
+  SchedulerConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_batch_wait = sim::SimTime::millis(10);
+  Scheduler sched(sim, cfg);
+  sched.register_model(net);
+
+  util::Pcg32 rng(1, 2);
+  std::vector<RequestTiming> timings;
+  for (int i = 0; i < 2; ++i) {
+    sched.submit_infer(
+        net->name(), cut,
+        nn::Tensor::random_uniform(feature_shape, rng, -1.0f, 1.0f),
+        [&timings](nn::Tensor, const RequestTiming& timing) {
+          timings.push_back(timing);
+        });
+  }
+  sim.run();
+
+  // Two of four slots filled: the lane was free the whole time, so the
+  // entire pre-dispatch wait is batch-formation time, exactly the
+  // configured hold window.
+  ASSERT_EQ(timings.size(), 2u);
+  for (const RequestTiming& t : timings) {
+    EXPECT_EQ(t.dispatched, sim::SimTime::millis(10));
+    EXPECT_DOUBLE_EQ(t.queue_wait_s, 0.0);
+    EXPECT_DOUBLE_EQ(t.batch_wait_s, 0.010);
+    EXPECT_EQ(t.batch_size, 2);
+  }
+  EXPECT_EQ(sched.stats().launches, 1u);
+}
+
+TEST(SchedulerTest, MultipleReplicasRunConcurrently) {
+  sim::Simulation sim;
+  SchedulerConfig cfg;
+  cfg.replicas = 2;
+  Scheduler sched(sim, cfg);
+
+  std::vector<RequestTiming> timings;
+  for (int i = 0; i < 2; ++i) {
+    sched.submit_opaque(
+        1.0, [&](const RequestTiming& t) { timings.push_back(t); });
+  }
+  sim.run();
+  ASSERT_EQ(timings.size(), 2u);
+  // Both start at t=0 on distinct lanes; neither waits.
+  EXPECT_DOUBLE_EQ(timings[0].queue_wait_s, 0.0);
+  EXPECT_DOUBLE_EQ(timings[1].queue_wait_s, 0.0);
+  EXPECT_NE(timings[0].replica, timings[1].replica);
+  EXPECT_EQ(timings[0].completed, sim::SimTime::seconds(1));
+  EXPECT_EQ(timings[1].completed, sim::SimTime::seconds(1));
+}
+
+// ---------------------------------------------------------------------------
+// Edge-server integration: overload shedding
+
+TEST(EdgeServerShedTest, OverloadedSnapshotGetsControlReply) {
+  sim::Simulation sim;
+  net::ChannelConfig ch;
+  ch.a_to_b.latency = sim::SimTime::millis(1);
+  ch.b_to_a.latency = sim::SimTime::millis(1);
+  auto channel = net::Channel::make(sim, ch);
+
+  edge::EdgeServerConfig config;
+  // Stretch snapshot restore so back-to-back sends overlap on the lane.
+  config.profile.snapshot_parse_Bps = 100.0;
+  config.scheduler.max_queue = 1;
+  edge::EdgeServer server(sim, channel->b(), config);
+
+  std::vector<net::Message> inbox;
+  channel->a().set_handler(
+      [&inbox](const net::Message& m) { inbox.push_back(m); });
+
+  jsvm::Interpreter scratch;
+  scratch.eval_program("var x = 1;");
+  jsvm::SnapshotResult snap = jsvm::capture_snapshot(scratch);
+  for (int i = 0; i < 3; ++i) {
+    edge::SnapshotPayload payload;
+    payload.program = snap.program;
+    net::Message msg;
+    msg.type = net::MessageType::kSnapshot;
+    msg.name = "appA";
+    msg.payload = payload.encode();
+    channel->a().send(std::move(msg));
+  }
+  sim.run();
+
+  // One executes, one queues, one is shed with a typed control reply.
+  EXPECT_EQ(server.stats().snapshots_executed, 2);
+  EXPECT_EQ(server.stats().snapshots_shed, 1);
+  ASSERT_EQ(inbox.size(), 3u);
+  int overloaded = 0;
+  for (const net::Message& m : inbox) {
+    if (m.type == net::MessageType::kControl) {
+      ++overloaded;
+      EXPECT_EQ(m.name, "overloaded:appA");
+    } else {
+      EXPECT_EQ(m.type, net::MessageType::kResultSnapshot);
+    }
+  }
+  EXPECT_EQ(overloaded, 1);
+}
+
+TEST(EdgeServerShedTest, ShedClientFallsBackToLocalExecution) {
+  // Three identical clients click at the same instant against a server
+  // that admits one pending snapshot: two offload, the third is shed and
+  // finishes locally.
+  sim::Simulation sim;
+  nn::BenchmarkModel model{"TinyCnn", &nn::build_tiny_cnn_default, 17, 32};
+
+  edge::EdgeServerConfig server_config;
+  server_config.keep_sessions = false;
+  server_config.scheduler.max_queue = 1;
+
+  std::vector<std::unique_ptr<net::Channel>> channels;
+  std::unique_ptr<edge::EdgeServer> server;
+  std::vector<std::unique_ptr<edge::ClientDevice>> clients;
+  constexpr int kClients = 3;
+  for (int i = 0; i < kClients; ++i) {
+    net::ChannelConfig ch;
+    ch.a_to_b.bandwidth_bps = 30e6;
+    ch.b_to_a.bandwidth_bps = 30e6;
+    channels.push_back(net::Channel::make(
+        sim, ch, "client" + std::to_string(i), "edge", 100 + i));
+    if (i == 0) {
+      server = std::make_unique<edge::EdgeServer>(sim, channels[0]->b(),
+                                                  server_config);
+    } else {
+      server->attach(channels[static_cast<std::size_t>(i)]->b());
+    }
+  }
+
+  edge::AppBundle prototype = core::make_benchmark_app(model, false);
+  const sim::SimTime click =
+      core::after_ack_click_time(*prototype.network, false, 0, 30e6) +
+      sim::SimTime::seconds(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.push_back(std::make_unique<edge::ClientDevice>(
+        sim, channels[static_cast<std::size_t>(i)]->a(), edge::ClientConfig{},
+        core::make_benchmark_app(model, false)));
+    clients.back()->start();
+    clients.back()->click_at(click);
+  }
+  sim.run();
+
+  int offloaded = 0;
+  int fell_back = 0;
+  for (const auto& client : clients) {
+    ASSERT_TRUE(client->finished());
+    if (client->timeline().local_fallback) {
+      ++fell_back;
+      EXPECT_FALSE(client->timeline().offloaded);
+    } else {
+      ++offloaded;
+    }
+  }
+  EXPECT_EQ(server->stats().snapshots_shed, 1);
+  EXPECT_EQ(fell_back, 1);
+  EXPECT_EQ(offloaded, kClients - 1);
+}
+
+}  // namespace
+}  // namespace offload::serve
