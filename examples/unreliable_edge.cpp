@@ -1,0 +1,84 @@
+// Offloading over an unreliable edge: the link drops, duplicates, delays
+// and corrupts messages, and the primary server crashes right after the
+// click — yet the inference completes, because the client runs an offload
+// supervisor (per-phase deadlines, retries with backoff, a hedged local
+// run, a circuit breaker, and failover to a secondary server).
+//
+//   ./build/examples/unreliable_edge
+//
+// Run it twice: every number is identical. Faults come from a seeded plan
+// (src/fault), so a faulted run is exactly as reproducible as a clean one.
+#include <cstdio>
+
+#include "src/core/offload.h"
+#include "src/util/strings.h"
+
+int main() {
+  using namespace offload;
+
+  nn::BenchmarkModel tiny{"TinyCNN", &nn::build_tiny_cnn_default, 17, 32};
+  edge::AppBundle app = core::make_benchmark_app(tiny, /*partial=*/false);
+
+  core::RuntimeConfig config;
+  config.click_at = core::after_ack_click_time(*app.network, false, 0, 30e6);
+
+  // Turn the supervisor on and stand up a failover server. Hedging is
+  // off here so the demo rides the full breaker-and-failover path; with
+  // the default 8 s hedge the local run would win the race instead.
+  config.client.supervisor.enabled = true;
+  config.client.supervisor.hedge_after = sim::SimTime::zero();
+  config.secondary_server = true;
+
+  // The hostile environment: 5% of messages suffer a fault in each
+  // direction, and the primary server crashes 1 ms after the click and
+  // stays down for 30 s — longer than any deadline is willing to wait.
+  fault::FaultPlanConfig faults = fault::FaultPlanConfig::uniform(0.05, 7);
+  fault::CrashSpec crash;
+  crash.first_at = config.click_at + sim::SimTime::millis(1);
+  crash.downtime = sim::SimTime::seconds(30);
+  faults.crashes.push_back(crash);
+  config.faults = faults;
+
+  core::OffloadingRuntime runtime(config, std::move(app));
+  core::RunResult result = runtime.run();
+
+  std::printf("result on screen:  \"%s\"\n", result.result_text.c_str());
+  std::printf("inference time:    %s (click -> result)\n",
+              util::format_seconds(result.inference_seconds).c_str());
+  std::printf("offloaded:         %s%s\n", result.offloaded ? "yes" : "no",
+              result.timeline.server_index == 1 ? " (secondary server)" : "");
+  std::printf("local fallback:    %s\n",
+              result.timeline.local_fallback ? "yes" : "no");
+
+  const edge::SupervisorStats& sup = runtime.client().supervisor_stats();
+  std::printf("\nWhat the supervisor did:\n");
+  std::printf("  deadline expiries   %d\n", sup.deadline_expiries);
+  std::printf("  snapshot retries    %d\n", sup.retries);
+  std::printf("  backoff wait        %s\n",
+              util::format_seconds(sup.backoff_wait_s).c_str());
+  std::printf("  breaker opens       %d\n", sup.breaker_opens);
+  std::printf("  failovers           %d\n", sup.failovers);
+  std::printf("  model re-presends   %d\n", sup.model_represends);
+  std::printf("  hedges started      %d (local wins: %d, remote wins: %d)\n",
+              sup.hedges_started, sup.hedge_local_wins,
+              sup.hedge_remote_wins);
+
+  if (fault::FaultPlan* plan = runtime.fault_plan()) {
+    const fault::FaultPlan::Stats& fs = plan->stats();
+    std::printf("\nWhat the fault plan injected:\n");
+    std::printf("  attempts consulted  %llu\n",
+                static_cast<unsigned long long>(fs.consulted));
+    std::printf("  drops               %llu\n",
+                static_cast<unsigned long long>(fs.drops));
+    std::printf("  duplicates          %llu\n",
+                static_cast<unsigned long long>(fs.duplicates));
+    std::printf("  corruptions         %llu\n",
+                static_cast<unsigned long long>(fs.corruptions));
+    std::printf("  delays              %llu\n",
+                static_cast<unsigned long long>(fs.delays));
+  }
+  std::printf("\nCrashes on the primary: %d (restarts: %d)\n",
+              runtime.server().stats().crashes,
+              runtime.server().stats().restarts);
+  return 0;
+}

@@ -7,7 +7,8 @@ const std::vector<std::string>& InferenceBreakdown::labels() {
       "DNN Execution (C)",     "Snapshot Capture (C)", "Transmission (C->S)",
       "Snapshot Restore (S)",  "DNN Execution (S)",    "Snapshot Capture (S)",
       "Queue Wait (S)",        "Batch Formation (S)",  "Transmission (S->C)",
-      "Snapshot Restore (C)",  "Other",
+      "Snapshot Restore (C)",  "Retry Backoff",        "Crash Recovery",
+      "Other",
   };
   return kLabels;
 }
@@ -16,7 +17,8 @@ std::vector<double> InferenceBreakdown::values() const {
   return {dnn_execution_client,  snapshot_capture_client, transmission_up,
           snapshot_restore_server, dnn_execution_server,
           snapshot_capture_server, server_queue_wait, server_batch_wait,
-          transmission_down, snapshot_restore_client, other};
+          transmission_down, snapshot_restore_client, retry_backoff,
+          crash_recovery, other};
 }
 
 }  // namespace offload::core

@@ -19,13 +19,17 @@ struct InferenceBreakdown {
   double server_batch_wait = 0;       ///< held while a batch formed
   double transmission_down = 0;       ///< result snapshot S→C
   double snapshot_restore_client = 0;
+  double retry_backoff = 0;           ///< supervisor waits between retries
+  double crash_recovery = 0;          ///< model re-presend after a server
+                                      ///< crash (detection → replay)
   double other = 0;                   ///< residual (e.g. refusal round trips)
 
   double total() const {
     return dnn_execution_client + snapshot_capture_client + transmission_up +
            snapshot_restore_server + dnn_execution_server +
            snapshot_capture_server + server_queue_wait + server_batch_wait +
-           transmission_down + snapshot_restore_client + other;
+           transmission_down + snapshot_restore_client + retry_backoff +
+           crash_recovery + other;
   }
 
   /// Fig. 7 category labels, in stack order.

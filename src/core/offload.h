@@ -16,6 +16,9 @@
 #include "src/core/runtime.h"      // IWYU pragma: export
 #include "src/edge/client_device.h"  // IWYU pragma: export
 #include "src/edge/edge_server.h"    // IWYU pragma: export
+#include "src/edge/supervisor.h"     // IWYU pragma: export
+#include "src/fault/fault_plan.h"    // IWYU pragma: export
+#include "src/fault/injector.h"      // IWYU pragma: export
 #include "src/jsvm/snapshot.h"       // IWYU pragma: export
 #include "src/nn/models.h"           // IWYU pragma: export
 #include "src/nn/partition.h"        // IWYU pragma: export

@@ -7,11 +7,28 @@ namespace offload::core {
 OffloadingRuntime::OffloadingRuntime(RuntimeConfig config,
                                      edge::AppBundle app)
     : config_(std::move(config)) {
+  if (config_.client.supervisor.enabled) {
+    // The supervisor watches per-phase deadlines through the server's
+    // "accepted:"/"done:" receipts; turn them on to match.
+    config_.server.ack_snapshots = true;
+  }
   channel_ = net::Channel::make(sim_, config_.channel);
   server_ = std::make_unique<edge::EdgeServer>(sim_, channel_->b(),
                                                config_.server);
   client_ = std::make_unique<edge::ClientDevice>(
       sim_, channel_->a(), config_.client, std::move(app));
+  if (config_.secondary_server) {
+    secondary_channel_ =
+        net::Channel::make(sim_, config_.channel, "client", "server-b");
+    secondary_server_ = std::make_unique<edge::EdgeServer>(
+        sim_, secondary_channel_->b(), config_.server);
+    client_->attach_secondary(secondary_channel_->a());
+  }
+  if (config_.faults) {
+    injector_ = std::make_unique<fault::FaultInjector>(sim_, *config_.faults);
+    injector_->attach_channel(*channel_);
+    injector_->attach_server(*server_);
+  }
 }
 
 OffloadingRuntime::~OffloadingRuntime() = default;
@@ -39,12 +56,19 @@ RunResult OffloadingRuntime::run() {
 
   InferenceBreakdown& b = result.breakdown;
   b.dnn_execution_client = result.timeline.client_exec_s;
+  b.retry_backoff = result.timeline.backoff_wait_s;
+  b.crash_recovery = result.timeline.recovery_s;
   if (result.offloaded) {
-    if (server_->executions().empty()) {
+    // The result may have come from the secondary after a failover.
+    edge::EdgeServer* source = server_.get();
+    if (result.timeline.server_index == 1 && secondary_server_) {
+      source = secondary_server_.get();
+    }
+    if (source->executions().empty()) {
       throw std::runtime_error(
           "OffloadingRuntime: offloaded but server has no execution record");
     }
-    const edge::ServerExecutionRecord& record = server_->executions().back();
+    const edge::ServerExecutionRecord& record = source->executions().back();
     result.server_record = record;
     b.snapshot_capture_client = result.timeline.capture_s;
     b.transmission_up =

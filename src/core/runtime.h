@@ -10,6 +10,7 @@
 #include "src/core/breakdown.h"
 #include "src/edge/client_device.h"
 #include "src/edge/edge_server.h"
+#include "src/fault/injector.h"
 #include "src/net/channel.h"
 #include "src/sim/simulation.h"
 
@@ -24,6 +25,13 @@ struct RuntimeConfig {
   /// Before the model upload finishes → the paper's "before ACK" arm;
   /// comfortably after → "after ACK".
   sim::SimTime click_at = sim::SimTime::seconds(0.1);
+  /// Deterministic fault plan, applied to the *primary* channel and server
+  /// (the secondary, when present, stays healthy — it is the escape
+  /// hatch). No plan (the default) = a fault-free run.
+  std::optional<fault::FaultPlanConfig> faults;
+  /// Stand up a second edge server (its own clean channel, same config)
+  /// and register it with the client as the failover target.
+  bool secondary_server = false;
 
   static net::ChannelConfig default_channel() {
     net::ChannelConfig ch;
@@ -60,13 +68,22 @@ class OffloadingRuntime {
   sim::Simulation& simulation() { return sim_; }
   edge::ClientDevice& client() { return *client_; }
   edge::EdgeServer& server() { return *server_; }
+  /// The failover server (null unless secondary_server was requested).
+  edge::EdgeServer* secondary() { return secondary_server_.get(); }
+  /// The active fault plan (null for fault-free runs).
+  fault::FaultPlan* fault_plan() {
+    return injector_ ? &injector_->plan() : nullptr;
+  }
 
  private:
   RuntimeConfig config_;
   sim::Simulation sim_;
   std::unique_ptr<net::Channel> channel_;
+  std::unique_ptr<net::Channel> secondary_channel_;
   std::unique_ptr<edge::EdgeServer> server_;
+  std::unique_ptr<edge::EdgeServer> secondary_server_;
   std::unique_ptr<edge::ClientDevice> client_;
+  std::unique_ptr<fault::FaultInjector> injector_;
 };
 
 /// The Fig. 6 "Server" baseline: the app runs entirely on the server's

@@ -26,6 +26,26 @@ ClientDevice::ClientDevice(sim::Simulation& sim, net::Endpoint& endpoint,
   browser_ = std::make_unique<BrowserHost>(config_.profile, local_store_);
   browser_->add_image("input", bundle_.input_image);
   endpoint_.set_handler([this](const net::Message& m) { on_message(m); });
+  if (supervising()) {
+    backoff_.emplace(config_.supervisor);
+    breakers_[0] = CircuitBreaker(config_.supervisor);
+    breakers_[1] = CircuitBreaker(config_.supervisor);
+    endpoint_.set_failure_handler(
+        [this](const net::Message& m, int attempts) {
+          on_delivery_failure(m, attempts);
+        });
+  }
+}
+
+void ClientDevice::attach_secondary(net::Endpoint& endpoint) {
+  secondary_ = &endpoint;
+  endpoint.set_handler([this](const net::Message& m) { on_message(m); });
+  if (supervising()) {
+    endpoint.set_failure_handler(
+        [this](const net::Message& m, int attempts) {
+          on_delivery_failure(m, attempts);
+        });
+  }
 }
 
 std::vector<nn::ModelFile> ClientDevice::files_to_send() const {
@@ -36,8 +56,9 @@ std::vector<nn::ModelFile> ClientDevice::files_to_send() const {
 }
 
 void ClientDevice::send_model_files(bool count_as_presend) {
-  if (model_sent_) return;
-  model_sent_ = true;
+  if (model_sent()) return;
+  model_sent() = true;
+  awaiting_ack_ = true;
   ModelFilesPayload payload;
   payload.files = files_to_send();
   net::Message msg;
@@ -46,7 +67,7 @@ void ClientDevice::send_model_files(bool count_as_presend) {
   msg.payload = payload.encode();
   timeline_.model_upload_bytes = msg.payload.size();
   if (count_as_presend) timeline_.model_upload_started = sim_.now();
-  endpoint_.send(std::move(msg));
+  active_endpoint().send(std::move(msg));
 }
 
 void ClientDevice::send_overlay() {
@@ -65,8 +86,8 @@ void ClientDevice::send_overlay() {
   msg.type = net::MessageType::kVmOverlay;
   msg.name = bundle_.name;
   msg.payload = std::move(overlay.payload);
-  endpoint_.send(std::move(msg));
-  model_sent_ = true;  // the overlay carried the model files
+  active_endpoint().send(std::move(msg));
+  model_sent() = true;  // the overlay carried the model files
   timeline_.model_upload_started = sim_.now();
 }
 
@@ -84,6 +105,8 @@ void ClientDevice::start() {
 
   if (config_.offload && config_.presend_model) {
     send_model_files(/*count_as_presend=*/true);
+    presend_attempts_ = 1;
+    arm_phase(Phase::kPresend, config_.supervisor.presend_deadline);
   }
 }
 
@@ -119,6 +142,16 @@ void ClientDevice::begin_inference() {
   }
   timeline_.clicked = sim_.now();
   timeline_.used_partition_cut = config_.partition_cut;
+  timeline_.server_index = static_cast<int>(active_server_);
+
+  // Per-inference supervisor state.
+  attempts_ = 0;
+  hedge_running_ = false;
+  hedge_exec_s_ = 0;
+  ignore_late_result_ = false;
+  resend_snapshot_on_ack_ = false;
+  recovery_started_.reset();
+  cancel_supervision_timers();
 
   if (config_.offload && config_.auto_partition) {
     std::size_t cut = pick_partition_cut();
@@ -167,6 +200,29 @@ void ClientDevice::run_app_events() {
     // (Section IV.A's recommendation).
     timeline_.local_fallback = true;
     want_offload = false;
+  }
+  if (want_offload && supervising() &&
+      !active_breaker().allow(sim_.now())) {
+    // The active server's breaker is open. Route around it: the other
+    // server if its breaker admits, else local execution for this click.
+    std::size_t other = active_server_ == 0 ? 1 : 0;
+    bool other_usable =
+        (other == 0 || secondary_ != nullptr) &&
+        breakers_[other].allow(sim_.now());
+    if (other_usable) {
+      ++sup_stats_.failovers;
+      OFFLOAD_LOG_WARN << "client: breaker open, routing to "
+                       << (other == 0 ? "primary" : "secondary")
+                       << " server";
+      active_server_ = other;
+      timeline_.server_index = static_cast<int>(other);
+      baseline_.reset();  // sessions do not migrate between servers
+    } else {
+      ++sup_stats_.breaker_short_circuits;
+      OFFLOAD_LOG_WARN << "client: breaker open, executing locally";
+      timeline_.local_fallback = true;
+      want_offload = false;
+    }
   }
   if (!want_offload) {
     run_locally();
@@ -231,13 +287,251 @@ void ClientDevice::send_snapshot_message(net::Message msg, double busy_s) {
     send_model_files(/*count_as_presend=*/false);
     timeline_.snapshot_sent = sim_.now();
     inflight_snapshot_ = msg;
-    endpoint_.send(std::move(msg));
+    ++attempts_;
+    active_endpoint().send(std::move(msg));
+    if (supervising()) {
+      arm_upload_watchdog();
+      if (config_.supervisor.hedge_after != sim::SimTime::zero() &&
+          !hedge_running_ && !hedge_timer_.valid()) {
+        hedge_timer_ = sim_.schedule(config_.supervisor.hedge_after,
+                                     [this] { start_hedge(); });
+      }
+    }
   });
 }
+
+// ---------------------------------------------------------------------------
+// Supervisor machinery
+// ---------------------------------------------------------------------------
+
+void ClientDevice::arm_phase(Phase phase, sim::SimTime deadline) {
+  cancel_phase_timer();
+  if (!supervising() || deadline == sim::SimTime::zero()) return;
+  phase_ = phase;
+  phase_timer_ =
+      sim_.schedule(deadline, [this, phase] { on_phase_timeout(phase); });
+}
+
+void ClientDevice::arm_upload_watchdog() {
+  const SupervisorConfig& s = config_.supervisor;
+  if (s.expect_phase_acks) {
+    arm_phase(Phase::kUpload, s.upload_deadline);
+  } else {
+    // No per-phase receipts from this server: watch the whole round trip
+    // with the summed budget instead.
+    arm_phase(Phase::kUpload,
+              s.upload_deadline + s.execute_deadline + s.download_deadline);
+  }
+}
+
+void ClientDevice::cancel_phase_timer() {
+  if (phase_timer_.valid()) sim_.cancel(phase_timer_);
+  phase_timer_ = sim::EventHandle{};
+  phase_ = Phase::kIdle;
+}
+
+void ClientDevice::cancel_supervision_timers() {
+  cancel_phase_timer();
+  if (hedge_timer_.valid()) sim_.cancel(hedge_timer_);
+  hedge_timer_ = sim::EventHandle{};
+}
+
+void ClientDevice::on_phase_timeout(Phase phase) {
+  phase_timer_ = sim::EventHandle{};
+  phase_ = Phase::kIdle;
+  ++sup_stats_.deadline_expiries;
+  active_breaker().record_failure(sim_.now());
+  if (phase == Phase::kPresend) {
+    if (!awaiting_ack_) return;  // raced with the ACK
+    if (awaiting_result_ && inflight_snapshot_) {
+      // A snapshot is riding on this ACK (recovery or the slow path):
+      // funnel the whole exchange through the retry policy.
+      retry_snapshot("model pre-send deadline");
+      return;
+    }
+    if (presend_attempts_ >= config_.supervisor.max_attempts) {
+      OFFLOAD_LOG_WARN << "client: model pre-send abandoned after "
+                       << presend_attempts_ << " attempts";
+      return;  // inferences proceed locally until the server recovers
+    }
+    sim::SimTime wait = backoff_->delay(presend_attempts_);
+    sup_stats_.backoff_wait_s += wait.to_seconds();
+    ++sup_stats_.retries;
+    OFFLOAD_LOG_WARN << "client: model ACK overdue, re-sending after "
+                     << wait.str();
+    sim_.schedule(wait, [this] {
+      if (!awaiting_ack_) return;
+      ++presend_attempts_;
+      model_sent() = false;
+      send_model_files(/*count_as_presend=*/false);
+      arm_phase(Phase::kPresend, config_.supervisor.presend_deadline);
+    });
+    return;
+  }
+  retry_snapshot(phase == Phase::kUpload     ? "upload deadline"
+                 : phase == Phase::kExecute  ? "execution deadline"
+                                             : "download deadline");
+}
+
+void ClientDevice::retry_snapshot(const char* reason) {
+  if (!supervising() || !awaiting_result_) return;
+  cancel_phase_timer();
+  if (!inflight_snapshot_) {
+    abandon_remote(reason);
+    return;
+  }
+  if (attempts_ >= config_.supervisor.max_attempts ||
+      !active_breaker().allow(sim_.now())) {
+    if (try_failover()) return;
+    abandon_remote(reason);
+    return;
+  }
+  sim::SimTime wait = backoff_->delay(attempts_);
+  sup_stats_.backoff_wait_s += wait.to_seconds();
+  timeline_.backoff_wait_s += wait.to_seconds();
+  OFFLOAD_LOG_INFO << "client: offload attempt " << attempts_ << " failed ("
+                   << reason << "), retrying after " << wait.str();
+  sim_.schedule(wait, [this] {
+    if (awaiting_result_ && inflight_snapshot_) resend_inflight();
+  });
+}
+
+void ClientDevice::resend_inflight() {
+  if (!inflight_snapshot_) return;
+  ++attempts_;
+  ++sup_stats_.retries;
+  ++timeline_.retries;
+  timeline_.snapshot_sent = sim_.now();
+  active_endpoint().send(*inflight_snapshot_);
+  arm_upload_watchdog();
+}
+
+bool ClientDevice::try_failover() {
+  std::size_t other = active_server_ == 0 ? 1 : 0;
+  if (other == 1 && !secondary_) return false;
+  if (!breakers_[other].allow(sim_.now())) return false;
+  ++sup_stats_.failovers;
+  OFFLOAD_LOG_WARN << "client: failing over to "
+                   << (other == 0 ? "primary" : "secondary") << " server";
+  active_server_ = other;
+  timeline_.server_index = static_cast<int>(other);
+  baseline_.reset();  // sessions do not migrate between servers
+  attempts_ = 0;      // fresh retry budget against the new server
+  if (model_sent()) {
+    // This server already holds the model from an earlier stint.
+    resend_inflight();
+  } else {
+    begin_recovery("failover");
+  }
+  return true;
+}
+
+void ClientDevice::begin_recovery(const char* reason) {
+  OFFLOAD_LOG_WARN << "client: recovery (" << reason
+                   << "): re-presending model";
+  ++sup_stats_.model_represends;
+  timeline_.recovered = true;
+  recovery_started_ = sim_.now();
+  baseline_.reset();  // any kept session died with the server
+  model_sent() = false;
+  resend_snapshot_on_ack_ = true;
+  presend_attempts_ = 1;
+  send_model_files(/*count_as_presend=*/false);
+  arm_phase(Phase::kPresend, config_.supervisor.presend_deadline);
+}
+
+void ClientDevice::abandon_remote(const char* reason) {
+  OFFLOAD_LOG_WARN << "client: abandoning offload (" << reason
+                   << "), finishing locally";
+  ++sup_stats_.local_fallbacks;
+  cancel_supervision_timers();
+  awaiting_result_ = false;
+  inflight_snapshot_.reset();
+  resend_snapshot_on_ack_ = false;
+  ignore_late_result_ = true;
+  timeline_.local_fallback = true;
+  timeline_.offloaded = false;  // the result will not come from a server
+  if (hedge_running_) return;  // the running hedge is already the fallback
+  run_locally();
+}
+
+void ClientDevice::start_hedge() {
+  hedge_timer_ = sim::EventHandle{};
+  if (!awaiting_result_ || hedge_running_ || timeline_.finished) return;
+  ++sup_stats_.hedges_started;
+  timeline_.hedged = true;
+  hedge_running_ = true;
+  OFFLOAD_LOG_INFO << "client: offload past its latency budget, starting "
+                      "hedged local execution";
+  // The offloaded event is still at the realm's queue front (capture left
+  // it in place), so the hedge is simply: stop deferring, run it here.
+  jsvm::Interpreter& interp = browser_->interp();
+  interp.offload_hook = nullptr;
+  interp.run_events();
+  hedge_exec_s_ = browser_->consume_compute_seconds();
+  hedge_finish_at_ = sim_.now() + sim::SimTime::seconds(hedge_exec_s_);
+  hedge_finish_timer_ = sim_.schedule(sim::SimTime::seconds(hedge_exec_s_),
+                                      [this] { finish_hedge(); });
+}
+
+void ClientDevice::finish_hedge() {
+  hedge_finish_timer_ = sim::EventHandle{};
+  if (!hedge_running_) return;
+  hedge_running_ = false;
+  timeline_.client_exec_s += hedge_exec_s_;
+  timeline_.finished = sim_.now();
+  if (!awaiting_result_) return;  // remote was abandoned; this is fallback
+  // The local run beat the server: cancel the remote side of the race.
+  ++sup_stats_.hedge_local_wins;
+  timeline_.hedge_local_win = true;
+  timeline_.local_fallback = true;
+  timeline_.offloaded = false;
+  active_breaker().record_failure(sim_.now());
+  awaiting_result_ = false;
+  inflight_snapshot_.reset();
+  resend_snapshot_on_ack_ = false;
+  ignore_late_result_ = true;
+  cancel_supervision_timers();
+}
+
+void ClientDevice::on_delivery_failure(const net::Message& message,
+                                       int attempts) {
+  if (!supervising()) return;
+  OFFLOAD_LOG_WARN << "client: delivery failed for "
+                   << net::message_type_name(message.type) << " after "
+                   << attempts << " attempt(s)";
+  active_breaker().record_failure(sim_.now());
+  if (message.type == net::MessageType::kSnapshot) {
+    retry_snapshot("delivery failure");
+    return;
+  }
+  if (message.type == net::MessageType::kModelFiles && awaiting_ack_) {
+    if (presend_attempts_ >= config_.supervisor.max_attempts) return;
+    sim::SimTime wait = backoff_->delay(presend_attempts_);
+    sup_stats_.backoff_wait_s += wait.to_seconds();
+    ++sup_stats_.retries;
+    sim_.schedule(wait, [this] {
+      if (!awaiting_ack_) return;
+      ++presend_attempts_;
+      model_sent() = false;
+      send_model_files(/*count_as_presend=*/false);
+      arm_phase(Phase::kPresend, config_.supervisor.presend_deadline);
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Message handling
+// ---------------------------------------------------------------------------
 
 void ClientDevice::on_message(const net::Message& message) {
   switch (message.type) {
     case net::MessageType::kAck: {
+      if (supervising()) {
+        awaiting_ack_ = false;
+        active_breaker().record_success(sim_.now());
+        if (phase_ == Phase::kPresend) cancel_phase_timer();
+      }
       if (!timeline_.ack_received) {
         timeline_.ack_received = sim_.now();
         // The completed upload doubles as a bandwidth observation
@@ -248,24 +542,76 @@ void ClientDevice::on_message(const net::Message& message) {
                                  timeline_.model_upload_started);
         }
       }
+      if (resend_snapshot_on_ack_ && awaiting_result_ && inflight_snapshot_) {
+        // Crash recovery / failover: the model landed on the (re)started
+        // server — now replay the snapshot that was in flight.
+        resend_snapshot_on_ack_ = false;
+        if (recovery_started_) {
+          double spent = (sim_.now() - *recovery_started_).to_seconds();
+          sup_stats_.recovery_s += spent;
+          timeline_.recovery_s += spent;
+          recovery_started_.reset();
+        }
+        resend_inflight();
+        return;
+      }
       if (util::starts_with(message.name, "installed:") && awaiting_result_ &&
           inflight_snapshot_) {
         // Our earlier snapshot was refused pre-install; send it again.
         timeline_.snapshot_sent = sim_.now();
-        endpoint_.send(*inflight_snapshot_);
+        active_endpoint().send(*inflight_snapshot_);
+        if (supervising()) arm_upload_watchdog();
       }
       return;
     }
     case net::MessageType::kResultSnapshot: {
+      if (ignore_late_result_) {
+        // This inference already finished locally (hedge win or
+        // abandonment); the straggler loses the race.
+        OFFLOAD_LOG_INFO << "client: dropping late result snapshot";
+        ignore_late_result_ = false;
+        return;
+      }
       if (!awaiting_result_) {
         OFFLOAD_LOG_WARN << "client: unexpected result snapshot";
         return;
       }
-      awaiting_result_ = false;
-      inflight_snapshot_.reset();
-      timeline_.result_received = sim_.now();
+      if (!payload_intact(message)) {
+        // Damaged on the downlink. Supervised: treat as one more
+        // retryable failure. Unsupervised: surface the typed error.
+        if (!supervising()) throw PayloadCorruptError(message);
+        active_breaker().record_failure(sim_.now());
+        retry_snapshot("corrupt result payload");
+        return;
+      }
       SnapshotPayload payload =
           SnapshotPayload::decode(std::span(message.payload));
+      double restore_s =
+          config_.profile.snapshot_restore_s(payload.program.size());
+      if (hedge_running_) {
+        // Both runners are live: the remote result completes at
+        // now + restore; the local hedge at hedge_finish_at_. First
+        // finisher takes it.
+        if (sim_.now() + sim::SimTime::seconds(restore_s) >
+            hedge_finish_at_) {
+          OFFLOAD_LOG_INFO << "client: local hedge will finish first, "
+                              "discarding remote result";
+          return;  // finish_hedge() completes the inference
+        }
+        hedge_running_ = false;
+        if (hedge_finish_timer_.valid()) sim_.cancel(hedge_finish_timer_);
+        hedge_finish_timer_ = sim::EventHandle{};
+        timeline_.hedge_wasted_s += hedge_exec_s_;
+        ++sup_stats_.hedge_remote_wins;
+      }
+      if (supervising()) {
+        cancel_supervision_timers();
+        active_breaker().record_success(sim_.now());
+      }
+      awaiting_result_ = false;
+      inflight_snapshot_.reset();
+      resend_snapshot_on_ack_ = false;
+      timeline_.result_received = sim_.now();
       // Adopt the new execution state on a fresh page (the snapshot is a
       // self-contained app).
       browser_->reset_realm();
@@ -280,14 +626,33 @@ void ClientDevice::on_message(const net::Message& message) {
         // This restored state is now the baseline both sides share.
         baseline_ = jsvm::fingerprint_realm(browser_->interp());
       }
-      timeline_.restore_s =
-          config_.profile.snapshot_restore_s(payload.program.size());
+      timeline_.restore_s = restore_s;
       timeline_.finished =
           sim_.now() + sim::SimTime::seconds(timeline_.restore_s);
       return;
     }
     case net::MessageType::kControl: {
+      if (util::starts_with(message.name, "accepted:") && awaiting_result_) {
+        // Upload phase done; the execution clock starts.
+        if (supervising()) {
+          arm_phase(Phase::kExecute, config_.supervisor.execute_deadline);
+        }
+        return;
+      }
+      if (util::starts_with(message.name, "done:") && awaiting_result_) {
+        // Execution phase done; only the download remains.
+        if (supervising()) {
+          arm_phase(Phase::kDownload, config_.supervisor.download_deadline);
+        }
+        return;
+      }
       if (util::starts_with(message.name, "need_full") && awaiting_result_) {
+        if (hedge_running_) {
+          // The realm already ran the handler locally — we cannot
+          // recapture it. Let the hedge finish the inference.
+          abandon_remote("session lost during hedge");
+          return;
+        }
         // The server lost (or never had) our differential baseline: the
         // realm is untouched since capture, so take a full snapshot and
         // retry.
@@ -314,12 +679,22 @@ void ClientDevice::on_message(const net::Message& message) {
         send_snapshot_message(std::move(msg), recapture_s);
         return;
       }
-      if (util::starts_with(message.name, "overloaded") && awaiting_result_) {
-        // The server shed our request (admission queue full). The realm is
-        // untouched since capture — the offloaded event is still at the
-        // queue front — so finish this inference locally.
-        OFFLOAD_LOG_INFO << "client: server overloaded, falling back to "
-                            "local execution";
+      if ((util::starts_with(message.name, "overloaded") ||
+           util::starts_with(message.name, "expired:")) &&
+          awaiting_result_) {
+        // The server shed our request (admission queue full) or expired
+        // it past its queue deadline. The realm is untouched since
+        // capture — the offloaded event is still at the queue front — so
+        // finish this inference locally.
+        OFFLOAD_LOG_INFO << "client: server "
+                         << (message.name[0] == 'o' ? "overloaded"
+                                                    : "expired the request")
+                         << ", falling back to local execution";
+        if (supervising()) {
+          abandon_remote(message.name[0] == 'o' ? "server overloaded"
+                                                : "server queue deadline");
+          return;
+        }
         awaiting_result_ = false;
         inflight_snapshot_.reset();
         timeline_.local_fallback = true;
@@ -327,12 +702,64 @@ void ClientDevice::on_message(const net::Message& message) {
         run_locally();
         return;
       }
+      if (util::starts_with(message.name, "model_missing:") &&
+          awaiting_result_) {
+        // The server cannot run our app: its model store has no entry —
+        // the signature of a crashed-and-restarted server (or a never
+        // pre-sent model). Supervised clients re-presend and replay;
+        // others fall back locally rather than hang.
+        if (supervising() && inflight_snapshot_) {
+          cancel_phase_timer();
+          begin_recovery("server lost the model");
+          return;
+        }
+        OFFLOAD_LOG_WARN << "client: server has no model for '"
+                         << bundle_.name << "', falling back locally";
+        if (supervising()) {
+          abandon_remote("server lost the model");
+          return;
+        }
+        awaiting_result_ = false;
+        inflight_snapshot_.reset();
+        timeline_.local_fallback = true;
+        timeline_.offloaded = false;
+        run_locally();
+        return;
+      }
+      if (util::starts_with(message.name, "corrupt_payload:")) {
+        // The server rejected our bytes (CRC mismatch). Re-send whatever
+        // was in flight toward it.
+        if (awaiting_result_ && inflight_snapshot_) {
+          if (supervising()) {
+            active_breaker().record_failure(sim_.now());
+            retry_snapshot("server rejected corrupt payload");
+          } else {
+            OFFLOAD_LOG_WARN << "client: snapshot corrupted in flight, "
+                                "re-sending";
+            ++timeline_.retries;
+            timeline_.snapshot_sent = sim_.now();
+            active_endpoint().send(*inflight_snapshot_);
+          }
+          return;
+        }
+        if (awaiting_ack_ || !timeline_.ack_received) {
+          OFFLOAD_LOG_WARN << "client: model upload corrupted in flight, "
+                              "re-sending";
+          model_sent() = false;
+          send_model_files(/*count_as_presend=*/false);
+          if (supervising()) {
+            ++sup_stats_.retries;
+            arm_phase(Phase::kPresend, config_.supervisor.presend_deadline);
+          }
+        }
+        return;
+      }
       if (util::starts_with(message.name, "not_installed")) {
         if (config_.install_on_demand && !overlay_sent_) {
           OFFLOAD_LOG_INFO << "client: server lacks offloading system, "
                               "sending VM overlay";
           overlay_sent_ = true;
-          model_sent_ = false;  // the refused upload never landed
+          model_sent() = false;  // the refused upload never landed
           send_overlay();
         } else if (!config_.install_on_demand) {
           OFFLOAD_LOG_WARN << "client: server not installed and on-demand "

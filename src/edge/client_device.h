@@ -4,6 +4,16 @@
 // execution to the edge server, adopting the result snapshot when it comes
 // back. Implements the offloading configurations evaluated in Fig. 6:
 // local-only, offload before/after ACK, and partial inference.
+//
+// When ClientConfig::supervisor.enabled is set, an offload supervisor
+// state machine wraps the protocol: per-phase deadlines (pre-send, upload,
+// server execution, download), retries with exponential backoff and
+// deterministic jitter, hedged local execution, a per-server circuit
+// breaker that can fail over to a secondary server (attach_secondary —
+// snapshots are self-contained, so migration is just re-targeting), and
+// crash recovery (a restarted server answers "model_missing"/"need_full";
+// the supervisor re-presends and retries). Disabled, the client behaves
+// exactly as before.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +23,7 @@
 
 #include "src/edge/browser_host.h"
 #include "src/edge/protocol.h"
+#include "src/edge/supervisor.h"
 #include "src/jsvm/fingerprint.h"
 #include "src/net/bandwidth.h"
 #include "src/net/channel.h"
@@ -56,6 +67,9 @@ struct ClientConfig {
   /// partitioner and the observed bandwidth, instead of a fixed cut. Only
   /// meaningful for partial-inference apps; implies full-weight pre-send.
   bool auto_partition = false;
+  /// Offload supervision (deadlines/retries/hedging/breaker/recovery).
+  /// Disabled by default.
+  SupervisorConfig supervisor;
   jsvm::SnapshotOptions snapshot_options;
 };
 
@@ -83,7 +97,8 @@ struct ClientTimeline {
   std::optional<sim::SimTime> finished;
   bool offloaded = false;
   /// This inference ran locally — either the model ACK was still pending,
-  /// or the server shed the request ("overloaded:" control reply).
+  /// or the server shed the request ("overloaded:" control reply), or the
+  /// supervisor gave up on the remote side.
   bool local_fallback = false;
   /// This inference shipped a differential snapshot.
   bool used_differential = false;
@@ -92,6 +107,16 @@ struct ClientTimeline {
   std::uint64_t snapshot_bytes = 0;
   std::uint64_t model_upload_bytes = 0;
   jsvm::SnapshotStats snapshot_stats;
+
+  // --- Supervisor observations (all zero/false when it is disabled) ---
+  int retries = 0;            ///< snapshot re-sends for this inference
+  double backoff_wait_s = 0;  ///< time spent waiting between retries
+  double recovery_s = 0;      ///< time spent re-presending the model
+  bool hedged = false;        ///< a local hedge was started
+  bool hedge_local_win = false;  ///< ...and the local run finished first
+  double hedge_wasted_s = 0;  ///< local compute burned by a losing hedge
+  bool recovered = false;     ///< hit crash recovery (model re-presend)
+  int server_index = 0;       ///< 0 = primary, 1 = secondary
 
   /// End-to-end inference latency (click → finished).
   double inference_seconds() const {
@@ -113,6 +138,11 @@ class ClientDevice {
   /// completed inference's timeline is archived in history().
   void click_at(sim::SimTime at);
 
+  /// Register a secondary edge server (its own channel endpoint). The
+  /// supervisor fails over to it when the primary's circuit breaker opens
+  /// — the snapshot is self-contained, so nothing migrates but the bytes.
+  void attach_secondary(net::Endpoint& endpoint);
+
   bool finished() const { return timeline_.finished.has_value(); }
   const ClientTimeline& timeline() const { return timeline_; }
   /// Timelines of earlier inferences (most recent last).
@@ -124,8 +154,17 @@ class ClientDevice {
   BrowserHost& browser() { return *browser_; }
   const AppBundle& bundle() const { return bundle_; }
   const ClientConfig& config() const { return config_; }
+  /// Lifetime supervisor counters (zeros when supervision is off).
+  const SupervisorStats& supervisor_stats() const { return sup_stats_; }
+  /// Breaker for server `index` (0 primary, 1 secondary), for tests.
+  const CircuitBreaker& breaker(std::size_t index) const {
+    return breakers_[index];
+  }
 
  private:
+  /// Supervisor phase currently under a deadline watchdog.
+  enum class Phase { kIdle, kPresend, kUpload, kExecute, kDownload };
+
   void on_message(const net::Message& message);
   void begin_inference();
   void run_app_events();
@@ -136,6 +175,32 @@ class ClientDevice {
   std::vector<nn::ModelFile> files_to_send() const;
   std::size_t pick_partition_cut();
 
+  // --- Supervisor machinery (all no-ops when supervision is off) ---
+  bool supervising() const { return config_.supervisor.enabled; }
+  net::Endpoint& active_endpoint() {
+    return active_server_ == 1 && secondary_ ? *secondary_ : endpoint_;
+  }
+  CircuitBreaker& active_breaker() { return breakers_[active_server_]; }
+  bool& model_sent() { return model_sent_flags_[active_server_]; }
+  void arm_phase(Phase phase, sim::SimTime deadline);
+  void arm_upload_watchdog();
+  void cancel_phase_timer();
+  void cancel_supervision_timers();
+  void on_phase_timeout(Phase phase);
+  /// Funnel for every retryable remote failure: backoff + resend, fail
+  /// over, or abandon to local execution.
+  void retry_snapshot(const char* reason);
+  void resend_inflight();
+  bool try_failover();
+  /// Re-presend the model to the active server and resend the snapshot
+  /// once the ACK lands (crash recovery / failover bootstrap).
+  void begin_recovery(const char* reason);
+  /// Give up on the remote side and finish this inference locally.
+  void abandon_remote(const char* reason);
+  void start_hedge();
+  void finish_hedge();
+  void on_delivery_failure(const net::Message& message, int attempts);
+
   sim::Simulation& sim_;
   net::Endpoint& endpoint_;
   ClientConfig config_;
@@ -144,12 +209,11 @@ class ClientDevice {
   std::unique_ptr<BrowserHost> browser_;
   ClientTimeline timeline_;
   std::vector<ClientTimeline> history_;
-  bool model_sent_ = false;
   bool started_ = false;
   bool awaiting_result_ = false;
   bool overlay_sent_ = false;
-  /// Copy of the in-flight snapshot, for re-send after on-demand install
-  /// or a differential version miss.
+  /// Copy of the in-flight snapshot, for re-send after on-demand install,
+  /// a differential version miss, or any supervised retry.
   std::optional<net::Message> inflight_snapshot_;
   /// Common state shared with the server (differential snapshots).
   std::optional<jsvm::RealmFingerprint> baseline_;
@@ -157,6 +221,29 @@ class ClientDevice {
   /// Lazily built cost models for auto-partitioning.
   std::optional<nn::LayerCostModel> client_cost_;
   std::optional<nn::LayerCostModel> server_cost_;
+
+  // --- Supervisor state ---
+  net::Endpoint* secondary_ = nullptr;
+  std::size_t active_server_ = 0;
+  bool model_sent_flags_[2] = {false, false};
+  CircuitBreaker breakers_[2];
+  std::optional<RetryBackoff> backoff_;
+  SupervisorStats sup_stats_;
+  Phase phase_ = Phase::kIdle;
+  sim::EventHandle phase_timer_;
+  sim::EventHandle hedge_timer_;         ///< fires start_hedge
+  sim::EventHandle hedge_finish_timer_;  ///< fires finish_hedge
+  bool hedge_running_ = false;
+  double hedge_exec_s_ = 0;
+  sim::SimTime hedge_finish_at_;  ///< when the running hedge will finish
+  /// A model upload is awaiting its ACK from the *active* server (unlike
+  /// timeline_.ack_received, this re-arms on recovery re-presends).
+  bool awaiting_ack_ = false;
+  int attempts_ = 0;          ///< snapshot sends this inference
+  int presend_attempts_ = 0;  ///< model sends toward the current ACK
+  bool resend_snapshot_on_ack_ = false;
+  bool ignore_late_result_ = false;
+  std::optional<sim::SimTime> recovery_started_;
 };
 
 }  // namespace offload::edge

@@ -1,6 +1,7 @@
 #include "src/edge/edge_server.h"
 
 #include "src/jsvm/fingerprint.h"
+#include "src/jsvm/interpreter.h"
 #include "src/util/logging.h"
 #include "src/util/strings.h"
 
@@ -12,10 +13,15 @@ EdgeServer::EdgeServer(sim::Simulation& sim, net::Endpoint& endpoint,
       config_(std::move(config)),
       store_(std::make_shared<ModelStore>()),
       base_image_(vmsynth::make_base_image()) {
+  scheduler_ = make_scheduler();
+  attach(endpoint);
+}
+
+std::unique_ptr<serve::Scheduler> EdgeServer::make_scheduler() const {
   serve::SchedulerConfig sched = config_.scheduler;
   sched.profile = config_.profile;  // the server's compute, not a default
-  scheduler_ = std::make_unique<serve::Scheduler>(sim_, std::move(sched));
-  attach(endpoint);
+  sched.drop_expired = config_.queue_deadline != sim::SimTime::zero();
+  return std::make_unique<serve::Scheduler>(sim_, std::move(sched));
 }
 
 void EdgeServer::attach(net::Endpoint& endpoint) {
@@ -24,7 +30,73 @@ void EdgeServer::attach(net::Endpoint& endpoint) {
   });
 }
 
+void EdgeServer::schedule_crash(sim::SimTime at, sim::SimTime downtime) {
+  sim_.schedule_at(at, [this, downtime] {
+    ++stats_.crashes;
+    ++boot_epoch_;
+    down_ = true;
+    // Volatile state dies with the process: pre-sent models, the
+    // differential-snapshot session cache, and every queued or running
+    // execution. Completions already scheduled by the old scheduler still
+    // fire, so it retires instead of being destroyed; the epoch bump makes
+    // them no-ops.
+    store_->clear();
+    sessions_.clear();
+    browser_.reset();
+    last_browser_ = nullptr;
+    retired_schedulers_.push_back(std::move(scheduler_));
+    scheduler_ = make_scheduler();
+    OFFLOAD_LOG_INFO << "edge server: crashed at " << sim_.now().to_seconds()
+                     << "s, down for " << downtime.to_seconds() << "s";
+    sim_.schedule(downtime, [this] {
+      down_ = false;
+      ++stats_.restarts;
+      OFFLOAD_LOG_INFO << "edge server: restarted at "
+                       << sim_.now().to_seconds() << "s (cold: empty store)";
+    });
+  });
+}
+
+void EdgeServer::schedule_stall(sim::SimTime at, sim::SimTime duration) {
+  sim_.schedule_at(at, [this, duration] {
+    sim::SimTime until = sim_.now() + duration;
+    if (until > stall_until_) stall_until_ = until;
+  });
+}
+
+void EdgeServer::send_control(net::Endpoint& to, const std::string& name) {
+  net::Message reply;
+  reply.type = net::MessageType::kControl;
+  reply.name = name;
+  to.send(std::move(reply));
+}
+
 void EdgeServer::on_message(net::Endpoint& from, const net::Message& message) {
+  if (down_) {
+    // A dead host: the bytes arrive at a closed port and vanish.
+    ++stats_.dropped_while_down;
+    return;
+  }
+  if (sim_.now() < stall_until_) {
+    // Frozen (GC pause / noisy neighbour): handle when the stall lifts.
+    // Re-entering on_message re-checks `down_` — a crash that lands
+    // during the stall still eats the message.
+    ++stats_.stalled_messages;
+    sim_.schedule_at(stall_until_, [this, &from, message = message] {
+      on_message(from, message);
+    });
+    return;
+  }
+  if (!message.payload.empty() && !payload_intact(message)) {
+    // Damaged in flight. Reject with a typed control reply so the sender
+    // can retransmit instead of us decoding garbage.
+    ++stats_.corrupt_rejected;
+    OFFLOAD_LOG_WARN << "edge server: CRC mismatch on "
+                     << net::message_type_name(message.type) << " '"
+                     << message.name << "', rejecting";
+    send_control(from, "corrupt_payload:" + message.name);
+    return;
+  }
   switch (message.type) {
     case net::MessageType::kModelFiles:
       if (!installed()) return refuse(from, message);
@@ -42,10 +114,7 @@ void EdgeServer::on_message(net::Endpoint& from, const net::Message& message) {
 
 void EdgeServer::refuse(net::Endpoint& from, const net::Message& message) {
   ++stats_.refused;
-  net::Message reply;
-  reply.type = net::MessageType::kControl;
-  reply.name = "not_installed:" + message.name;
-  from.send(std::move(reply));
+  send_control(from, "not_installed:" + message.name);
 }
 
 void EdgeServer::handle_model_files(net::Endpoint& from,
@@ -61,7 +130,9 @@ void EdgeServer::handle_model_files(net::Endpoint& from,
   // (Section III.B.1: "the server saves the files and sends an ACK").
   double store_s = static_cast<double>(bytes) / config_.store_Bps;
   std::string app = message.name;
-  sim_.schedule(sim::SimTime::seconds(store_s), [&from, app] {
+  const std::uint64_t epoch = boot_epoch_;
+  sim_.schedule(sim::SimTime::seconds(store_s), [this, &from, app, epoch] {
+    if (epoch != boot_epoch_) return;  // crashed mid-store; ACK dies with us
     net::Message ack;
     ack.type = net::MessageType::kAck;
     ack.name = app;
@@ -75,10 +146,7 @@ void EdgeServer::handle_snapshot(net::Endpoint& from,
     // Load shed before restoring anything: the client's realm still holds
     // the offloaded event, so it finishes this inference locally.
     ++stats_.snapshots_shed;
-    net::Message reply;
-    reply.type = net::MessageType::kControl;
-    reply.name = "overloaded:" + message.name;
-    from.send(std::move(reply));
+    send_control(from, "overloaded:" + message.name);
     return;
   }
 
@@ -88,40 +156,62 @@ void EdgeServer::handle_snapshot(net::Endpoint& from,
   record.received_at = sim_.now();
   record.snapshot_in_bytes = message.wire_size();
 
-  if (payload.differential) {
-    // Apply the diff to the session realm from the previous offload —
-    // possible only if we still hold the exact baseline it patches.
-    auto it = sessions_.find(message.name);
-    if (it == sessions_.end() || it->second.version != payload.base_version) {
-      ++stats_.diff_version_misses;
-      net::Message reply;
-      reply.type = net::MessageType::kControl;
-      reply.name = "need_full:" + message.name;
-      from.send(std::move(reply));
+  if (config_.ack_snapshots) {
+    // Admission receipt: lets a supervising client split its upload
+    // deadline from the (queue + execution) deadline.
+    send_control(from, "accepted:" + message.name);
+  }
+
+  try {
+    if (payload.differential) {
+      // Apply the diff to the session realm from the previous offload —
+      // possible only if we still hold the exact baseline it patches.
+      // After a crash the session cache is empty, so this is also how a
+      // restarted server tells diff-mode clients to start over.
+      auto it = sessions_.find(message.name);
+      if (it == sessions_.end() ||
+          it->second.version != payload.base_version) {
+        ++stats_.diff_version_misses;
+        send_control(from, "need_full:" + message.name);
+        return;
+      }
+      browser_ = std::move(it->second.browser);
+      sessions_.erase(it);
+      if (payload.cut != UINT64_MAX) {
+        browser_->set_partition_cut(message.name,
+                                    static_cast<std::size_t>(payload.cut));
+      }
+      browser_->interp().eval_program(payload.program, "diff-snapshot");
+      ++stats_.diff_snapshots_applied;
+    } else {
+      // Fresh page per offload: the snapshot is a self-contained app.
+      browser_ = std::make_unique<BrowserHost>(config_.profile, store_);
+      if (payload.cut != UINT64_MAX) {
+        browser_->set_partition_cut(message.name,
+                                    static_cast<std::size_t>(payload.cut));
+      }
+      jsvm::restore_snapshot(browser_->interp(), payload.program);
+    }
+    record.restore_s = config_.profile.snapshot_restore_s(
+        payload.program.size());
+
+    // Continue execution: re-dispatched events run the offloaded handler.
+    browser_->interp().run_events();
+  } catch (const jsvm::JsError&) {
+    if (!store_->can_instantiate(message.name)) {
+      // The script needed a model we do not hold — either it was never
+      // pre-sent, or a crash wiped the store (__loadModel throws during
+      // the restore run). Tell the client so it can re-presend and retry
+      // instead of wedging.
+      ++stats_.model_missing_replies;
+      OFFLOAD_LOG_WARN << "edge server: no model for '" << message.name
+                       << "', requesting re-presend";
+      browser_.reset();
+      send_control(from, "model_missing:" + message.name);
       return;
     }
-    browser_ = std::move(it->second.browser);
-    sessions_.erase(it);
-    if (payload.cut != UINT64_MAX) {
-      browser_->set_partition_cut(message.name,
-                                  static_cast<std::size_t>(payload.cut));
-    }
-    browser_->interp().eval_program(payload.program, "diff-snapshot");
-    ++stats_.diff_snapshots_applied;
-  } else {
-    // Fresh page per offload: the snapshot is a self-contained app.
-    browser_ = std::make_unique<BrowserHost>(config_.profile, store_);
-    if (payload.cut != UINT64_MAX) {
-      browser_->set_partition_cut(message.name,
-                                  static_cast<std::size_t>(payload.cut));
-    }
-    jsvm::restore_snapshot(browser_->interp(), payload.program);
+    throw;  // genuine script failure: surface it
   }
-  record.restore_s = config_.profile.snapshot_restore_s(
-      payload.program.size());
-
-  // Continue execution: re-dispatched events run the offloaded handler.
-  browser_->interp().run_events();
   record.execute_s = browser_->consume_compute_seconds();
 
   // Capture the result snapshot.
@@ -163,14 +253,30 @@ void EdgeServer::handle_snapshot(net::Endpoint& from,
     session.browser = std::move(browser_);
     sessions_[message.name] = std::move(session);
   }
+  sim::SimTime deadline = sim::SimTime::max();
+  if (config_.queue_deadline != sim::SimTime::zero()) {
+    deadline = sim_.now() + config_.queue_deadline;
+  }
+  const std::uint64_t epoch = boot_epoch_;
+  std::string app = message.name;
   scheduler_->submit_opaque(
       record.busy_s(),
-      [this, &from, record_index,
+      [this, &from, record_index, epoch,
        reply = std::move(reply)](const serve::RequestTiming& t) mutable {
+        if (epoch != boot_epoch_) return;  // crashed mid-execution
         ServerExecutionRecord& rec = executions_[record_index];
         rec.queue_wait_s = t.queue_wait_s;
         rec.batch_wait_s = t.batch_wait_s;
+        if (config_.ack_snapshots) send_control(from, "done:" + reply.name);
         from.send(std::move(reply));
+      },
+      deadline,
+      [this, &from, app, epoch](const serve::RequestTiming&) {
+        if (epoch != boot_epoch_) return;
+        // Queued too long: deadline-aware cancellation. The client hears
+        // why, so it can fall back locally instead of waiting forever.
+        ++stats_.jobs_expired;
+        send_control(from, "expired:" + app);
       });
 }
 
@@ -200,7 +306,9 @@ void EdgeServer::handle_overlay(net::Endpoint& from,
   stats_.vm_synthesis_compute_s += synth_s;
 
   std::string app = message.name;
-  sim_.schedule(sim::SimTime::seconds(synth_s), [&from, app] {
+  const std::uint64_t epoch = boot_epoch_;
+  sim_.schedule(sim::SimTime::seconds(synth_s), [this, &from, app, epoch] {
+    if (epoch != boot_epoch_) return;
     net::Message ack;
     ack.type = net::MessageType::kAck;
     ack.name = "installed:" + app;

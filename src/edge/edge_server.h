@@ -7,6 +7,15 @@
 // All processing costs are charged in simulated time: the reply to a
 // message is scheduled at arrival + (restore + execute + capture) computed
 // from the server's device profile and the real byte/FLOP counts.
+//
+// Faults (driven by src/fault, or scheduled directly): the server can
+// *crash* — go down for a while, losing the model store, the
+// differential-snapshot session cache, and every in-flight execution — and
+// *stall*, deferring message processing for a stretch of simulated time.
+// A restarted server is detected by clients through the existing
+// handshakes: differential snapshots miss their base version ("need_full")
+// and snapshots whose model was wiped get a "model_missing" reply, which
+// the offload supervisor answers by re-pre-sending the model.
 #pragma once
 
 #include <cstdint>
@@ -36,6 +45,15 @@ struct EdgeServerConfig {
   /// Keep per-app session realms so repeat offloads can send differential
   /// snapshots (the paper's Section VI future work).
   bool keep_sessions = true;
+  /// Send "accepted:" when a snapshot is admitted and "done:" when its
+  /// execution completes (just before the result), so a supervising
+  /// client can watch per-phase deadlines. Off by default: the degenerate
+  /// protocol stays byte-identical to the paper runs.
+  bool ack_snapshots = false;
+  /// Queued snapshot executions are cancelled if still waiting for a lane
+  /// this long after arrival; the client gets an "expired:" control reply
+  /// (deadline-aware cancellation in the serving scheduler). Zero = never.
+  sim::SimTime queue_deadline = sim::SimTime::zero();
   jsvm::SnapshotOptions snapshot_options;
   /// Compute-scheduler knobs: replica lanes, queue policy, batching window
   /// and the admission bound (0 = never shed). The `profile` field inside
@@ -73,7 +91,21 @@ class EdgeServer {
   /// simulation events it scheduled.
   void attach(net::Endpoint& endpoint);
 
+  /// Crash at simulated time `at`: the server goes down, drops the model
+  /// store, session cache, and every in-flight execution (their replies
+  /// are never sent), and restarts cold `downtime` later. Messages that
+  /// arrive while down are dropped on the floor — the sender never hears
+  /// back, exactly like a dead host; only a supervisor deadline notices.
+  void schedule_crash(sim::SimTime at, sim::SimTime downtime);
+
+  /// Freeze message processing during [at, at+duration): arrivals in that
+  /// window are handled when the stall ends (models GC pauses, contention
+  /// from co-located tenants, thermal throttling).
+  void schedule_stall(sim::SimTime at, sim::SimTime duration);
+
   bool installed() const { return config_.offloading_system_installed; }
+  /// True while crashed (between a crash and its restart).
+  bool down() const { return down_; }
   const ModelStore& model_store() const { return *store_; }
 
   struct Stats {
@@ -84,6 +116,13 @@ class EdgeServer {
     int overlays_installed = 0;
     int refused = 0;
     int snapshots_shed = 0;  ///< load-shed by scheduler admission control
+    int crashes = 0;
+    int restarts = 0;
+    int dropped_while_down = 0;   ///< messages that hit a dead server
+    int stalled_messages = 0;     ///< arrivals deferred by a stall
+    int corrupt_rejected = 0;     ///< payload CRC mismatches rejected
+    int model_missing_replies = 0;
+    int jobs_expired = 0;         ///< queue-deadline cancellations
     double vm_synthesis_compute_s = 0;
   };
   const Stats& stats() const { return stats_; }
@@ -107,10 +146,15 @@ class EdgeServer {
   void handle_snapshot(net::Endpoint& from, const net::Message& message);
   void handle_overlay(net::Endpoint& from, const net::Message& message);
   void refuse(net::Endpoint& from, const net::Message& message);
+  void send_control(net::Endpoint& to, const std::string& name);
+  std::unique_ptr<serve::Scheduler> make_scheduler() const;
 
   sim::Simulation& sim_;
   EdgeServerConfig config_;
   std::unique_ptr<serve::Scheduler> scheduler_;
+  /// Schedulers retired by a crash: their in-flight completions still fire
+  /// (and are suppressed by the epoch check), so they must stay alive.
+  std::vector<std::unique_ptr<serve::Scheduler>> retired_schedulers_;
   std::shared_ptr<ModelStore> store_;
   std::unique_ptr<BrowserHost> browser_;
   BrowserHost* last_browser_ = nullptr;
@@ -123,6 +167,11 @@ class EdgeServer {
   std::unordered_map<std::string, Session> sessions_;
   vmsynth::VmImage base_image_;
   std::optional<vmsynth::VmImage> synthesized_;
+  bool down_ = false;
+  sim::SimTime stall_until_;
+  /// Incremented on every crash; delayed replies check it so work started
+  /// before a crash never speaks for the restarted server.
+  std::uint64_t boot_epoch_ = 0;
   Stats stats_;
   std::vector<ServerExecutionRecord> executions_;
 };

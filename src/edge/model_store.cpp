@@ -19,6 +19,11 @@ void ModelStore::store_files(std::vector<nn::ModelFile> files) {
   for (auto& f : files) store_file(std::move(f));
 }
 
+void ModelStore::clear() {
+  files_.clear();
+  cache_.clear();
+}
+
 bool ModelStore::has_file(const std::string& name) const {
   return find(name) != nullptr;
 }

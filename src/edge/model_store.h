@@ -20,6 +20,10 @@ class ModelStore {
   void store_file(nn::ModelFile file);
   void store_files(std::vector<nn::ModelFile> files);
 
+  /// Drop every stored file and cached network (a server crash loses the
+  /// store; clients must pre-send again).
+  void clear();
+
   bool has_file(const std::string& name) const;
   const nn::ModelFile* find(const std::string& name) const;
   std::uint64_t total_bytes() const;

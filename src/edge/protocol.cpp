@@ -1,6 +1,21 @@
 #include "src/edge/protocol.h"
 
+#include "src/util/crc32.h"
+
 namespace offload::edge {
+
+PayloadCorruptError::PayloadCorruptError(const net::Message& message)
+    : std::runtime_error(std::string("corrupt payload in ") +
+                         net::message_type_name(message.type) +
+                         " message '" + message.name + "'") {}
+
+bool payload_intact(const net::Message& message) {
+  return message.crc == util::crc32(message.payload);
+}
+
+void verify_payload(const net::Message& message) {
+  if (!payload_intact(message)) throw PayloadCorruptError(message);
+}
 
 util::Bytes ModelFilesPayload::encode() const {
   util::BinaryWriter w;

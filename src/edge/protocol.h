@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,22 @@
 #include "src/nn/model_io.h"
 
 namespace offload::edge {
+
+/// A received message failed its payload CRC check: the bytes were damaged
+/// in flight. Typed so the offload supervisor can treat it as a retryable
+/// delivery fault rather than a protocol bug.
+class PayloadCorruptError : public std::runtime_error {
+ public:
+  explicit PayloadCorruptError(const net::Message& message);
+};
+
+/// True if `message.payload` still matches the CRC stamped at send time.
+bool payload_intact(const net::Message& message);
+
+/// Throws PayloadCorruptError unless payload_intact(message). Every edge
+/// endpoint calls this before decoding a payload-bearing message, so
+/// corruption is rejected instead of silently accepted.
+void verify_payload(const net::Message& message);
 
 /// Body of a kModelFiles message: the pre-sent model file bundle.
 struct ModelFilesPayload {

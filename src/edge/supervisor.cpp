@@ -1,0 +1,99 @@
+#include "src/edge/supervisor.h"
+
+#include <algorithm>
+
+namespace offload::edge {
+
+RetryBackoff::RetryBackoff(const SupervisorConfig& config, std::uint64_t stream)
+    : base_(config.backoff_base),
+      factor_(config.backoff_factor),
+      cap_(config.backoff_cap),
+      jitter_(config.jitter),
+      rng_(config.jitter_seed, stream) {}
+
+sim::SimTime RetryBackoff::delay(int attempt) {
+  double scale = 1.0;
+  for (int i = 1; i < attempt; ++i) {
+    scale *= factor_;
+    // Once past the cap further multiplication only risks overflow.
+    if (base_.to_seconds() * scale >= cap_.to_seconds()) break;
+  }
+  double wait_s = std::min(base_.to_seconds() * scale, cap_.to_seconds());
+  // One draw per retry, always: keeps the jitter stream aligned between
+  // runs even when jitter_ is zero.
+  double factor = rng_.uniform(1.0 - jitter_, 1.0 + jitter_);
+  return sim::SimTime::seconds(wait_s * factor);
+}
+
+CircuitBreaker::CircuitBreaker(int threshold, sim::SimTime cooldown,
+                               int probe_successes)
+    : threshold_(std::max(1, threshold)),
+      cooldown_(cooldown),
+      probe_successes_(std::max(1, probe_successes)) {}
+
+CircuitBreaker::CircuitBreaker(const SupervisorConfig& config)
+    : CircuitBreaker(config.breaker_threshold, config.breaker_cooldown,
+                     config.breaker_probe_successes) {}
+
+CircuitBreaker::State CircuitBreaker::state(sim::SimTime now) const {
+  if (state_ == State::kOpen && now - opened_at_ >= cooldown_) {
+    return State::kHalfOpen;
+  }
+  return state_;
+}
+
+bool CircuitBreaker::allow(sim::SimTime now) {
+  switch (state(now)) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      return false;
+    case State::kHalfOpen:
+      if (state_ == State::kOpen) {
+        // Cooled down: materialize the half-open transition.
+        state_ = State::kHalfOpen;
+        half_open_successes_ = 0;
+        probes_in_flight_ = 0;
+      }
+      if (probes_in_flight_ >= probe_successes_) return false;
+      ++probes_in_flight_;
+      return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::open(sim::SimTime now) {
+  state_ = State::kOpen;
+  opened_at_ = now;
+  half_open_successes_ = 0;
+  probes_in_flight_ = 0;
+  ++times_opened_;
+}
+
+void CircuitBreaker::record_success(sim::SimTime now) {
+  consecutive_failures_ = 0;
+  if (state(now) == State::kHalfOpen) {
+    state_ = State::kHalfOpen;
+    if (probes_in_flight_ > 0) --probes_in_flight_;
+    if (++half_open_successes_ >= probe_successes_) {
+      state_ = State::kClosed;
+      half_open_successes_ = 0;
+      probes_in_flight_ = 0;
+    }
+  }
+}
+
+void CircuitBreaker::record_failure(sim::SimTime now) {
+  ++consecutive_failures_;
+  State s = state(now);
+  if (s == State::kHalfOpen) {
+    // A failed probe slams the breaker shut for another full cooldown.
+    open(now);
+    return;
+  }
+  if (s == State::kClosed && consecutive_failures_ >= threshold_) {
+    open(now);
+  }
+}
+
+}  // namespace offload::edge

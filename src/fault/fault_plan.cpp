@@ -1,0 +1,59 @@
+#include "src/fault/fault_plan.h"
+
+namespace offload::fault {
+
+FaultPlanConfig FaultPlanConfig::uniform(double rate, std::uint64_t seed) {
+  FaultPlanConfig config;
+  config.seed = seed;
+  MessageFaults faults;
+  faults.drop_rate = rate;
+  faults.duplicate_rate = rate / 4;
+  faults.corrupt_rate = rate / 4;
+  faults.delay_rate = rate / 2;
+  config.uplink = faults;
+  config.downlink = faults;
+  return config;
+}
+
+FaultPlan::FaultPlan(FaultPlanConfig config)
+    : config_(std::move(config)),
+      up_rng_(config_.seed, 0x0fau),
+      down_rng_(config_.seed, 0x0fbu) {}
+
+net::FaultDecision FaultPlan::decide(bool uplink,
+                                     const net::Message& message) {
+  const MessageFaults& faults = uplink ? config_.uplink : config_.downlink;
+  util::Pcg32& rng = uplink ? up_rng_ : down_rng_;
+  ++stats_.consulted;
+
+  // Always the same five draws, in the same order, so the decision stream
+  // for one message never depends on the verdicts for earlier ones.
+  const double drop_draw = rng.canonical();
+  const double duplicate_draw = rng.canonical();
+  const double corrupt_draw = rng.canonical();
+  const std::uint32_t corrupt_at = rng.next_u32();
+  const double delay_draw = rng.canonical();
+
+  net::FaultDecision decision;
+  if (drop_draw < faults.drop_rate) {
+    decision.drop = true;
+    ++stats_.drops;
+    return decision;  // the attempt is lost; nothing else applies
+  }
+  if (duplicate_draw < faults.duplicate_rate) {
+    decision.duplicate = true;
+    ++stats_.duplicates;
+  }
+  if (corrupt_draw < faults.corrupt_rate && !message.payload.empty()) {
+    decision.corrupt_mask = 0x40;  // any nonzero mask defeats the CRC
+    decision.corrupt_index = corrupt_at;
+    ++stats_.corruptions;
+  }
+  if (delay_draw < faults.delay_rate) {
+    decision.extra_delay = faults.delay;
+    ++stats_.delays;
+  }
+  return decision;
+}
+
+}  // namespace offload::fault

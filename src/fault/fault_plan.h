@@ -1,0 +1,92 @@
+// Deterministic fault-injection plans. A FaultPlan is a pure function of
+// its seed and the (deterministic) order of events it is consulted about,
+// so a faulted run is exactly as reproducible as a clean one: same seed →
+// same drops, duplicates, corruptions, delays, crashes, and stalls, at the
+// same simulated instants, at any OFFLOAD_THREADS.
+//
+// Message-level faults are decided per transmission attempt via the
+// net::Channel fault hooks; server-level faults (crash/restart, stall) are
+// scheduled on the simulation clock by the FaultInjector.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/net/channel.h"
+#include "src/sim/time.h"
+#include "src/util/rng.h"
+
+namespace offload::fault {
+
+/// Per-direction message fault rates (each in [0,1], per attempt).
+struct MessageFaults {
+  double drop_rate = 0;       ///< lose the attempt (ARQ path)
+  double duplicate_rate = 0;  ///< deliver one extra copy
+  double corrupt_rate = 0;    ///< flip one payload byte (CRC catches it)
+  double delay_rate = 0;      ///< add `delay` to the arrival time
+  sim::SimTime delay = sim::SimTime::millis(250);
+
+  bool any() const {
+    return drop_rate > 0 || duplicate_rate > 0 || corrupt_rate > 0 ||
+           delay_rate > 0;
+  }
+};
+
+/// A server crash schedule: at `first_at` the server goes down, loses its
+/// model store, session cache, and in-flight executions, and comes back
+/// cold `downtime` later. `period` > 0 repeats the crash `count` times.
+struct CrashSpec {
+  sim::SimTime first_at;
+  sim::SimTime downtime = sim::SimTime::seconds(1);
+  sim::SimTime period = sim::SimTime::zero();
+  int count = 1;
+};
+
+/// A server stall: message processing frozen during [at, at+duration).
+struct StallSpec {
+  sim::SimTime at;
+  sim::SimTime duration = sim::SimTime::seconds(1);
+};
+
+struct FaultPlanConfig {
+  std::uint64_t seed = 1;
+  MessageFaults uplink;    ///< client → server direction (channel a→b)
+  MessageFaults downlink;  ///< server → client direction (channel b→a)
+  std::vector<CrashSpec> crashes;
+  std::vector<StallSpec> stalls;
+
+  /// Convenience: the symmetric "p on every message kind, both ways" plan
+  /// the fault benchmarks sweep.
+  static FaultPlanConfig uniform(double rate, std::uint64_t seed = 1);
+};
+
+/// Draws per-message fault decisions from two seeded PCG32 streams (one
+/// per direction, so the directions' decisions are independent of how
+/// their messages interleave). A fixed number of draws happens per
+/// consultation regardless of the outcome, keeping the streams aligned
+/// across plans that differ only in rates.
+class FaultPlan {
+ public:
+  explicit FaultPlan(FaultPlanConfig config);
+
+  net::FaultDecision decide(bool uplink, const net::Message& message);
+
+  const FaultPlanConfig& config() const { return config_; }
+
+  struct Stats {
+    std::uint64_t consulted = 0;
+    std::uint64_t drops = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t corruptions = 0;
+    std::uint64_t delays = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  FaultPlanConfig config_;
+  util::Pcg32 up_rng_;
+  util::Pcg32 down_rng_;
+  Stats stats_;
+};
+
+}  // namespace offload::fault

@@ -1,0 +1,38 @@
+#include "src/fault/injector.h"
+
+#include <algorithm>
+
+namespace offload::fault {
+
+FaultInjector::FaultInjector(sim::Simulation& sim, FaultPlanConfig config)
+    : sim_(sim), plan_(std::move(config)) {}
+
+void FaultInjector::attach_channel(net::Channel& channel) {
+  if (plan_.config().uplink.any()) {
+    channel.set_fault_hook(/*a_to_b=*/true, [this](const net::Message& m) {
+      return plan_.decide(/*uplink=*/true, m);
+    });
+  }
+  if (plan_.config().downlink.any()) {
+    channel.set_fault_hook(/*a_to_b=*/false, [this](const net::Message& m) {
+      return plan_.decide(/*uplink=*/false, m);
+    });
+  }
+}
+
+void FaultInjector::attach_server(edge::EdgeServer& server) {
+  for (const CrashSpec& crash : plan_.config().crashes) {
+    const int repeats =
+        crash.period > sim::SimTime::zero() ? std::max(crash.count, 1) : 1;
+    for (int i = 0; i < repeats; ++i) {
+      sim::SimTime at = crash.first_at;
+      for (int k = 0; k < i; ++k) at += crash.period;
+      server.schedule_crash(at, crash.downtime);
+    }
+  }
+  for (const StallSpec& stall : plan_.config().stalls) {
+    server.schedule_stall(stall.at, stall.duration);
+  }
+}
+
+}  // namespace offload::fault

@@ -1,0 +1,37 @@
+// Binds a FaultPlan to the live system: installs the plan's message-fault
+// hooks on a channel and schedules its crash/stall events on an edge
+// server. One injector drives one plan; attach as many channels/servers as
+// the scenario needs (decisions stay deterministic because the simulation
+// consults them in a fixed order).
+#pragma once
+
+#include <memory>
+
+#include "src/edge/edge_server.h"
+#include "src/fault/fault_plan.h"
+#include "src/net/channel.h"
+#include "src/sim/simulation.h"
+
+namespace offload::fault {
+
+class FaultInjector {
+ public:
+  FaultInjector(sim::Simulation& sim, FaultPlanConfig config);
+
+  /// Install the plan's uplink faults on a→b and downlink faults on b→a.
+  /// A direction with no configured faults is left un-hooked.
+  void attach_channel(net::Channel& channel);
+
+  /// Schedule every crash and stall in the plan on `server`. The server
+  /// must outlive the simulation events this schedules.
+  void attach_server(edge::EdgeServer& server);
+
+  FaultPlan& plan() { return plan_; }
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  sim::Simulation& sim_;
+  FaultPlan plan_;
+};
+
+}  // namespace offload::fault

@@ -1,13 +1,16 @@
 #include "src/net/channel.h"
 
 #include <stdexcept>
+#include <utility>
 
+#include "src/util/crc32.h"
 #include "src/util/logging.h"
 
 namespace offload::net {
 
 std::uint64_t Endpoint::send(Message message) {
   message.id = next_id_++;
+  message.crc = util::crc32(message.payload);
   bytes_sent_ += message.wire_size();
   std::uint64_t id = message.id;
   channel_->transmit(is_a_, std::move(message), 0);
@@ -31,11 +34,40 @@ Channel::Channel(sim::Simulation& sim, const ChannelConfig& config,
       a_(new Endpoint(this, std::move(name_a), true)),
       b_(new Endpoint(this, std::move(name_b), false)) {}
 
+void Channel::set_fault_hook(bool a_to_b, FaultHook hook) {
+  (a_to_b ? fault_ab_ : fault_ba_) = std::move(hook);
+}
+
+void Channel::fail_delivery(bool from_a, Message message, int attempts) {
+  ++delivery_failures_;
+  OFFLOAD_LOG_ERROR << "channel: message " << message.id << " ("
+                    << message_type_name(message.type)
+                    << ") undeliverable after " << attempts << " attempt(s)";
+  Endpoint& src = from_a ? *a_ : *b_;
+  if (src.failure_handler_) src.failure_handler_(message, attempts);
+}
+
+void Channel::deliver(Link& link, Endpoint& dest, Message message,
+                      sim::SimTime extra_delay) {
+  TransferPlan plan = link.transmit(sim_.now(), message.wire_size());
+  if (plan.lost) return;  // injected duplicates get no ARQ of their own
+  std::uint64_t wire = message.wire_size();
+  sim_.schedule_at(plan.arrival + extra_delay,
+                   [&dest, wire, message = std::move(message)]() mutable {
+                     dest.bytes_received_ += wire;
+                     if (dest.handler_) dest.handler_(message);
+                   });
+}
+
 void Channel::transmit(bool from_a, Message message, int attempt) {
   Link& link = from_a ? ab_ : ba_;
   Endpoint& dest = from_a ? *b_ : *a_;
+  FaultHook& hook = from_a ? fault_ab_ : fault_ba_;
+  FaultDecision fault;
+  if (hook) fault = hook(message);
+
   TransferPlan plan = link.transmit(sim_.now(), message.wire_size());
-  if (plan.lost) {
+  if (plan.lost || fault.drop) {
     ++drops_;
     if (config_.reliable && attempt < config_.max_retransmits) {
       OFFLOAD_LOG_DEBUG << "channel: drop " << message_type_name(message.type)
@@ -46,18 +78,29 @@ void Channel::transmit(bool from_a, Message message, int attempt) {
                                   attempt]() mutable {
         transmit(from_a, std::move(message), attempt + 1);
       });
-    } else if (config_.reliable) {
-      OFFLOAD_LOG_ERROR << "channel: message " << message.id
-                        << " exceeded max retransmits; dropping";
+    } else {
+      // ARQ exhausted (or reliability is off): the message is gone for
+      // good. Surface that to the sender instead of leaving it hanging.
+      fail_delivery(from_a, std::move(message), attempt + 1);
     }
     return;
   }
+
+  if (fault.corrupt_mask != 0 && !message.payload.empty()) {
+    ++corruptions_;
+    message.payload[static_cast<std::size_t>(
+        fault.corrupt_index % message.payload.size())] ^= fault.corrupt_mask;
+  }
+  if (fault.duplicate) {
+    ++duplicates_;
+    deliver(link, dest, message, fault.extra_delay);  // the extra copy
+  }
   std::uint64_t wire = message.wire_size();
-  sim_.schedule_at(plan.arrival, [&dest, wire,
-                                  message = std::move(message)]() mutable {
-    dest.bytes_received_ += wire;
-    if (dest.handler_) dest.handler_(message);
-  });
+  sim_.schedule_at(plan.arrival + fault.extra_delay,
+                   [&dest, wire, message = std::move(message)]() mutable {
+                     dest.bytes_received_ += wire;
+                     if (dest.handler_) dest.handler_(message);
+                   });
 }
 
 }  // namespace offload::net

@@ -41,8 +41,8 @@ Message Message::decode(std::span<const std::uint8_t> wire) {
   m.id = r.u64();
   m.name = r.str();
   m.payload = r.blob();
-  auto crc = r.u32();
-  if (crc != util::crc32(m.payload)) {
+  m.crc = r.u32();
+  if (m.crc != util::crc32(m.payload)) {
     throw util::DecodeError("Message: payload checksum mismatch");
   }
   return m;

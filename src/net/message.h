@@ -28,6 +28,10 @@ struct Message {
   std::string name;      ///< e.g. model file name, app id.
   util::Bytes payload;
   std::uint64_t id = 0;  ///< Sender-assigned sequence id.
+  /// CRC32 of `payload`, stamped by Endpoint::send. Receivers verify it
+  /// (edge::verify_payload) so in-flight corruption is caught rather than
+  /// silently decoded.
+  std::uint32_t crc = 0;
 
   /// Framing overhead per message (type, id, name length, payload length,
   /// checksum) — matches encode()'s actual header cost closely enough for

@@ -54,6 +54,11 @@ struct RequestTiming {
 
 /// Completion callback for opaque jobs, invoked at the completion sim-time.
 using OpaqueDoneFn = std::function<void(const RequestTiming&)>;
+/// Expiry callback: the job's deadline passed while it was still queued
+/// and the scheduler cancelled it (SchedulerConfig::drop_expired). The
+/// timing records submitted and the cancellation time (`completed`); no
+/// compute ever ran.
+using ExpiredFn = std::function<void(const RequestTiming&)>;
 /// Completion callback for inference jobs: this request's slice of the
 /// batched output, plus timing.
 using InferDoneFn = std::function<void(nn::Tensor output,

@@ -40,18 +40,21 @@ bool Scheduler::has_model(const std::string& name) const {
 }
 
 SubmitResult Scheduler::submit_opaque(double busy_s, OpaqueDoneFn on_done,
-                                      sim::SimTime deadline) {
+                                      sim::SimTime deadline,
+                                      ExpiredFn on_expired) {
   Job job;
   job.opaque = true;
   job.busy_s = busy_s;
   job.deadline = deadline;
   job.on_opaque_done = std::move(on_done);
+  job.on_expired = std::move(on_expired);
   return admit(std::move(job));
 }
 
 SubmitResult Scheduler::submit_infer(const std::string& model, std::size_t cut,
                                      nn::Tensor feature, InferDoneFn on_done,
-                                     sim::SimTime deadline) {
+                                     sim::SimTime deadline,
+                                     ExpiredFn on_expired) {
   Job job;
   job.opaque = false;
   job.model = model;
@@ -59,6 +62,7 @@ SubmitResult Scheduler::submit_infer(const std::string& model, std::size_t cut,
   job.feature = std::move(feature);
   job.deadline = deadline;
   job.on_infer_done = std::move(on_done);
+  job.on_expired = std::move(on_expired);
   return admit(std::move(job));
 }
 
@@ -85,7 +89,34 @@ SubmitResult Scheduler::admit(Job job) {
   return result;
 }
 
+void Scheduler::expire_overdue() {
+  // Collect first, then erase, then notify: an expiry callback may
+  // synchronously submit follow-up work that re-enters the scheduler.
+  std::vector<Job> expired;
+  for (std::size_t i = pending_.size(); i-- > 0;) {
+    if (pending_[i].deadline < sim_.now()) {
+      expired.push_back(std::move(pending_[i]));
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+  }
+  // Restore submission order (the reverse sweep above flipped it).
+  std::sort(expired.begin(), expired.end(),
+            [](const Job& a, const Job& b) { return a.id < b.id; });
+  for (Job& job : expired) {
+    ++stats_.expired;
+    if (job.on_expired) {
+      RequestTiming t;
+      t.submitted = job.submitted;
+      t.dispatched = sim_.now();
+      t.completed = sim_.now();
+      t.queue_wait_s = (sim_.now() - job.submitted).to_seconds();
+      job.on_expired(t);
+    }
+  }
+}
+
 void Scheduler::pump() {
+  if (config_.drop_expired) expire_overdue();
   for (;;) {
     int lane = -1;
     for (std::size_t i = 0; i < lanes_.size(); ++i) {

@@ -45,6 +45,11 @@ struct SchedulerConfig {
   std::size_t max_queue = 0;
   /// Queue ordering: "fifo" or "edf".
   std::string policy = "fifo";
+  /// Deadline-aware cancellation: queued jobs whose deadline has passed
+  /// are dropped at the next pump instead of occupying a lane; their
+  /// `on_expired` callback fires. Off by default (deadlines then only
+  /// order the EDF policy, as before).
+  bool drop_expired = false;
 };
 
 class Scheduler {
@@ -57,16 +62,19 @@ class Scheduler {
   bool has_model(const std::string& name) const;
 
   /// Opaque job: occupies a lane for exactly `busy_s`; never fused.
-  /// `on_done` runs at the completion sim-time.
+  /// `on_done` runs at the completion sim-time. With `drop_expired` on,
+  /// `on_expired` fires instead if the deadline passes while queued.
   SubmitResult submit_opaque(double busy_s, OpaqueDoneFn on_done,
-                             sim::SimTime deadline = sim::SimTime::max());
+                             sim::SimTime deadline = sim::SimTime::max(),
+                             ExpiredFn on_expired = nullptr);
 
   /// Inference job: rear-range forward of `model` from `cut` over
   /// `feature`. May fuse with compatible jobs. `on_done` receives this
   /// request's output slice at the completion sim-time.
   SubmitResult submit_infer(const std::string& model, std::size_t cut,
                             nn::Tensor feature, InferDoneFn on_done,
-                            sim::SimTime deadline = sim::SimTime::max());
+                            sim::SimTime deadline = sim::SimTime::max(),
+                            ExpiredFn on_expired = nullptr);
 
   std::size_t queue_depth() const { return pending_.size(); }
   /// Whether a submission at this instant would pass admission control.
@@ -82,6 +90,7 @@ class Scheduler {
     std::uint64_t submitted = 0;
     std::uint64_t completed = 0;
     std::uint64_t rejected = 0;   ///< load-shed at admission
+    std::uint64_t expired = 0;    ///< cancelled in-queue past their deadline
     std::uint64_t launches = 0;   ///< lane dispatches (batches + singles)
     std::uint64_t fused_jobs = 0; ///< jobs that rode in a batch of size > 1
     std::size_t peak_queue_depth = 0;
@@ -101,6 +110,7 @@ class Scheduler {
     sim::SimTime deadline = sim::SimTime::max();
     OpaqueDoneFn on_opaque_done;
     InferDoneFn on_infer_done;
+    ExpiredFn on_expired;
 
     JobInfo info() const { return {id, submitted, deadline}; }
     /// Fusion key: opaque jobs never share a key.
@@ -116,6 +126,8 @@ class Scheduler {
   };
 
   SubmitResult admit(Job job);
+  /// Drop queued jobs whose deadline has passed (drop_expired only).
+  void expire_overdue();
   /// Dispatch as much ready work as idle lanes allow; arm the hold timer
   /// for batches still forming.
   void pump();

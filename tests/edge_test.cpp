@@ -6,6 +6,7 @@
 #include "src/edge/browser_host.h"
 #include "src/edge/model_store.h"
 #include "src/edge/protocol.h"
+#include "src/util/crc32.h"
 #include "src/jsvm/snapshot.h"
 #include "src/nn/models.h"
 
@@ -195,6 +196,23 @@ TEST(ProtocolTest, SnapshotPayloadRoundTrip) {
   SnapshotPayload d = SnapshotPayload::decode(std::span(wire));
   EXPECT_EQ(d.cut, 7u);
   EXPECT_EQ(d.program, p.program);
+}
+
+TEST(ProtocolTest, PayloadCrcDetectsCorruption) {
+  net::Message m;
+  m.type = net::MessageType::kSnapshot;
+  m.name = "tiny";
+  m.payload = {1, 2, 3, 4, 5};
+  m.crc = util::crc32(std::span<const std::uint8_t>(m.payload));
+  EXPECT_TRUE(payload_intact(m));
+  EXPECT_NO_THROW(verify_payload(m));
+
+  m.payload[2] ^= 0x40;  // damaged in flight; the stamped CRC is stale
+  EXPECT_FALSE(payload_intact(m));
+  EXPECT_THROW(verify_payload(m), PayloadCorruptError);
+
+  net::Message empty;  // payload-free messages are trivially intact
+  EXPECT_TRUE(payload_intact(empty));
 }
 
 }  // namespace

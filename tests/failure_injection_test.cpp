@@ -91,14 +91,18 @@ TEST(FailureInjection, DiffAfterServerRestartRecovers) {
   EXPECT_GE(runtime.server().stats().diff_version_misses, 1);
 }
 
-TEST(FailureInjection, ModelMissingOnServerRaisesInsideSnapshotRun) {
+TEST(FailureInjection, ModelMissingOnServerRepliesGracefully) {
   // A snapshot arriving without any model pre-send and without bundled
-  // model files must fail loudly on the server, not hang: loadModel
-  // throws inside the restore run.
+  // model files must not hang OR kill the server: __loadModel throws
+  // inside the restore run, and the server answers with a typed
+  // "model_missing:" control reply so the client can re-presend (this is
+  // also how clients detect a crashed-and-restarted server).
   sim::Simulation sim;
   auto channel = net::Channel::make(sim, net::ChannelConfig{});
   edge::EdgeServer server(sim, channel->b());
-  jsvm::Interpreter scratch;
+  std::vector<std::string> replies;
+  channel->a().set_handler(
+      [&](const net::Message& m) { replies.push_back(m.name); });
   // Craft a minimal snapshot that calls __loadModel for an unknown app.
   edge::SnapshotPayload payload;
   payload.program = "(function() { m = __loadModel(\"ghost\"); })();\n";
@@ -107,7 +111,45 @@ TEST(FailureInjection, ModelMissingOnServerRaisesInsideSnapshotRun) {
   msg.name = "ghost";
   msg.payload = payload.encode();
   channel->a().send(std::move(msg));
-  EXPECT_THROW(sim.run(), jsvm::JsError);
+  sim.run();
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0], "model_missing:ghost");
+  EXPECT_EQ(server.stats().model_missing_replies, 1);
+  EXPECT_EQ(server.stats().snapshots_executed, 0);
+}
+
+TEST(FailureInjection, PrimaryCrashFailsOverToSecondaryServer) {
+  // Mid-session handoff under failure: the primary crashes right after
+  // the click, the supervisor's deadlines fire, the circuit breaker
+  // opens, and the inference migrates to the secondary server (model
+  // re-presend + snapshot replay — snapshots are self-contained, so
+  // nothing else moves). The answer must match the no-fault run.
+  edge::AppBundle bundle = make_benchmark_app(tiny_model(), false);
+  RuntimeConfig config;
+  config.client.supervisor.enabled = true;
+  // No hedging: this test is about the failover path, and a local hedge
+  // would win the race long before the breaker gives up on the primary.
+  config.client.supervisor.hedge_after = sim::SimTime::zero();
+  config.secondary_server = true;
+  config.click_at = after_ack_click_time(*bundle.network, false, 0, 30e6);
+  fault::CrashSpec crash;
+  crash.first_at = config.click_at + sim::SimTime::millis(1);
+  crash.downtime = sim::SimTime::seconds(600);  // stays dead
+  fault::FaultPlanConfig faults;
+  faults.crashes.push_back(crash);
+  config.faults = faults;
+  OffloadingRuntime runtime(config, std::move(bundle));
+  RunResult result = runtime.run();
+
+  EXPECT_TRUE(result.offloaded);
+  EXPECT_EQ(result.timeline.server_index, 1);
+  EXPECT_GE(runtime.client().supervisor_stats().failovers, 1);
+  ASSERT_NE(runtime.secondary(), nullptr);
+  EXPECT_GE(runtime.secondary()->stats().snapshots_executed, 1);
+  EXPECT_EQ(runtime.server().stats().snapshots_executed, 0);
+
+  RunResult clean = run_scenario(tiny_model(), Scenario::kOffloadAfterAck);
+  EXPECT_EQ(result.result_text, clean.result_text);
 }
 
 TEST(FailureInjection, UnreliableChannelCanStallApp) {

@@ -233,6 +233,58 @@ TEST(Bandwidth, EstimatorTracksObservations) {
   EXPECT_EQ(est.observations(), 20u);
 }
 
+TEST(Channel, ArqExhaustionInvokesSenderFailureHandler) {
+  // With certain loss, the ARQ burns its whole retransmit budget and then
+  // surfaces a typed delivery failure on the *sender* — no silent hang.
+  Simulation sim;
+  net::ChannelConfig config;
+  config.reliable = true;
+  config.max_retransmits = 5;
+  config.retransmit_timeout = SimTime::millis(20);
+  auto channel = net::Channel::make(sim, config);
+  channel->set_fault_hook(true, [](const net::Message&) {
+    net::FaultDecision d;
+    d.drop = true;  // every attempt, deterministically
+    return d;
+  });
+  int failures = 0;
+  int attempts_seen = 0;
+  channel->a().set_failure_handler([&](const net::Message&, int attempts) {
+    ++failures;
+    attempts_seen = attempts;
+  });
+  net::Message m;
+  m.type = net::MessageType::kControl;
+  m.name = "lost";
+  channel->a().send(std::move(m));
+  sim.run();
+  EXPECT_EQ(failures, 1);
+  EXPECT_EQ(attempts_seen, 6);  // original + 5 retransmits
+  EXPECT_EQ(channel->delivery_failures(), 1u);
+}
+
+TEST(Channel, UnreliableLossAlsoReportsDeliveryFailure) {
+  Simulation sim;
+  net::ChannelConfig config;
+  config.reliable = false;
+  auto channel = net::Channel::make(sim, config);
+  channel->set_fault_hook(true, [](const net::Message&) {
+    net::FaultDecision d;
+    d.drop = true;
+    return d;
+  });
+  int failures = 0;
+  channel->a().set_failure_handler(
+      [&](const net::Message&, int) { ++failures; });
+  net::Message m;
+  m.type = net::MessageType::kControl;
+  m.name = "lost";
+  channel->a().send(std::move(m));
+  sim.run();
+  EXPECT_EQ(failures, 1);
+  EXPECT_EQ(channel->delivery_failures(), 1u);
+}
+
 TEST(Bandwidth, IgnoresDegenerateSamples) {
   net::BandwidthEstimator est(30e6);
   est.observe(0, SimTime::seconds(1));
