@@ -16,6 +16,7 @@
 #include "bench/bench_common.h"
 #include "bench/json_writer.h"
 #include "src/core/offload.h"
+#include "src/obs/obs.h"
 #include "src/util/stats.h"
 
 namespace {
@@ -52,14 +53,21 @@ TrialOutcome run_trial(bool supervised, const fault::FaultPlanConfig& faults,
   }
   config.faults = plan;
 
+  // Each trial gets its own metrics registry; the outcome is read back
+  // from the instrumented actors' counters instead of hand-copied
+  // timeline fields. Incomplete trials throw before client.inferences is
+  // counted, so failed runs contribute no counter deltas.
+  obs::Obs obs;
+  config.obs = &obs;
+
   TrialOutcome out;
   try {
     core::OffloadingRuntime runtime(config, std::move(bundle));
     core::RunResult result = runtime.run();
-    out.completed = true;
+    out.completed = obs.metrics.counter("client.inferences") == 1;
     out.inference_s = result.inference_seconds;
-    out.retries = result.timeline.retries;
-    out.fell_back_local = result.timeline.local_fallback;
+    out.retries = static_cast<int>(obs.metrics.counter("client.retries"));
+    out.fell_back_local = obs.metrics.counter("client.local_fallbacks") > 0;
   } catch (const std::exception&) {
     // Stalled offload or an unhandled corrupt payload: the inference was
     // lost. This is what the supervisor's deadlines/retries prevent.

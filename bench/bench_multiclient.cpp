@@ -21,6 +21,7 @@
 #include "bench/bench_common.h"
 #include "bench/json_writer.h"
 #include "src/core/offload.h"
+#include "src/obs/obs.h"
 #include "src/serve/scheduler.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
@@ -41,6 +42,12 @@ FleetResult run_fleet(int n_clients) {
   sim::Simulation sim;
   nn::BenchmarkModel model{"AgeNet", &nn::build_agenet, 11, 227};
 
+  // One shared metrics registry instead of per-bench accumulators: every
+  // client reports into client.inference_ms, the server's scheduler into
+  // server.queue_wait_ms, and the bench just reads them back (histogram
+  // sum/count/max are exact, so means and maxima lose nothing).
+  obs::Obs obs;
+
   // One channel per client, one server attached to all of them.
   std::vector<std::unique_ptr<net::Channel>> channels;
   std::unique_ptr<edge::EdgeServer> server;
@@ -48,6 +55,7 @@ FleetResult run_fleet(int n_clients) {
 
   edge::EdgeServerConfig server_config;
   server_config.keep_sessions = false;  // all clients run the same app id
+  server_config.obs = &obs;
 
   for (int i = 0; i < n_clients; ++i) {
     net::ChannelConfig ch;
@@ -69,6 +77,7 @@ FleetResult run_fleet(int n_clients) {
       sim::SimTime::seconds(static_cast<double>(n_clients));
   for (int i = 0; i < n_clients; ++i) {
     edge::ClientConfig config;
+    config.obs = &obs;
     clients.push_back(std::make_unique<edge::ClientDevice>(
         sim, channels[static_cast<std::size_t>(i)]->a(), config,
         core::make_benchmark_app(model, false)));
@@ -78,19 +87,17 @@ FleetResult run_fleet(int n_clients) {
   }
   sim.run();
 
+  // Finished clients observed client.inference_ms once each; every
+  // executed snapshot observed server.queue_wait_ms at completion.
   FleetResult out;
-  util::Accumulator inference;
-  for (const auto& client : clients) {
-    if (!client->finished()) continue;
-    inference.add(client->timeline().inference_seconds());
+  if (const obs::Histogram* h = obs.metrics.histogram("client.inference_ms")) {
+    out.mean_s = h->mean() / 1e3;
+    out.worst_s = h->max / 1e3;
   }
-  util::Accumulator wait;
-  for (const auto& record : server->executions()) {
-    wait.add(record.queue_wait_s);
+  if (const obs::Histogram* h =
+          obs.metrics.histogram("server.queue_wait_ms")) {
+    out.mean_queue_wait_s = h->mean() / 1e3;
   }
-  out.mean_s = inference.mean();
-  out.worst_s = inference.max();
-  out.mean_queue_wait_s = wait.mean();
   return out;
 }
 
@@ -116,6 +123,17 @@ ServingResult run_serving(const char* policy, std::size_t max_batch,
   std::shared_ptr<const nn::Network> net = nn::build_agenet();
   const std::size_t cut = net->index_of("pool5");
 
+  // The scheduler publishes its own latency histogram and shed counters;
+  // the bench reads those instead of keeping a parallel set of hand
+  // accumulators. Pre-define serve.total_ms with fine linear buckets so
+  // the interpolated percentiles resolve to a quarter millisecond.
+  obs::Obs obs;
+  {
+    std::vector<double> bounds;
+    for (double b = 0.25; b <= 400.0; b += 0.25) bounds.push_back(b);
+    obs.metrics.define_histogram("serve.total_ms", std::move(bounds));
+  }
+
   serve::SchedulerConfig cfg;
   cfg.profile = nn::DeviceProfile::edge_server();
   cfg.replicas = 1;
@@ -123,6 +141,7 @@ ServingResult run_serving(const char* policy, std::size_t max_batch,
   cfg.max_batch_wait = sim::SimTime::millis(20);
   cfg.max_queue = 32;
   cfg.policy = policy;
+  cfg.obs = &obs;
   serve::Scheduler sched(sim, cfg);
   sched.register_model(net);
 
@@ -136,9 +155,6 @@ ServingResult run_serving(const char* policy, std::size_t max_batch,
   nn::Tensor feature =
       nn::Tensor::random_uniform(net->analyze().shapes[cut], feature_rng);
 
-  util::Samples latency;
-  int shed = 0;
-  int completed = 0;
   sim::SimTime last_completion;
   double t = 0;
   for (int i = 0; i < kRequests; ++i) {
@@ -148,15 +164,12 @@ ServingResult run_serving(const char* policy, std::size_t max_batch,
     const sim::SimTime deadline =
         at + sim::SimTime::seconds(rng.uniform(0.03, 0.12));
     sim.schedule_at(at, [&, deadline] {
-      serve::SubmitResult r = sched.submit_infer(
+      sched.submit_infer(
           net->name(), cut, feature,
           [&](nn::Tensor, const serve::RequestTiming& timing) {
-            latency.add(timing.total_s());
-            ++completed;
             last_completion = timing.completed;
           },
           deadline);
-      if (!r.admitted) ++shed;
     });
   }
   sim.run();
@@ -164,13 +177,19 @@ ServingResult run_serving(const char* policy, std::size_t max_batch,
   ServingResult out;
   out.capacity_rps = capacity_rps;
   out.offered_rps = rate;
+  const std::uint64_t completed = obs.metrics.counter("serve.completed");
   out.throughput_rps = last_completion > sim::SimTime::zero()
-                           ? completed / last_completion.to_seconds()
+                           ? static_cast<double>(completed) /
+                                 last_completion.to_seconds()
                            : 0.0;
-  out.p50_ms = latency.percentile(50.0) * 1e3;
-  out.p95_ms = latency.percentile(95.0) * 1e3;
-  out.p99_ms = latency.percentile(99.0) * 1e3;
-  out.shed_rate = static_cast<double>(shed) / kRequests;
+  if (const obs::Histogram* h = obs.metrics.histogram("serve.total_ms")) {
+    out.p50_ms = h->quantile(0.50);
+    out.p95_ms = h->quantile(0.95);
+    out.p99_ms = h->quantile(0.99);
+  }
+  out.shed_rate =
+      static_cast<double>(obs.metrics.counter("serve.rejected.queue_full")) /
+      kRequests;
   out.largest_batch = sched.stats().largest_batch;
   return out;
 }

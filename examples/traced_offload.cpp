@@ -1,0 +1,73 @@
+// Traced offload: run one faulted, supervised inference with an external
+// observability sink, print the span tree and the metrics dump, and write
+// a Chrome trace you can open in Perfetto (ui.perfetto.dev) or
+// chrome://tracing.
+//
+//   ./build/examples/traced_offload
+//
+// The same exports are available from any runtime/bench binary via the
+// environment knobs (no code changes):
+//   OFFLOAD_TRACE=chrome OFFLOAD_TRACE_PATH=trace.json ./build/examples/quickstart
+//   OFFLOAD_TRACE=jsonl  OFFLOAD_METRICS=- ./build/bench/bench_fig6_exec_time
+#include <cstdio>
+#include <string>
+
+#include "src/core/offload.h"
+#include "src/obs/export.h"
+#include "src/obs/obs.h"
+#include "src/util/strings.h"
+
+int main() {
+  using namespace offload;
+
+  nn::BenchmarkModel tiny{"TinyCNN", &nn::build_tiny_cnn_default, 17, 32};
+  edge::AppBundle app = core::make_benchmark_app(tiny, /*partial=*/false);
+
+  // A faulted, supervised run makes for an interesting trace: retries,
+  // backoff spans, a crash marker, failover to the secondary server.
+  core::RuntimeConfig config;
+  config.client.supervisor.enabled = true;
+  config.secondary_server = true;
+  config.click_at = core::after_ack_click_time(*app.network, false, 0, 30e6);
+  fault::FaultPlanConfig faults = fault::FaultPlanConfig::uniform(0.08, 23);
+  fault::CrashSpec crash;
+  crash.first_at = config.click_at + sim::SimTime::millis(2);
+  crash.downtime = sim::SimTime::seconds(3);
+  faults.crashes.push_back(crash);
+  config.faults = faults;
+
+  // Hand the runtime an external sink to keep the spans after the run.
+  obs::Obs obs;
+  config.obs = &obs;
+
+  core::OffloadingRuntime runtime(config, std::move(app));
+  core::RunResult result = runtime.run();
+
+  std::printf("inference:  %s  (trace id %llu, %zu spans recorded)\n\n",
+              util::format_seconds(result.inference_seconds).c_str(),
+              static_cast<unsigned long long>(result.trace_id),
+              obs.trace.size());
+
+  // The span tree of the inference request, indented by parent depth.
+  std::printf("span tree (request trace):\n");
+  for (const obs::Span& s : obs.trace.spans()) {
+    if (s.trace != result.trace_id) continue;
+    int depth = 0;
+    for (const obs::Span* p = obs.trace.find(s.parent); p != nullptr;
+         p = obs.trace.find(p->parent)) {
+      ++depth;
+    }
+    std::printf("  %*s%-18s %-24s %-14s %s\n", depth * 2, "",
+                obs::span_kind_name(s.kind), s.name.c_str(),
+                s.resource.c_str(),
+                util::format_seconds(s.dur_s).c_str());
+  }
+
+  std::printf("\nmetrics:\n%s", obs.metrics.dump_text().c_str());
+
+  const std::string path = "traced_offload.chrome.json";
+  if (obs::write_file(path, obs::to_chrome_trace(obs.trace))) {
+    std::printf("\nwrote %s — open it at ui.perfetto.dev\n", path.c_str());
+  }
+  return 0;
+}

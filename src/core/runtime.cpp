@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "src/core/trace_breakdown.h"
+
 namespace offload::core {
 
 OffloadingRuntime::OffloadingRuntime(RuntimeConfig config,
@@ -12,7 +14,16 @@ OffloadingRuntime::OffloadingRuntime(RuntimeConfig config,
     // "accepted:"/"done:" receipts; turn them on to match.
     config_.server.ack_snapshots = true;
   }
+  if (config_.obs) {
+    obs_ = config_.obs;
+  } else {
+    owned_obs_ = std::make_unique<obs::Obs>();
+    obs_ = owned_obs_.get();
+  }
+  config_.client.obs = obs_;
+  config_.server.obs = obs_;
   channel_ = net::Channel::make(sim_, config_.channel);
+  channel_->set_obs(obs_);
   server_ = std::make_unique<edge::EdgeServer>(sim_, channel_->b(),
                                                config_.server);
   client_ = std::make_unique<edge::ClientDevice>(
@@ -20,8 +31,11 @@ OffloadingRuntime::OffloadingRuntime(RuntimeConfig config,
   if (config_.secondary_server) {
     secondary_channel_ =
         net::Channel::make(sim_, config_.channel, "client", "server-b");
+    secondary_channel_->set_obs(obs_);
+    edge::EdgeServerConfig secondary_config = config_.server;
+    secondary_config.obs_name = config_.server.obs_name + "-b";
     secondary_server_ = std::make_unique<edge::EdgeServer>(
-        sim_, secondary_channel_->b(), config_.server);
+        sim_, secondary_channel_->b(), std::move(secondary_config));
     client_->attach_secondary(secondary_channel_->a());
   }
   if (config_.faults) {
@@ -54,10 +68,6 @@ RunResult OffloadingRuntime::run() {
             .to_seconds();
   }
 
-  InferenceBreakdown& b = result.breakdown;
-  b.dnn_execution_client = result.timeline.client_exec_s;
-  b.retry_backoff = result.timeline.backoff_wait_s;
-  b.crash_recovery = result.timeline.recovery_s;
   if (result.offloaded) {
     // The result may have come from the secondary after a failover.
     edge::EdgeServer* source = server_.get();
@@ -68,25 +78,17 @@ RunResult OffloadingRuntime::run() {
       throw std::runtime_error(
           "OffloadingRuntime: offloaded but server has no execution record");
     }
-    const edge::ServerExecutionRecord& record = source->executions().back();
-    result.server_record = record;
-    b.snapshot_capture_client = result.timeline.capture_s;
-    b.transmission_up =
-        (record.received_at - *result.timeline.snapshot_sent).to_seconds();
-    b.snapshot_restore_server = record.restore_s;
-    b.dnn_execution_server = record.execute_s;
-    b.snapshot_capture_server = record.capture_s;
-    b.server_queue_wait = record.queue_wait_s;
-    b.server_batch_wait = record.batch_wait_s;
-    b.transmission_down =
-        (*result.timeline.result_received - record.received_at).to_seconds() -
-        record.busy_s() - record.queue_wait_s - record.batch_wait_s;
-    b.snapshot_restore_client = result.timeline.restore_s;
-    // Residual between the measured end-to-end latency and the categorized
-    // parts (e.g. waiting for a refused snapshot to be re-sendable).
-    b.other = result.inference_seconds - b.total();
-    if (b.other < 1e-9 && b.other > -1e-9) b.other = 0;
+    result.server_record = source->executions().back();
   }
+
+  // The breakdown comes from the span tree — the trace is the single
+  // source of truth for where the time went (the derivation reproduces the
+  // historical timeline/record arithmetic bit-for-bit).
+  result.trace_id = client_->last_trace_id();
+  result.breakdown = breakdown_from_trace(obs_->trace, result.trace_id);
+
+  obs::ExportOptions export_opts = obs::ExportOptions::from_env();
+  if (export_opts.any()) obs::export_obs(*obs_, export_opts);
   return result;
 }
 

@@ -12,6 +12,7 @@
 #include "src/edge/edge_server.h"
 #include "src/fault/injector.h"
 #include "src/net/channel.h"
+#include "src/obs/obs.h"
 #include "src/sim/simulation.h"
 
 namespace offload::core {
@@ -32,6 +33,11 @@ struct RuntimeConfig {
   /// Stand up a second edge server (its own clean channel, same config)
   /// and register it with the client as the failover target.
   bool secondary_server = false;
+  /// Observability sink shared by every actor (client, servers, channels,
+  /// schedulers). Null = the runtime owns one internally; tracing is
+  /// always on (a handful of spans per inference), and the breakdown is
+  /// derived from the span tree, so the two cannot drift.
+  obs::Obs* obs = nullptr;
 
   static net::ChannelConfig default_channel() {
     net::ChannelConfig ch;
@@ -53,6 +59,8 @@ struct RunResult {
   double inference_seconds = 0;
   /// App start → model ACK (pre-sending cost), -1 if no ACK happened.
   double model_upload_seconds = -1;
+  /// Trace id of the (last) inference; look its spans up in obs().trace.
+  obs::TraceId trace_id = 0;
 };
 
 class OffloadingRuntime {
@@ -74,10 +82,16 @@ class OffloadingRuntime {
   fault::FaultPlan* fault_plan() {
     return injector_ ? &injector_->plan() : nullptr;
   }
+  /// The observability sink all actors share (the caller's, or the
+  /// runtime-owned one). Valid for the runtime's lifetime.
+  obs::Obs& obs() { return *obs_; }
+  const obs::Obs& obs() const { return *obs_; }
 
  private:
   RuntimeConfig config_;
   sim::Simulation sim_;
+  std::unique_ptr<obs::Obs> owned_obs_;
+  obs::Obs* obs_ = nullptr;
   std::unique_ptr<net::Channel> channel_;
   std::unique_ptr<net::Channel> secondary_channel_;
   std::unique_ptr<edge::EdgeServer> server_;

@@ -1,0 +1,115 @@
+#include "src/core/trace_breakdown.h"
+
+#include <stdexcept>
+
+namespace offload::core {
+
+namespace {
+
+bool root_attr_is(const obs::Span& root, const char* key, const char* value) {
+  for (const auto& [k, v] : root.attrs) {
+    if (k == key) return v == value;
+  }
+  return false;
+}
+
+}  // namespace
+
+InferenceBreakdown breakdown_from_trace(const obs::Tracer& tracer,
+                                        obs::TraceId trace) {
+  InferenceBreakdown b;
+  if (trace == 0) return b;
+
+  const obs::Span* root = nullptr;
+  // Last span of each server-side kind: the execution that produced the
+  // result (mirrors `executions().back()`); superseded attempts from
+  // retries stay in the trace but do not shape these categories.
+  const obs::Span* up = nullptr;
+  const obs::Span* down = nullptr;
+  const obs::Span* queue = nullptr;
+  const obs::Span* batch = nullptr;
+  const obs::Span* restore_srv = nullptr;
+  const obs::Span* exec_srv = nullptr;
+  const obs::Span* capture_srv = nullptr;
+  const obs::Span* restore_cli = nullptr;
+
+  // One pass in emission order: client-side sums accumulate in the same
+  // order the timeline's `+=` sites ran, reproducing their rounding.
+  for (const obs::Span& s : tracer.spans()) {
+    if (s.trace != trace) continue;
+    switch (s.kind) {
+      case obs::SpanKind::kInference:
+        if (s.parent == 0) root = &s;
+        break;
+      case obs::SpanKind::kClientExec:
+        b.dnn_execution_client += s.dur_s;
+        break;
+      case obs::SpanKind::kClientCapture:
+        b.snapshot_capture_client += s.dur_s;
+        break;
+      case obs::SpanKind::kRetryBackoff:
+        b.retry_backoff += s.dur_s;
+        break;
+      case obs::SpanKind::kCrashRecovery:
+        b.crash_recovery += s.dur_s;
+        break;
+      case obs::SpanKind::kTransmitUp:
+        up = &s;
+        break;
+      case obs::SpanKind::kTransmitDown:
+        down = &s;
+        break;
+      case obs::SpanKind::kQueueWait:
+        queue = &s;
+        break;
+      case obs::SpanKind::kBatchWait:
+        batch = &s;
+        break;
+      case obs::SpanKind::kServerRestore:
+        restore_srv = &s;
+        break;
+      case obs::SpanKind::kServerExec:
+        exec_srv = &s;
+        break;
+      case obs::SpanKind::kServerCapture:
+        capture_srv = &s;
+        break;
+      case obs::SpanKind::kClientRestore:
+        restore_cli = &s;
+        break;
+      default:
+        break;  // structural spans never feed the breakdown
+    }
+  }
+  if (!root) {
+    throw std::runtime_error(
+        "breakdown_from_trace: trace has no root inference span");
+  }
+  if (!root_attr_is(*root, "offloaded", "1")) return b;
+  if (!up || !down || !restore_srv || !exec_srv || !capture_srv ||
+      !restore_cli || !queue || !batch) {
+    throw std::runtime_error(
+        "breakdown_from_trace: offloaded trace is missing phase spans");
+  }
+
+  // (server receive − last send): the span interval is the same SimTime
+  // subtraction the runtime historically performed on the timeline.
+  b.transmission_up = (up->end - up->start).to_seconds();
+  b.snapshot_restore_server = restore_srv->dur_s;
+  b.dnn_execution_server = exec_srv->dur_s;
+  b.snapshot_capture_server = capture_srv->dur_s;
+  b.server_queue_wait = queue->dur_s;
+  b.server_batch_wait = batch->dur_s;
+  // Residual of the server round trip: grouping matches
+  // `interval − busy_s() − queue − batch` with busy_s() = r + e + c.
+  b.transmission_down =
+      (down->end - up->end).to_seconds() -
+      (restore_srv->dur_s + exec_srv->dur_s + capture_srv->dur_s) -
+      queue->dur_s - batch->dur_s;
+  b.snapshot_restore_client = restore_cli->dur_s;
+  b.other = (root->end - root->start).to_seconds() - b.total();
+  if (b.other < 1e-9 && b.other > -1e-9) b.other = 0;
+  return b;
+}
+
+}  // namespace offload::core

@@ -1,0 +1,33 @@
+// Derive the Fig. 7 InferenceBreakdown from a request's span tree, so the
+// breakdown and the trace can never drift apart: the runtime builds its
+// breakdown exclusively through this function, and the reconciliation test
+// checks the derived values against per-kind leaf-span sums.
+#pragma once
+
+#include "src/core/breakdown.h"
+#include "src/obs/trace.h"
+
+namespace offload::core {
+
+/// Assemble the breakdown of the request traced as `trace` from the spans
+/// recorded in `tracer`. Mirrors the original timeline/record arithmetic
+/// term for term (same doubles, same grouping), so the degenerate
+/// configuration reproduces the historical breakdown bit-for-bit:
+///  - client-side categories are sums of charged span durations in
+///    emission order, matching the timeline's `+=` accumulation order;
+///  - server-side categories come from the *last* span of each kind (the
+///    execution that actually produced the result), matching
+///    `executions().back()`;
+///  - transmission_up is the last transmit-up span's SimTime interval
+///    (server receive − last send);
+///  - transmission_down is the residual of the server round trip minus
+///    the categorized server time, with the exact grouping
+///    `interval − (restore + execute + capture) − queue − batch`;
+///  - `other` absorbs what is left of the end-to-end latency, snapped to
+///    zero within ±1e-9 — exactly as the runtime always computed it.
+/// A trace whose root says the inference was not offloaded only carries
+/// client execution, retry backoff, and crash recovery.
+InferenceBreakdown breakdown_from_trace(const obs::Tracer& tracer,
+                                        obs::TraceId trace);
+
+}  // namespace offload::core

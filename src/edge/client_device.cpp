@@ -22,6 +22,7 @@ ClientDevice::ClientDevice(sim::Simulation& sim, net::Endpoint& endpoint,
     throw std::invalid_argument("ClientDevice: app bundle has no network");
   }
   // The client owns the full, trained model locally.
+  obs_ = config_.obs;
   local_store_->store_files(nn::model_files(*bundle_.network));
   browser_ = std::make_unique<BrowserHost>(config_.profile, local_store_);
   browser_->add_image("input", bundle_.input_image);
@@ -67,6 +68,17 @@ void ClientDevice::send_model_files(bool count_as_presend) {
   msg.payload = payload.encode();
   timeline_.model_upload_bytes = msg.payload.size();
   if (count_as_presend) timeline_.model_upload_started = sim_.now();
+  if (obs_) {
+    // One kPresend span per model send toward an ACK, on the session
+    // trace. A re-send supersedes (closes) the previous open span.
+    if (presend_span_) obs_->trace.close(presend_span_, sim_.now());
+    presend_span_ =
+        obs_->trace.open(0, 0, obs::SpanKind::kPresend,
+                         "presend:" + bundle_.name, "client/protocol",
+                         sim_.now());
+    msg.ctx = {0, presend_span_, 0};
+    obs_->metrics.add("client.model_sends");
+  }
   active_endpoint().send(std::move(msg));
 }
 
@@ -86,6 +98,15 @@ void ClientDevice::send_overlay() {
   msg.type = net::MessageType::kVmOverlay;
   msg.name = bundle_.name;
   msg.payload = std::move(overlay.payload);
+  if (obs_) {
+    if (presend_span_) obs_->trace.close(presend_span_, sim_.now());
+    presend_span_ =
+        obs_->trace.open(0, 0, obs::SpanKind::kPresend,
+                         "overlay:" + bundle_.name, "client/protocol",
+                         sim_.now());
+    msg.ctx = {0, presend_span_, 0};
+    obs_->metrics.add("client.overlay_sends");
+  }
   active_endpoint().send(std::move(msg));
   model_sent() = true;  // the overlay carried the model files
   timeline_.model_upload_started = sim_.now();
@@ -143,6 +164,18 @@ void ClientDevice::begin_inference() {
   timeline_.clicked = sim_.now();
   timeline_.used_partition_cut = config_.partition_cut;
   timeline_.server_index = static_cast<int>(active_server_);
+  if (obs_) {
+    // A still-open root (an inference that never finished) is closed at
+    // the new click rather than leaking.
+    if (root_span_) obs_->trace.close(root_span_, sim_.now());
+    trace_ = obs_->trace.new_trace();
+    root_span_ = obs_->trace.open(
+        trace_, 0, obs::SpanKind::kInference,
+        "inference#" + std::to_string(history_.size() + 1), "client",
+        sim_.now());
+    up_span_ = 0;
+    recovery_span_ = 0;
+  }
 
   // Per-inference supervisor state.
   attempts_ = 0;
@@ -185,10 +218,19 @@ void ClientDevice::begin_inference() {
 void ClientDevice::run_locally() {
   jsvm::Interpreter& interp = browser_->interp();
   interp.offload_hook = nullptr;
-  interp.run_events();
+  {
+    obs::ScopedMetrics nn_metrics(obs_ ? &obs_->metrics : nullptr);
+    interp.run_events();
+  }
   double exec_s = browser_->consume_compute_seconds();
   timeline_.client_exec_s += exec_s;
   timeline_.finished = sim_.now() + sim::SimTime::seconds(exec_s);
+  if (obs_) {
+    obs_->trace.emit(trace_, root_span_, obs::SpanKind::kClientExec,
+                     "exec_local", "client", sim_.now(), *timeline_.finished,
+                     exec_s);
+  }
+  finish_trace();
 }
 
 void ClientDevice::run_app_events() {
@@ -211,6 +253,7 @@ void ClientDevice::run_app_events() {
         breakers_[other].allow(sim_.now());
     if (other_usable) {
       ++sup_stats_.failovers;
+      count("supervisor.failovers");
       OFFLOAD_LOG_WARN << "client: breaker open, routing to "
                        << (other == 0 ? "primary" : "secondary")
                        << " server";
@@ -219,6 +262,7 @@ void ClientDevice::run_app_events() {
       baseline_.reset();  // sessions do not migrate between servers
     } else {
       ++sup_stats_.breaker_short_circuits;
+      count("supervisor.breaker_short_circuits");
       OFFLOAD_LOG_WARN << "client: breaker open, executing locally";
       timeline_.local_fallback = true;
       want_offload = false;
@@ -232,14 +276,23 @@ void ClientDevice::run_app_events() {
   interp.offload_hook = [this](const jsvm::PendingEvent& ev) {
     return ev.type == config_.offload_event;
   };
-  interp.run_events();
+  {
+    obs::ScopedMetrics nn_metrics(obs_ ? &obs_->metrics : nullptr);
+    interp.run_events();
+  }
   double exec_s = browser_->consume_compute_seconds();
   timeline_.client_exec_s += exec_s;
+  const sim::SimTime exec_end = sim_.now() + sim::SimTime::seconds(exec_s);
+  if (obs_) {
+    obs_->trace.emit(trace_, root_span_, obs::SpanKind::kClientExec,
+                     "exec_front", "client", sim_.now(), exec_end, exec_s);
+  }
 
   auto pending = interp.take_pending_offload();
   if (!pending) {
     // Ran to completion locally (app never raised the offload event).
-    timeline_.finished = sim_.now() + sim::SimTime::seconds(exec_s);
+    timeline_.finished = exec_end;
+    finish_trace();
     return;
   }
 
@@ -268,6 +321,14 @@ void ClientDevice::run_app_events() {
   timeline_.capture_s = config_.profile.snapshot_capture_s(
       timeline_.snapshot_stats.total_bytes);
   timeline_.offloaded = true;
+  if (obs_) {
+    // The capture is charged immediately after the front execution; its
+    // span abuts the exec span so the two tile [now, snapshot send).
+    obs_->trace.emit(trace_, root_span_, obs::SpanKind::kClientCapture,
+                     "capture", "client", exec_end,
+                     exec_end + sim::SimTime::seconds(timeline_.capture_s),
+                     timeline_.capture_s);
+  }
 
   net::Message msg;
   msg.type = net::MessageType::kSnapshot;
@@ -288,6 +349,7 @@ void ClientDevice::send_snapshot_message(net::Message msg, double busy_s) {
     timeline_.snapshot_sent = sim_.now();
     inflight_snapshot_ = msg;
     ++attempts_;
+    mark_snapshot_send(msg, "snapshot_send");
     active_endpoint().send(std::move(msg));
     if (supervising()) {
       arm_upload_watchdog();
@@ -340,6 +402,7 @@ void ClientDevice::on_phase_timeout(Phase phase) {
   phase_timer_ = sim::EventHandle{};
   phase_ = Phase::kIdle;
   ++sup_stats_.deadline_expiries;
+  count("supervisor.deadline_expiries");
   active_breaker().record_failure(sim_.now());
   if (phase == Phase::kPresend) {
     if (!awaiting_ack_) return;  // raced with the ACK
@@ -357,6 +420,13 @@ void ClientDevice::on_phase_timeout(Phase phase) {
     sim::SimTime wait = backoff_->delay(presend_attempts_);
     sup_stats_.backoff_wait_s += wait.to_seconds();
     ++sup_stats_.retries;
+    count("supervisor.retries");
+    if (obs_) {
+      // Pre-send backoffs belong to the app session, not any inference:
+      // a trace-0 marker, never a kRetryBackoff phase span.
+      obs_->trace.marker(0, 0, "presend_backoff", "client/protocol",
+                         sim_.now());
+    }
     OFFLOAD_LOG_WARN << "client: model ACK overdue, re-sending after "
                      << wait.str();
     sim_.schedule(wait, [this] {
@@ -389,6 +459,11 @@ void ClientDevice::retry_snapshot(const char* reason) {
   sim::SimTime wait = backoff_->delay(attempts_);
   sup_stats_.backoff_wait_s += wait.to_seconds();
   timeline_.backoff_wait_s += wait.to_seconds();
+  if (obs_) {
+    obs_->trace.emit(trace_, root_span_, obs::SpanKind::kRetryBackoff,
+                     std::string("backoff:") + reason, "client", sim_.now(),
+                     sim_.now() + wait, wait.to_seconds());
+  }
   OFFLOAD_LOG_INFO << "client: offload attempt " << attempts_ << " failed ("
                    << reason << "), retrying after " << wait.str();
   sim_.schedule(wait, [this] {
@@ -401,7 +476,10 @@ void ClientDevice::resend_inflight() {
   ++attempts_;
   ++sup_stats_.retries;
   ++timeline_.retries;
+  count("supervisor.retries");
+  count("client.retries");
   timeline_.snapshot_sent = sim_.now();
+  mark_snapshot_send(*inflight_snapshot_, "snapshot_resend");
   active_endpoint().send(*inflight_snapshot_);
   arm_upload_watchdog();
 }
@@ -411,6 +489,7 @@ bool ClientDevice::try_failover() {
   if (other == 1 && !secondary_) return false;
   if (!breakers_[other].allow(sim_.now())) return false;
   ++sup_stats_.failovers;
+  count("supervisor.failovers");
   OFFLOAD_LOG_WARN << "client: failing over to "
                    << (other == 0 ? "primary" : "secondary") << " server";
   active_server_ = other;
@@ -430,8 +509,17 @@ void ClientDevice::begin_recovery(const char* reason) {
   OFFLOAD_LOG_WARN << "client: recovery (" << reason
                    << "): re-presending model";
   ++sup_stats_.model_represends;
+  count("supervisor.model_represends");
   timeline_.recovered = true;
   recovery_started_ = sim_.now();
+  if (obs_) {
+    // Closed with the exact `spent` charge when the replacement model is
+    // ACKed, or with zero charge if the recovery is abandoned.
+    if (recovery_span_) obs_->trace.close(recovery_span_, sim_.now(), 0.0);
+    recovery_span_ = obs_->trace.open(
+        trace_, root_span_, obs::SpanKind::kCrashRecovery,
+        std::string("recovery:") + reason, "client", sim_.now());
+  }
   baseline_.reset();  // any kept session died with the server
   model_sent() = false;
   resend_snapshot_on_ack_ = true;
@@ -444,6 +532,11 @@ void ClientDevice::abandon_remote(const char* reason) {
   OFFLOAD_LOG_WARN << "client: abandoning offload (" << reason
                    << "), finishing locally";
   ++sup_stats_.local_fallbacks;
+  count("supervisor.local_fallbacks");
+  if (obs_) {
+    obs_->trace.marker(trace_, root_span_, std::string("abandon:") + reason,
+                       "client", sim_.now());
+  }
   cancel_supervision_timers();
   awaiting_result_ = false;
   inflight_snapshot_.reset();
@@ -459,15 +552,20 @@ void ClientDevice::start_hedge() {
   hedge_timer_ = sim::EventHandle{};
   if (!awaiting_result_ || hedge_running_ || timeline_.finished) return;
   ++sup_stats_.hedges_started;
+  count("supervisor.hedges_started");
   timeline_.hedged = true;
   hedge_running_ = true;
+  hedge_started_at_ = sim_.now();
   OFFLOAD_LOG_INFO << "client: offload past its latency budget, starting "
                       "hedged local execution";
   // The offloaded event is still at the realm's queue front (capture left
   // it in place), so the hedge is simply: stop deferring, run it here.
   jsvm::Interpreter& interp = browser_->interp();
   interp.offload_hook = nullptr;
-  interp.run_events();
+  {
+    obs::ScopedMetrics nn_metrics(obs_ ? &obs_->metrics : nullptr);
+    interp.run_events();
+  }
   hedge_exec_s_ = browser_->consume_compute_seconds();
   hedge_finish_at_ = sim_.now() + sim::SimTime::seconds(hedge_exec_s_);
   hedge_finish_timer_ = sim_.schedule(sim::SimTime::seconds(hedge_exec_s_),
@@ -480,9 +578,19 @@ void ClientDevice::finish_hedge() {
   hedge_running_ = false;
   timeline_.client_exec_s += hedge_exec_s_;
   timeline_.finished = sim_.now();
-  if (!awaiting_result_) return;  // remote was abandoned; this is fallback
+  if (obs_) {
+    obs_->trace.emit(trace_, root_span_, obs::SpanKind::kClientExec,
+                     "exec_hedge", "client", hedge_started_at_, sim_.now(),
+                     hedge_exec_s_);
+  }
+  if (!awaiting_result_) {
+    // Remote was abandoned earlier; this hedge run is the fallback result.
+    finish_trace();
+    return;
+  }
   // The local run beat the server: cancel the remote side of the race.
   ++sup_stats_.hedge_local_wins;
+  count("supervisor.hedge_local_wins");
   timeline_.hedge_local_win = true;
   timeline_.local_fallback = true;
   timeline_.offloaded = false;
@@ -492,6 +600,7 @@ void ClientDevice::finish_hedge() {
   resend_snapshot_on_ack_ = false;
   ignore_late_result_ = true;
   cancel_supervision_timers();
+  finish_trace();
 }
 
 void ClientDevice::on_delivery_failure(const net::Message& message,
@@ -510,6 +619,11 @@ void ClientDevice::on_delivery_failure(const net::Message& message,
     sim::SimTime wait = backoff_->delay(presend_attempts_);
     sup_stats_.backoff_wait_s += wait.to_seconds();
     ++sup_stats_.retries;
+    count("supervisor.retries");
+    if (obs_) {
+      obs_->trace.marker(0, 0, "presend_backoff", "client/protocol",
+                         sim_.now());
+    }
     sim_.schedule(wait, [this] {
       if (!awaiting_ack_) return;
       ++presend_attempts_;
@@ -527,6 +641,11 @@ void ClientDevice::on_delivery_failure(const net::Message& message,
 void ClientDevice::on_message(const net::Message& message) {
   switch (message.type) {
     case net::MessageType::kAck: {
+      if (obs_ && presend_span_) {
+        // The pre-send span covers send -> ACK (store time included).
+        obs_->trace.close(presend_span_, sim_.now());
+        presend_span_ = 0;
+      }
       if (supervising()) {
         awaiting_ack_ = false;
         active_breaker().record_success(sim_.now());
@@ -551,6 +670,10 @@ void ClientDevice::on_message(const net::Message& message) {
           sup_stats_.recovery_s += spent;
           timeline_.recovery_s += spent;
           recovery_started_.reset();
+          if (obs_ && recovery_span_) {
+            obs_->trace.close(recovery_span_, sim_.now(), spent);
+            recovery_span_ = 0;
+          }
         }
         resend_inflight();
         return;
@@ -559,12 +682,16 @@ void ClientDevice::on_message(const net::Message& message) {
           inflight_snapshot_) {
         // Our earlier snapshot was refused pre-install; send it again.
         timeline_.snapshot_sent = sim_.now();
+        mark_snapshot_send(*inflight_snapshot_, "snapshot_send");
         active_endpoint().send(*inflight_snapshot_);
         if (supervising()) arm_upload_watchdog();
       }
       return;
     }
     case net::MessageType::kResultSnapshot: {
+      // Close the server's transmit-down span at arrival, even for results
+      // about to be discarded — the bytes did land here.
+      if (obs_) obs_->trace.close(message.ctx.span, sim_.now());
       if (ignore_late_result_) {
         // This inference already finished locally (hedge win or
         // abandonment); the straggler loses the race.
@@ -603,6 +730,7 @@ void ClientDevice::on_message(const net::Message& message) {
         hedge_finish_timer_ = sim::EventHandle{};
         timeline_.hedge_wasted_s += hedge_exec_s_;
         ++sup_stats_.hedge_remote_wins;
+        count("supervisor.hedge_remote_wins");
       }
       if (supervising()) {
         cancel_supervision_timers();
@@ -620,7 +748,10 @@ void ClientDevice::on_message(const net::Message& message) {
                                     timeline_.used_partition_cut);
       }
       jsvm::restore_snapshot(browser_->interp(), payload.program);
-      browser_->interp().run_events();
+      {
+        obs::ScopedMetrics nn_metrics(obs_ ? &obs_->metrics : nullptr);
+        browser_->interp().run_events();
+      }
       browser_->consume_compute_seconds();
       if (config_.differential_snapshots) {
         // This restored state is now the baseline both sides share.
@@ -629,6 +760,12 @@ void ClientDevice::on_message(const net::Message& message) {
       timeline_.restore_s = restore_s;
       timeline_.finished =
           sim_.now() + sim::SimTime::seconds(timeline_.restore_s);
+      if (obs_) {
+        obs_->trace.emit(trace_, root_span_, obs::SpanKind::kClientRestore,
+                         "restore_result", "client", sim_.now(),
+                         *timeline_.finished, timeline_.restore_s);
+      }
+      finish_trace();
       return;
     }
     case net::MessageType::kControl: {
@@ -675,6 +812,13 @@ void ClientDevice::on_message(const net::Message& message) {
         double recapture_s = config_.profile.snapshot_capture_s(
             snap.stats.total_bytes);
         timeline_.capture_s += recapture_s;
+        if (obs_) {
+          obs_->trace.emit(trace_, root_span_, obs::SpanKind::kClientCapture,
+                           "recapture", "client", sim_.now(),
+                           sim_.now() + sim::SimTime::seconds(recapture_s),
+                           recapture_s);
+          obs_->metrics.add("client.recaptures");
+        }
         awaiting_result_ = false;  // send_snapshot_message re-arms it
         send_snapshot_message(std::move(msg), recapture_s);
         return;
@@ -737,7 +881,9 @@ void ClientDevice::on_message(const net::Message& message) {
             OFFLOAD_LOG_WARN << "client: snapshot corrupted in flight, "
                                 "re-sending";
             ++timeline_.retries;
+            count("client.retries");
             timeline_.snapshot_sent = sim_.now();
+            mark_snapshot_send(*inflight_snapshot_, "snapshot_resend");
             active_endpoint().send(*inflight_snapshot_);
           }
           return;
@@ -772,6 +918,53 @@ void ClientDevice::on_message(const net::Message& message) {
       OFFLOAD_LOG_WARN << "client: unexpected message type "
                        << net::message_type_name(message.type);
   }
+}
+
+void ClientDevice::mark_snapshot_send(net::Message& msg, const char* label) {
+  if (!obs_) return;
+  // Each (re)send opens its own transmit-up span; a superseded attempt —
+  // one whose bytes never reached the server — closes here with zero
+  // charge so only the send the server actually received contributes to
+  // the transmission_up accounting. Spans the server already closed at
+  // arrival are untouched (close is a no-op on closed spans).
+  if (up_span_) obs_->trace.close(up_span_, sim_.now(), 0.0);
+  up_span_ = obs_->trace.open(trace_, root_span_, obs::SpanKind::kTransmitUp,
+                              label, "client/net", sim_.now());
+  obs_->trace.attr(up_span_, "attempt", static_cast<std::int64_t>(attempts_));
+  obs_->trace.attr(up_span_, "server",
+                   static_cast<std::int64_t>(active_server_));
+  msg.ctx = {trace_, up_span_, root_span_};
+}
+
+void ClientDevice::finish_trace() {
+  if (!obs_ || !root_span_ || !timeline_.finished) return;
+  // Abandoned phases (an unanswered send, a recovery the hedge outran)
+  // close with zero charge: their interval stays visible in the trace but
+  // contributes nothing to the accounting sums.
+  if (up_span_) {
+    obs_->trace.close(up_span_, sim_.now(), 0.0);
+    up_span_ = 0;
+  }
+  if (recovery_span_) {
+    obs_->trace.close(recovery_span_, sim_.now(), 0.0);
+    recovery_span_ = 0;
+  }
+  obs_->trace.attr(root_span_, "offloaded",
+                   static_cast<std::int64_t>(timeline_.offloaded ? 1 : 0));
+  obs_->trace.attr(root_span_, "local_fallback",
+                   static_cast<std::int64_t>(timeline_.local_fallback ? 1
+                                                                      : 0));
+  obs_->trace.attr(root_span_, "server",
+                   static_cast<std::int64_t>(timeline_.server_index));
+  obs_->trace.attr(root_span_, "retries",
+                   static_cast<std::int64_t>(timeline_.retries));
+  obs_->trace.close(root_span_, *timeline_.finished);
+  root_span_ = 0;
+  obs_->metrics.add("client.inferences");
+  if (timeline_.offloaded) obs_->metrics.add("client.offloaded");
+  if (timeline_.local_fallback) obs_->metrics.add("client.local_fallbacks");
+  obs_->metrics.observe("client.inference_ms",
+                        timeline_.inference_seconds() * 1e3);
 }
 
 std::string ClientDevice::result_text() const {

@@ -28,6 +28,7 @@
 #include "src/net/bandwidth.h"
 #include "src/net/channel.h"
 #include "src/nn/cost_model.h"
+#include "src/obs/obs.h"
 #include "src/nn/partition.h"
 #include "src/sim/simulation.h"
 #include "src/vmsynth/vmimage.h"
@@ -71,6 +72,11 @@ struct ClientConfig {
   /// Disabled by default.
   SupervisorConfig supervisor;
   jsvm::SnapshotOptions snapshot_options;
+  /// Observability sink (optional). When set, every inference records a
+  /// span tree rooted at a kInference span (trace id = inference number)
+  /// plus client counters/histograms. Null disables tracing at the cost
+  /// of one branch per site; simulated timings are identical either way.
+  obs::Obs* obs = nullptr;
 };
 
 /// The app as the developer shipped it.
@@ -160,6 +166,10 @@ class ClientDevice {
   const CircuitBreaker& breaker(std::size_t index) const {
     return breakers_[index];
   }
+  /// Trace id of the current (or last) inference; 0 before the first click
+  /// or when tracing is off. The runtime derives InferenceBreakdown from
+  /// this trace's span tree.
+  obs::TraceId last_trace_id() const { return trace_; }
 
  private:
   /// Supervisor phase currently under a deadline watchdog.
@@ -200,6 +210,19 @@ class ClientDevice {
   void start_hedge();
   void finish_hedge();
   void on_delivery_failure(const net::Message& message, int attempts);
+
+  // --- Obs plumbing (all single-branch no-ops when config_.obs is null) ---
+  /// Open a transmit-up span for a snapshot (re)send and stamp the trace
+  /// context onto the outgoing message.
+  void mark_snapshot_send(net::Message& msg, const char* label);
+  /// Close the root inference span at *timeline_.finished, record final
+  /// attrs and client metrics. Called everywhere `timeline_.finished` is
+  /// assigned; idempotent per inference.
+  void finish_trace();
+  /// Bump a counter if an obs sink is attached.
+  void count(const char* key) {
+    if (obs_) obs_->metrics.add(key);
+  }
 
   sim::Simulation& sim_;
   net::Endpoint& endpoint_;
@@ -244,6 +267,15 @@ class ClientDevice {
   bool resend_snapshot_on_ack_ = false;
   bool ignore_late_result_ = false;
   std::optional<sim::SimTime> recovery_started_;
+
+  // --- Obs state ---
+  obs::Obs* obs_ = nullptr;             ///< = config_.obs
+  obs::TraceId trace_ = 0;              ///< current inference's trace
+  obs::SpanId root_span_ = 0;           ///< open kInference span (0 = closed)
+  obs::SpanId up_span_ = 0;             ///< open kTransmitUp span
+  obs::SpanId presend_span_ = 0;        ///< open kPresend span (trace 0)
+  obs::SpanId recovery_span_ = 0;       ///< open kCrashRecovery span
+  sim::SimTime hedge_started_at_;       ///< start of the running hedge
 };
 
 }  // namespace offload::edge

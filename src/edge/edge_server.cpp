@@ -21,6 +21,8 @@ std::unique_ptr<serve::Scheduler> EdgeServer::make_scheduler() const {
   serve::SchedulerConfig sched = config_.scheduler;
   sched.profile = config_.profile;  // the server's compute, not a default
   sched.drop_expired = config_.queue_deadline != sim::SimTime::zero();
+  sched.obs = config_.obs;
+  sched.obs_name = config_.obs_name;
   return std::make_unique<serve::Scheduler>(sim_, std::move(sched));
 }
 
@@ -33,6 +35,10 @@ void EdgeServer::attach(net::Endpoint& endpoint) {
 void EdgeServer::schedule_crash(sim::SimTime at, sim::SimTime downtime) {
   sim_.schedule_at(at, [this, downtime] {
     ++stats_.crashes;
+    count("crashes");
+    if (config_.obs) {
+      config_.obs->trace.marker(0, 0, "crash", config_.obs_name, sim_.now());
+    }
     ++boot_epoch_;
     down_ = true;
     // Volatile state dies with the process: pre-sent models, the
@@ -51,6 +57,11 @@ void EdgeServer::schedule_crash(sim::SimTime at, sim::SimTime downtime) {
     sim_.schedule(downtime, [this] {
       down_ = false;
       ++stats_.restarts;
+      count("restarts");
+      if (config_.obs) {
+        config_.obs->trace.marker(0, 0, "restart", config_.obs_name,
+                                  sim_.now());
+      }
       OFFLOAD_LOG_INFO << "edge server: restarted at "
                        << sim_.now().to_seconds() << "s (cold: empty store)";
     });
@@ -75,6 +86,7 @@ void EdgeServer::on_message(net::Endpoint& from, const net::Message& message) {
   if (down_) {
     // A dead host: the bytes arrive at a closed port and vanish.
     ++stats_.dropped_while_down;
+    count("dropped_while_down");
     return;
   }
   if (sim_.now() < stall_until_) {
@@ -82,6 +94,7 @@ void EdgeServer::on_message(net::Endpoint& from, const net::Message& message) {
     // Re-entering on_message re-checks `down_` — a crash that lands
     // during the stall still eats the message.
     ++stats_.stalled_messages;
+    count("stalled_messages");
     sim_.schedule_at(stall_until_, [this, &from, message = message] {
       on_message(from, message);
     });
@@ -91,6 +104,11 @@ void EdgeServer::on_message(net::Endpoint& from, const net::Message& message) {
     // Damaged in flight. Reject with a typed control reply so the sender
     // can retransmit instead of us decoding garbage.
     ++stats_.corrupt_rejected;
+    count("corrupt_rejected");
+    if (config_.obs && message.type == net::MessageType::kSnapshot) {
+      // The bytes reached us, even if rejected: close the transmit-up span.
+      config_.obs->trace.close(message.ctx.span, sim_.now());
+    }
     OFFLOAD_LOG_WARN << "edge server: CRC mismatch on "
                      << net::message_type_name(message.type) << " '"
                      << message.name << "', rejecting";
@@ -102,6 +120,10 @@ void EdgeServer::on_message(net::Endpoint& from, const net::Message& message) {
       if (!installed()) return refuse(from, message);
       return handle_model_files(from, message);
     case net::MessageType::kSnapshot:
+      // The client's transmit-up span ends at (deferred) arrival — the
+      // same instant `received_at` is stamped below, so the span interval
+      // reproduces the breakdown's transmission_up computation exactly.
+      if (config_.obs) config_.obs->trace.close(message.ctx.span, sim_.now());
       if (!installed()) return refuse(from, message);
       return handle_snapshot(from, message);
     case net::MessageType::kVmOverlay:
@@ -114,6 +136,7 @@ void EdgeServer::on_message(net::Endpoint& from, const net::Message& message) {
 
 void EdgeServer::refuse(net::Endpoint& from, const net::Message& message) {
   ++stats_.refused;
+  count("refused");
   send_control(from, "not_installed:" + message.name);
 }
 
@@ -125,6 +148,7 @@ void EdgeServer::handle_model_files(net::Endpoint& from,
   for (auto& f : payload.files) bytes += f.size();
   store_->store_files(std::move(payload.files));
   ++stats_.models_stored;
+  count("models_stored");
 
   // Persisting the files costs disk time before the ACK goes out
   // (Section III.B.1: "the server saves the files and sends an ACK").
@@ -144,8 +168,16 @@ void EdgeServer::handle_snapshot(net::Endpoint& from,
                                  const net::Message& message) {
   if (!scheduler_->would_admit()) {
     // Load shed before restoring anything: the client's realm still holds
-    // the offloaded event, so it finishes this inference locally.
+    // the offloaded event, so it finishes this inference locally. This
+    // shed happens before scheduler admission, so it shows up here — not
+    // in the scheduler's rejected.* counters.
     ++stats_.snapshots_shed;
+    count("snapshots_shed");
+    if (config_.obs) {
+      config_.obs->trace.marker(message.ctx.trace, message.ctx.root,
+                                "shed:overloaded",
+                                config_.obs_name + "/queue", sim_.now());
+    }
     send_control(from, "overloaded:" + message.name);
     return;
   }
@@ -172,6 +204,12 @@ void EdgeServer::handle_snapshot(net::Endpoint& from,
       if (it == sessions_.end() ||
           it->second.version != payload.base_version) {
         ++stats_.diff_version_misses;
+        count("diff_version_misses");
+        if (config_.obs) {
+          config_.obs->trace.marker(message.ctx.trace, message.ctx.root,
+                                    "need_full", config_.obs_name,
+                                    sim_.now());
+        }
         send_control(from, "need_full:" + message.name);
         return;
       }
@@ -183,6 +221,7 @@ void EdgeServer::handle_snapshot(net::Endpoint& from,
       }
       browser_->interp().eval_program(payload.program, "diff-snapshot");
       ++stats_.diff_snapshots_applied;
+      count("diff_snapshots_applied");
     } else {
       // Fresh page per offload: the snapshot is a self-contained app.
       browser_ = std::make_unique<BrowserHost>(config_.profile, store_);
@@ -196,7 +235,11 @@ void EdgeServer::handle_snapshot(net::Endpoint& from,
         payload.program.size());
 
     // Continue execution: re-dispatched events run the offloaded handler.
-    browser_->interp().run_events();
+    {
+      obs::ScopedMetrics nn_metrics(config_.obs ? &config_.obs->metrics
+                                                : nullptr);
+      browser_->interp().run_events();
+    }
   } catch (const jsvm::JsError&) {
     if (!store_->can_instantiate(message.name)) {
       // The script needed a model we do not hold — either it was never
@@ -204,6 +247,12 @@ void EdgeServer::handle_snapshot(net::Endpoint& from,
       // the restore run). Tell the client so it can re-presend and retry
       // instead of wedging.
       ++stats_.model_missing_replies;
+      count("model_missing_replies");
+      if (config_.obs) {
+        config_.obs->trace.marker(message.ctx.trace, message.ctx.root,
+                                  "model_missing", config_.obs_name,
+                                  sim_.now());
+      }
       OFFLOAD_LOG_WARN << "edge server: no model for '" << message.name
                        << "', requesting re-presend";
       browser_.reset();
@@ -244,6 +293,7 @@ void EdgeServer::handle_snapshot(net::Endpoint& from,
   // are opaque to the batcher — each one is a full JS VM execution in its
   // own realm, so there is nothing to fuse.
   ++stats_.snapshots_executed;
+  count("snapshots_executed");
   const std::size_t record_index = executions_.size();
   executions_.push_back(record);
   last_browser_ = browser_.get();
@@ -259,14 +309,41 @@ void EdgeServer::handle_snapshot(net::Endpoint& from,
   }
   const std::uint64_t epoch = boot_epoch_;
   std::string app = message.name;
+  const obs::TraceContext ctx = message.ctx;
   scheduler_->submit_opaque(
       record.busy_s(),
-      [this, &from, record_index, epoch,
+      [this, &from, record_index, epoch, ctx,
        reply = std::move(reply)](const serve::RequestTiming& t) mutable {
         if (epoch != boot_epoch_) return;  // crashed mid-execution
         ServerExecutionRecord& rec = executions_[record_index];
         rec.queue_wait_s = t.queue_wait_s;
         rec.batch_wait_s = t.batch_wait_s;
+        if (obs::Obs* obs = config_.obs) {
+          // Tile the lane-busy interval with the three server phases,
+          // charging each the exact double from the execution record.
+          const std::string res =
+              config_.obs_name + "/lane" + std::to_string(t.replica);
+          const sim::SimTime restore_end =
+              t.dispatched + sim::SimTime::seconds(rec.restore_s);
+          const sim::SimTime exec_end =
+              t.dispatched +
+              sim::SimTime::seconds(rec.restore_s + rec.execute_s);
+          obs->trace.emit(ctx.trace, t.busy_span,
+                          obs::SpanKind::kServerRestore, "restore", res,
+                          t.dispatched, restore_end, rec.restore_s);
+          obs->trace.emit(ctx.trace, t.busy_span, obs::SpanKind::kServerExec,
+                          "execute", res, restore_end, exec_end,
+                          rec.execute_s);
+          obs->trace.emit(ctx.trace, t.busy_span,
+                          obs::SpanKind::kServerCapture, "capture", res,
+                          exec_end, t.completed, rec.capture_s);
+          // The reply's transmit-down span: opened as it leaves, closed by
+          // the client at arrival.
+          obs::SpanId down = obs->trace.open(
+              ctx.trace, ctx.root, obs::SpanKind::kTransmitDown,
+              "reply:" + reply.name, config_.obs_name + "/net", sim_.now());
+          reply.ctx = {ctx.trace, down, ctx.root};
+        }
         if (config_.ack_snapshots) send_control(from, "done:" + reply.name);
         from.send(std::move(reply));
       },
@@ -277,7 +354,8 @@ void EdgeServer::handle_snapshot(net::Endpoint& from,
         // why, so it can fall back locally instead of waiting forever.
         ++stats_.jobs_expired;
         send_control(from, "expired:" + app);
-      });
+      },
+      ctx);
 }
 
 void EdgeServer::handle_overlay(net::Endpoint& from,
@@ -296,6 +374,7 @@ void EdgeServer::handle_overlay(net::Endpoint& from,
   synthesized_ = std::move(image);
   config_.offloading_system_installed = true;
   ++stats_.overlays_installed;
+  count("overlays_installed");
 
   vmsynth::OverlayStats overlay_stats;
   overlay_stats.compressed_bytes = message.payload.size();

@@ -61,6 +61,12 @@ struct EdgeServerConfig {
   /// (1 replica, FIFO, batch 1, unbounded) reproduces the original FIFO
   /// compute reservation bit-for-bit.
   serve::SchedulerConfig scheduler;
+  /// Observability sink (optional, shared with the client and channel so
+  /// spans from all actors land in one trace). The scheduler inherits it.
+  obs::Obs* obs = nullptr;
+  /// Metric-key and span-resource prefix, so a primary and a secondary
+  /// server can share one registry without colliding.
+  std::string obs_name = "server";
 };
 
 /// Per-offload server-side timing, for the Fig. 7 breakdown.
@@ -148,6 +154,10 @@ class EdgeServer {
   void refuse(net::Endpoint& from, const net::Message& message);
   void send_control(net::Endpoint& to, const std::string& name);
   std::unique_ptr<serve::Scheduler> make_scheduler() const;
+  /// Bump the counter "<obs_name>.<key>" if an obs sink is attached.
+  void count(const char* key) {
+    if (config_.obs) config_.obs->metrics.add(config_.obs_name + "." + key);
+  }
 
   sim::Simulation& sim_;
   EdgeServerConfig config_;

@@ -40,6 +40,13 @@ void Channel::set_fault_hook(bool a_to_b, FaultHook hook) {
 
 void Channel::fail_delivery(bool from_a, Message message, int attempts) {
   ++delivery_failures_;
+  if (obs_) {
+    obs_->metrics.add("net.delivery_failures");
+    obs_->trace.marker(message.ctx.trace, message.ctx.root,
+                       std::string("undeliverable:") +
+                           message_type_name(message.type),
+                       (from_a ? a_ : b_)->name(), sim_.now());
+  }
   OFFLOAD_LOG_ERROR << "channel: message " << message.id << " ("
                     << message_type_name(message.type)
                     << ") undeliverable after " << attempts << " attempt(s)";
@@ -67,6 +74,36 @@ void Channel::transmit(bool from_a, Message message, int attempt) {
   if (hook) fault = hook(message);
 
   TransferPlan plan = link.transmit(sim_.now(), message.wire_size());
+
+  // One span per physical attempt (retransmissions included), parented on
+  // the logical in-flight span carried by the message's trace context.
+  // Everything is known at this point — no open span state to track.
+  if (obs_) {
+    Endpoint& src = from_a ? *a_ : *b_;
+    bool lost = plan.lost || fault.drop;
+    obs::SpanId span = obs_->trace.emit(
+        message.ctx.trace,
+        message.ctx.span ? message.ctx.span : message.ctx.root,
+        obs::SpanKind::kTransmitAttempt, message_type_name(message.type),
+        "net/" + src.name() + "->" + dest.name(), sim_.now(),
+        lost ? plan.sent : plan.arrival + fault.extra_delay,
+        ((lost ? plan.sent : plan.arrival + fault.extra_delay) - sim_.now())
+            .to_seconds());
+    obs_->trace.attr(span, "id", static_cast<std::int64_t>(message.id));
+    obs_->trace.attr(span, "attempt", static_cast<std::int64_t>(attempt));
+    obs_->trace.attr(span, "bytes",
+                     static_cast<std::int64_t>(message.wire_size()));
+    obs_->trace.attr(span, "outcome", lost ? "lost" : "delivered");
+    obs_->metrics.add("net.attempts");
+    obs_->metrics.add("net.bytes_attempted", message.wire_size());
+    if (!lost) obs_->metrics.add("net.bytes_delivered", message.wire_size());
+    if (lost) obs_->metrics.add("net.drops");
+    if (fault.duplicate) obs_->metrics.add("net.duplicates");
+    if (fault.corrupt_mask != 0 && !message.payload.empty()) {
+      obs_->metrics.add("net.corruptions");
+    }
+  }
+
   if (plan.lost || fault.drop) {
     ++drops_;
     if (config_.reliable && attempt < config_.max_retransmits) {

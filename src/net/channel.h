@@ -19,6 +19,7 @@
 
 #include "src/net/link.h"
 #include "src/net/message.h"
+#include "src/obs/obs.h"
 #include "src/sim/simulation.h"
 #include "src/util/stats.h"
 
@@ -112,6 +113,12 @@ class Channel {
   /// function removes it.
   void set_fault_hook(bool a_to_b, FaultHook hook);
 
+  /// Attach an observability sink. When set, every transmission attempt
+  /// emits one kTransmitAttempt span (parented on the message's trace
+  /// context) and byte/drop/duplicate counters accrue in the registry.
+  /// Null (the default) disables all of it at the cost of one branch.
+  void set_obs(obs::Obs* obs) { obs_ = obs; }
+
   /// Transmission attempts that were dropped (retransmissions included).
   std::uint64_t drops() const { return drops_; }
   /// Messages the channel gave up on (ARQ exhausted, or unreliable loss).
@@ -139,6 +146,7 @@ class Channel {
   std::unique_ptr<Endpoint> b_;
   FaultHook fault_ab_;
   FaultHook fault_ba_;
+  obs::Obs* obs_ = nullptr;
   std::uint64_t drops_ = 0;
   std::uint64_t delivery_failures_ = 0;
   std::uint64_t duplicates_ = 0;

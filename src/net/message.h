@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <string>
 
+#include "src/obs/span.h"
 #include "src/util/bytes.h"
 
 namespace offload::net {
@@ -32,6 +33,10 @@ struct Message {
   /// (edge::verify_payload) so in-flight corruption is caught rather than
   /// silently decoded.
   std::uint32_t crc = 0;
+  /// Trace coordinates for the obs layer. Out-of-band: not serialized by
+  /// encode()/decode() and excluded from wire_size(), so tracing never
+  /// perturbs simulated timings.
+  obs::TraceContext ctx;
 
   /// Framing overhead per message (type, id, name length, payload length,
   /// checksum) — matches encode()'s actual header cost closely enough for

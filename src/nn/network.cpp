@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "src/obs/metrics.h"
+
 namespace offload::nn {
 
 std::size_t Network::add(LayerPtr layer, std::vector<std::string> inputs) {
@@ -98,6 +100,10 @@ const Network::Analysis& Network::analyze() const {
 Tensor Network::run_range(std::size_t begin, std::size_t end,
                           std::vector<Tensor>& values,
                           ForwardResult* result) const {
+  // Ambient metrics sink (installed by ScopedMetrics around the measured
+  // run_events calls). Read once on the calling thread — never inside the
+  // kernels' parallel regions.
+  obs::MetricsRegistry* metrics = obs::tls_metrics();
   for (std::size_t i = begin; i < end; ++i) {
     const Node& node = nodes_[i];
     std::vector<const Tensor*> ins;
@@ -114,7 +120,13 @@ Tensor Network::run_range(std::size_t begin, std::size_t end,
       result->flops[i] = analyze().flops[i];
       result->output_bytes[i] = values[i].bytes();
     }
+    if (metrics) {
+      metrics->add("nn.layers_run");
+      metrics->add("nn.flops", analyze().flops[i]);
+      metrics->add("nn.output_bytes", values[i].bytes());
+    }
   }
+  if (metrics) metrics->add("nn.forward_ranges");
   return values[end - 1];
 }
 
@@ -136,6 +148,7 @@ Network::ForwardResult Network::forward(const Tensor& input) const {
 Tensor Network::run_range_batch(std::size_t begin, std::size_t end,
                                 std::vector<Tensor>& values,
                                 std::int64_t batch) const {
+  obs::MetricsRegistry* metrics = obs::tls_metrics();
   for (std::size_t i = begin; i < end; ++i) {
     const Node& node = nodes_[i];
     std::vector<const Tensor*> ins;
@@ -148,6 +161,16 @@ Tensor Network::run_range_batch(std::size_t begin, std::size_t end,
       ins.push_back(&values[idx]);
     }
     values[i] = node.layer->forward_batch(ins, batch);
+    if (metrics) {
+      metrics->add("nn.layers_run");
+      metrics->add("nn.flops",
+                   analyze().flops[i] * static_cast<std::uint64_t>(batch));
+      metrics->add("nn.output_bytes", values[i].bytes());
+    }
+  }
+  if (metrics) {
+    metrics->add("nn.forward_ranges");
+    metrics->add("nn.batched_samples", static_cast<std::uint64_t>(batch));
   }
   return values[end - 1];
 }

@@ -1,0 +1,119 @@
+#include "src/obs/export.h"
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench/json_writer.h"
+
+namespace offload::obs {
+
+namespace {
+
+// Stable resource -> tid mapping in first-appearance order.
+std::map<std::string, int, std::less<>> resource_tids(
+    const std::vector<Span>& spans) {
+  std::map<std::string, int, std::less<>> tids;
+  for (const Span& s : spans) {
+    if (!tids.count(s.resource)) {
+      int next = static_cast<int>(tids.size()) + 1;
+      tids.emplace(s.resource, next);
+    }
+  }
+  return tids;
+}
+
+std::string span_args(const Span& s) {
+  std::string args = "{\"trace\": " + std::to_string(s.trace) +
+                     ", \"span\": " + std::to_string(s.id) +
+                     ", \"parent\": " + std::to_string(s.parent);
+  for (const auto& [k, v] : s.attrs) {
+    args += ", \"" + bench::json_escape(k) + "\": \"" +
+            bench::json_escape(v) + "\"";
+  }
+  args += "}";
+  return args;
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const Tracer& tracer) {
+  const auto& spans = tracer.spans();
+  auto tids = resource_tids(spans);
+  std::string out = "{\"traceEvents\": [\n";
+  bool first = true;
+  char buf[64];
+  auto append = [&](const std::string& line) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "  " + line;
+  };
+  // tids iterate in resource-name order; first-appearance numbering keeps
+  // the mapping stable either way.
+  for (const auto& [resource, tid] : tids) {
+    append("{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": " +
+           std::to_string(tid) + ", \"args\": {\"name\": \"" +
+           bench::json_escape(resource) + "\"}}");
+  }
+  for (const Span& s : spans) {
+    bool instant = s.kind == SpanKind::kMarker;
+    std::string line = "{\"name\": \"" +
+                       bench::json_escape(
+                           s.name.empty() ? span_kind_name(s.kind) : s.name) +
+                       "\", \"cat\": \"" + span_kind_name(s.kind) + "\"";
+    line += instant ? ", \"ph\": \"i\", \"s\": \"t\"" : ", \"ph\": \"X\"";
+    std::snprintf(buf, sizeof buf, "%.3f",
+                  static_cast<double>(s.start.ns()) * 1e-3);
+    line += ", \"ts\": " + std::string(buf);
+    if (!instant) {
+      std::snprintf(buf, sizeof buf, "%.3f", s.dur_s * 1e6);
+      line += ", \"dur\": " + std::string(buf);
+    }
+    line += ", \"pid\": 1, \"tid\": " +
+            std::to_string(tids.find(s.resource)->second);
+    line += ", \"args\": " + span_args(s) + "}";
+    append(line);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string to_jsonl(const Tracer& tracer) {
+  std::string out;
+  char buf[64];
+  for (const Span& s : tracer.spans()) {
+    bench::JsonObject o;
+    o.set("id", static_cast<std::int64_t>(s.id));
+    o.set("parent", static_cast<std::int64_t>(s.parent));
+    o.set("trace", static_cast<std::int64_t>(s.trace));
+    o.set("kind", span_kind_name(s.kind));
+    o.set("name", s.name);
+    o.set("res", s.resource);
+    o.set("start_ns", s.start.ns());
+    o.set("end_ns", s.end.ns());
+    std::snprintf(buf, sizeof buf, "%.17g", s.dur_s);
+    o.set("dur_s", std::string(buf));
+    o.set("closed", static_cast<std::int64_t>(s.closed ? 1 : 0));
+    std::string attrs;
+    for (const auto& [k, v] : s.attrs) {
+      attrs += (attrs.empty() ? "" : " ") + k + "=" + v;
+    }
+    o.set("attrs", attrs);
+    out += o.str();
+    out += "\n";
+  }
+  return out;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) {
+    std::fprintf(stderr, "obs: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace offload::obs

@@ -1,0 +1,22 @@
+// Trace and metrics exporters. Two formats, both deterministic byte streams
+// built through bench/json_writer.h:
+//   - Chrome trace_event JSON ("chrome"): loadable in Perfetto / about:tracing.
+//     One complete ("X") event per closed span, instant ("i") events for
+//     markers, with one tid per resource and thread_name metadata.
+//   - Compact JSONL ("jsonl"): one flat JSON object per span, in creation
+//     order. This is the golden-trace format — smallest diff surface.
+#pragma once
+
+#include <string>
+
+#include "src/obs/trace.h"
+
+namespace offload::obs {
+
+std::string to_chrome_trace(const Tracer& tracer);
+std::string to_jsonl(const Tracer& tracer);
+
+/// Write `content` to `path`. Returns false (and logs to stderr) on error.
+bool write_file(const std::string& path, const std::string& content);
+
+}  // namespace offload::obs

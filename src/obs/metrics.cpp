@@ -1,0 +1,184 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/json_writer.h"
+
+namespace offload::obs {
+
+namespace {
+
+// Default log-spaced upper bounds (unit-agnostic; callers observing
+// milliseconds get sub-ms..minutes coverage).
+std::vector<double> default_bounds() {
+  std::vector<double> b;
+  for (double v = 0.1; v < 2.0e5; v *= 2.0) b.push_back(v);
+  return b;
+}
+
+thread_local MetricsRegistry* g_tls_metrics = nullptr;
+
+}  // namespace
+
+double Histogram::quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  double target = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i];
+    if (static_cast<double>(seen) >= target && counts[i] > 0) {
+      double lo = i == 0 ? min : bounds[i - 1];
+      double hi = i < bounds.size() ? bounds[i] : max;
+      lo = std::max(lo, min);
+      hi = std::min(hi, max);
+      if (hi < lo) return lo;
+      double before = static_cast<double>(seen - counts[i]);
+      double frac = (target - before) / static_cast<double>(counts[i]);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+  }
+  return max;
+}
+
+void MetricsRegistry::add(std::string_view name, std::uint64_t delta) {
+  counters_[std::string(name)].value += delta;
+}
+
+std::uint64_t MetricsRegistry::counter(std::string_view name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value;
+}
+
+void MetricsRegistry::set_gauge(std::string_view name, std::int64_t value) {
+  Gauge& g = gauges_[std::string(name)];
+  g.value = value;
+  g.peak = std::max(g.peak, value);
+}
+
+void MetricsRegistry::gauge_delta(std::string_view name, std::int64_t delta) {
+  auto it = gauges_.find(name);
+  std::int64_t cur = it == gauges_.end() ? 0 : it->second.value;
+  set_gauge(name, cur + delta);
+}
+
+std::int64_t MetricsRegistry::gauge(std::string_view name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second.value;
+}
+
+std::int64_t MetricsRegistry::gauge_peak(std::string_view name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second.peak;
+}
+
+void MetricsRegistry::define_histogram(std::string_view name,
+                                       std::vector<double> bounds) {
+  Histogram& h = histograms_[std::string(name)];
+  if (h.count > 0) return;  // keep observed data; bounds are fixed at first use
+  h.bounds = std::move(bounds);
+  h.counts.assign(h.bounds.size() + 1, 0);
+}
+
+void MetricsRegistry::observe(std::string_view name, double value) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    define_histogram(name, default_bounds());
+    it = histograms_.find(name);
+  }
+  Histogram& h = it->second;
+  std::size_t i = static_cast<std::size_t>(
+      std::upper_bound(h.bounds.begin(), h.bounds.end(), value) -
+      h.bounds.begin());
+  h.counts[i] += 1;
+  h.count += 1;
+  h.sum += value;
+  h.min = std::min(h.min, value);
+  h.max = std::max(h.max, value);
+}
+
+const Histogram* MetricsRegistry::histogram(std::string_view name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::string MetricsRegistry::dump_text() const {
+  std::string out;
+  char buf[96];
+  for (const auto& [name, c] : counters_) {
+    std::snprintf(buf, sizeof buf, " %llu\n",
+                  static_cast<unsigned long long>(c.value));
+    out += "counter " + name + buf;
+  }
+  for (const auto& [name, g] : gauges_) {
+    std::snprintf(buf, sizeof buf, " %lld peak %lld\n",
+                  static_cast<long long>(g.value),
+                  static_cast<long long>(g.peak));
+    out += "gauge " + name + buf;
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::snprintf(buf, sizeof buf,
+                  " count %llu sum %.17g min %.17g max %.17g\n",
+                  static_cast<unsigned long long>(h.count),
+                  h.sum, h.count ? h.min : 0.0, h.count ? h.max : 0.0);
+    out += "histogram " + name + buf;
+  }
+  return out;
+}
+
+std::string MetricsRegistry::dump_json() const {
+  std::vector<bench::JsonObject> rows;
+  for (const auto& [name, c] : counters_) {
+    bench::JsonObject o;
+    o.set("type", "counter").set("name", name)
+        .set("value", static_cast<std::int64_t>(c.value));
+    rows.push_back(std::move(o));
+  }
+  for (const auto& [name, g] : gauges_) {
+    bench::JsonObject o;
+    o.set("type", "gauge").set("name", name)
+        .set("value", g.value).set("peak", g.peak);
+    rows.push_back(std::move(o));
+  }
+  for (const auto& [name, h] : histograms_) {
+    bench::JsonObject o;
+    o.set("type", "histogram").set("name", name)
+        .set("count", static_cast<std::int64_t>(h.count))
+        .set("sum", h.sum, "%.17g")
+        .set("min", h.count ? h.min : 0.0, "%.17g")
+        .set("max", h.count ? h.max : 0.0, "%.17g");
+    std::string buckets;
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (h.counts[i] == 0) continue;
+      char b[64];
+      if (i < h.bounds.size()) {
+        std::snprintf(b, sizeof b, "%s%.6g:%llu", buckets.empty() ? "" : " ",
+                      h.bounds[i], (unsigned long long)h.counts[i]);
+      } else {
+        std::snprintf(b, sizeof b, "%sinf:%llu", buckets.empty() ? "" : " ",
+                      (unsigned long long)h.counts[i]);
+      }
+      buckets += b;
+    }
+    o.set("buckets", buckets);
+    rows.push_back(std::move(o));
+  }
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    out += "  " + rows[i].str() + (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  out += "]\n";
+  return out;
+}
+
+MetricsRegistry* tls_metrics() { return g_tls_metrics; }
+
+ScopedMetrics::ScopedMetrics(MetricsRegistry* m) : prev_(g_tls_metrics) {
+  g_tls_metrics = m;
+}
+
+ScopedMetrics::~ScopedMetrics() { g_tls_metrics = prev_; }
+
+}  // namespace offload::obs

@@ -1,0 +1,91 @@
+// Deterministic metrics registry: counters, gauges (with peak tracking),
+// and fixed-bucket histograms. Keys are plain strings; storage is ordered
+// maps so every dump iterates in one stable, sorted order regardless of
+// insertion history. All mutation happens on the simulation thread.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace offload::obs {
+
+struct Counter {
+  std::uint64_t value = 0;
+};
+
+struct Gauge {
+  std::int64_t value = 0;
+  std::int64_t peak = 0;
+};
+
+/// Fixed upper-bound buckets plus exact sum/count/min/max, so means are
+/// exact and quantiles interpolate within one bucket. An implicit final
+/// +inf bucket catches overflow.
+struct Histogram {
+  std::vector<double> bounds;   // strictly increasing upper bounds
+  std::vector<std::uint64_t> counts;  // bounds.size() + 1 entries
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
+  /// Quantile estimate (q in [0,1]) by linear interpolation inside the
+  /// bucket holding the q-th observation; exact at the recorded min/max.
+  double quantile(double q) const;
+};
+
+class MetricsRegistry {
+ public:
+  void add(std::string_view name, std::uint64_t delta = 1);
+  std::uint64_t counter(std::string_view name) const;
+
+  void set_gauge(std::string_view name, std::int64_t value);
+  void gauge_delta(std::string_view name, std::int64_t delta);
+  std::int64_t gauge(std::string_view name) const;
+  std::int64_t gauge_peak(std::string_view name) const;
+
+  /// Register a histogram with explicit bucket bounds; observing an
+  /// unregistered name lazily creates one with default latency-style
+  /// bounds (sub-ms .. minutes, log-spaced).
+  void define_histogram(std::string_view name, std::vector<double> bounds);
+  void observe(std::string_view name, double value);
+  const Histogram* histogram(std::string_view name) const;
+
+  /// "name value" lines, sorted by name; histograms dump count/sum/min/
+  /// max/mean plus each bucket.
+  std::string dump_text() const;
+  /// One stable-sorted JSON object per metric (via bench/json_writer.h).
+  std::string dump_json() const;
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+/// Thread-local ambient registry, for instrumenting leaf code (NN kernels)
+/// without threading an obs pointer through its API. Null by default; a
+/// ScopedMetrics installs one for the duration of a call tree.
+MetricsRegistry* tls_metrics();
+
+class ScopedMetrics {
+ public:
+  explicit ScopedMetrics(MetricsRegistry* m);
+  ~ScopedMetrics();
+  ScopedMetrics(const ScopedMetrics&) = delete;
+  ScopedMetrics& operator=(const ScopedMetrics&) = delete;
+
+ private:
+  MetricsRegistry* prev_;
+};
+
+}  // namespace offload::obs

@@ -1,0 +1,41 @@
+#include "src/obs/obs.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace offload::obs {
+
+ExportOptions ExportOptions::from_env() {
+  ExportOptions opts;
+  if (const char* fmt = std::getenv("OFFLOAD_TRACE")) opts.trace_format = fmt;
+  if (const char* path = std::getenv("OFFLOAD_TRACE_PATH")) {
+    opts.trace_path = path;
+  }
+  if (const char* m = std::getenv("OFFLOAD_METRICS")) opts.metrics_path = m;
+  return opts;
+}
+
+bool export_obs(const Obs& obs, const ExportOptions& opts) {
+  bool ok = true;
+  if (opts.trace_format == "chrome") {
+    std::string path =
+        opts.trace_path.empty() ? "offload_trace.json" : opts.trace_path;
+    ok &= write_file(path, to_chrome_trace(obs.trace));
+  } else if (opts.trace_format == "jsonl") {
+    std::string path =
+        opts.trace_path.empty() ? "offload_trace.jsonl" : opts.trace_path;
+    ok &= write_file(path, to_jsonl(obs.trace));
+  } else if (!opts.trace_format.empty()) {
+    std::fprintf(stderr, "obs: unknown OFFLOAD_TRACE format '%s'\n",
+                 opts.trace_format.c_str());
+    ok = false;
+  }
+  if (opts.metrics_path == "-") {
+    std::fputs(obs.metrics.dump_text().c_str(), stderr);
+  } else if (!opts.metrics_path.empty()) {
+    ok &= write_file(opts.metrics_path, obs.metrics.dump_json());
+  }
+  return ok;
+}
+
+}  // namespace offload::obs

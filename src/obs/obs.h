@@ -1,0 +1,39 @@
+// The observability bundle every instrumented component receives: one
+// Tracer plus one MetricsRegistry. Components hold a nullable `obs::Obs*`
+// and guard each instrumentation site with a single branch — the disabled
+// path is one pointer test.
+//
+// Env knobs (read by ExportOptions::from_env, honoured by the runtime and
+// the traced example):
+//   OFFLOAD_TRACE       "chrome" | "jsonl" | "" (off, default)
+//   OFFLOAD_TRACE_PATH  output path (default offload_trace.json / .jsonl)
+//   OFFLOAD_METRICS     path for a metrics JSON dump ("-" = text to stderr)
+#pragma once
+
+#include <string>
+
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace offload::obs {
+
+struct Obs {
+  Tracer trace;
+  MetricsRegistry metrics;
+};
+
+struct ExportOptions {
+  std::string trace_format;  // "chrome", "jsonl", or "" (off)
+  std::string trace_path;    // "" -> format-specific default
+  std::string metrics_path;  // "" off, "-" text to stderr, else JSON file
+
+  static ExportOptions from_env();
+  bool any() const { return !trace_format.empty() || !metrics_path.empty(); }
+};
+
+/// Write trace/metrics per `opts`. Unknown trace formats are reported to
+/// stderr and skipped. Returns false if any requested write failed.
+bool export_obs(const Obs& obs, const ExportOptions& opts);
+
+}  // namespace offload::obs

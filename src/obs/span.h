@@ -1,0 +1,81 @@
+// Span records for the deterministic tracing layer. A span is a closed (or
+// still-open) interval on the simulation clock, attributed to one trace
+// (trace id = request id; trace 0 is the session-level protocol trace), one
+// parent span, and one resource (the serialized timeline it occupies, e.g.
+// "client" or "server/lane0").
+//
+// Spans carry both the integer-nanosecond [start, end] interval (used by the
+// structural well-formedness checks) and an exact double duration `dur_s`.
+// The double is authoritative for accounting: instrumentation sites emit the
+// very same double the timing model charged, so sums over spans reproduce
+// `InferenceBreakdown` bit-for-bit instead of re-rounding through SimTime.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace offload::obs {
+
+using SpanId = std::uint64_t;   // 0 = "no span"
+using TraceId = std::uint64_t;  // 0 = session-level trace
+
+/// Span taxonomy. The first block maps 1:1 onto InferenceBreakdown
+/// categories (phase spans); the second block is structural.
+enum class SpanKind : std::uint8_t {
+  kInference = 0,   // root: one per request, [clicked, finished]
+  kClientExec,      // client-side DNN execution (incl. hedged runs)
+  kClientCapture,   // snapshot capture / compress on the client
+  kTransmitUp,      // snapshot in flight, [last send, server receive]
+  kQueueWait,       // scheduler admission queue, [submitted, available]
+  kBatchWait,       // batch-formation hold, [available, dispatched]
+  kServerRestore,   // snapshot restore on a server lane
+  kServerExec,      // DNN execution on a server lane
+  kServerCapture,   // result-snapshot capture on a server lane
+  kTransmitDown,    // result snapshot in flight
+  kClientRestore,   // result restore / merge on the client
+  kRetryBackoff,    // supervisor backoff wait before a retry
+  kCrashRecovery,   // crash detected -> model re-presend ACK
+  // --- structural spans (never summed into the breakdown) ---
+  kPresend,         // model/app presend, [send, ACK]
+  kTransmitAttempt, // one physical channel transmission attempt
+  kLaneBusy,        // a scheduler lane occupied by one launch
+  kMarker,          // instant event (crash, restart, shed, expired, ...)
+};
+
+const char* span_kind_name(SpanKind kind);
+
+/// True for kinds whose durations feed InferenceBreakdown categories and
+/// which must obey the child-within-parent containment rule.
+inline bool is_phase_kind(SpanKind kind) {
+  return kind <= SpanKind::kCrashRecovery;
+}
+
+/// Trace coordinates carried across component boundaries (e.g. on a
+/// net::Message). `span` is the sender's span for this hop (the transmit
+/// span a receiver should close); `root` is the request's root span, the
+/// parent for any server-side phase spans.
+struct TraceContext {
+  TraceId trace = 0;
+  SpanId span = 0;
+  SpanId root = 0;
+};
+
+struct Span {
+  SpanId id = 0;
+  SpanId parent = 0;
+  TraceId trace = 0;
+  SpanKind kind = SpanKind::kMarker;
+  std::string name;
+  std::string resource;
+  sim::SimTime start;
+  sim::SimTime end;
+  double dur_s = 0.0;  // exact charged duration; authoritative for sums
+  bool closed = false;
+  std::vector<std::pair<std::string, std::string>> attrs;  // insertion order
+};
+
+}  // namespace offload::obs

@@ -1,0 +1,93 @@
+#include "src/obs/trace.h"
+
+namespace offload::obs {
+
+const char* span_kind_name(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kInference: return "inference";
+    case SpanKind::kClientExec: return "client_exec";
+    case SpanKind::kClientCapture: return "client_capture";
+    case SpanKind::kTransmitUp: return "transmit_up";
+    case SpanKind::kQueueWait: return "queue_wait";
+    case SpanKind::kBatchWait: return "batch_wait";
+    case SpanKind::kServerRestore: return "server_restore";
+    case SpanKind::kServerExec: return "server_exec";
+    case SpanKind::kServerCapture: return "server_capture";
+    case SpanKind::kTransmitDown: return "transmit_down";
+    case SpanKind::kClientRestore: return "client_restore";
+    case SpanKind::kRetryBackoff: return "retry_backoff";
+    case SpanKind::kCrashRecovery: return "crash_recovery";
+    case SpanKind::kPresend: return "presend";
+    case SpanKind::kTransmitAttempt: return "transmit_attempt";
+    case SpanKind::kLaneBusy: return "lane_busy";
+    case SpanKind::kMarker: return "marker";
+  }
+  return "unknown";
+}
+
+SpanId Tracer::open(TraceId trace, SpanId parent, SpanKind kind,
+                    std::string_view name, std::string_view resource,
+                    sim::SimTime start) {
+  Span s;
+  s.id = static_cast<SpanId>(spans_.size()) + 1;
+  s.parent = parent;
+  s.trace = trace;
+  s.kind = kind;
+  s.name = std::string(name);
+  s.resource = std::string(resource);
+  s.start = start;
+  s.end = start;
+  spans_.push_back(std::move(s));
+  return spans_.back().id;
+}
+
+void Tracer::close(SpanId id, sim::SimTime end) {
+  Span* s = mutable_find(id);
+  if (!s || s->closed) return;
+  s->end = end;
+  s->dur_s = (end - s->start).to_seconds();
+  s->closed = true;
+}
+
+void Tracer::close(SpanId id, sim::SimTime end, double exact_dur_s) {
+  Span* s = mutable_find(id);
+  if (!s || s->closed) return;
+  s->end = end;
+  s->dur_s = exact_dur_s;
+  s->closed = true;
+}
+
+SpanId Tracer::emit(TraceId trace, SpanId parent, SpanKind kind,
+                    std::string_view name, std::string_view resource,
+                    sim::SimTime start, sim::SimTime end, double exact_dur_s) {
+  SpanId id = open(trace, parent, kind, name, resource, start);
+  close(id, end, exact_dur_s);
+  return id;
+}
+
+SpanId Tracer::marker(TraceId trace, SpanId parent, std::string_view name,
+                      std::string_view resource, sim::SimTime at) {
+  return emit(trace, parent, SpanKind::kMarker, name, resource, at, at, 0.0);
+}
+
+void Tracer::attr(SpanId id, std::string_view key, std::string_view value) {
+  if (Span* s = mutable_find(id)) {
+    s->attrs.emplace_back(std::string(key), std::string(value));
+  }
+}
+
+void Tracer::attr(SpanId id, std::string_view key, std::int64_t value) {
+  attr(id, key, std::to_string(value));
+}
+
+const Span* Tracer::find(SpanId id) const {
+  if (id == 0 || id > spans_.size()) return nullptr;
+  return &spans_[id - 1];
+}
+
+Span* Tracer::mutable_find(SpanId id) {
+  if (id == 0 || id > spans_.size()) return nullptr;
+  return &spans_[id - 1];
+}
+
+}  // namespace offload::obs

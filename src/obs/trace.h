@@ -1,0 +1,106 @@
+// Deterministic span recorder. All spans are created from the single
+// simulation thread, in event order, and get sequential ids — so the same
+// seed yields the same span stream byte-for-byte at any OFFLOAD_THREADS
+// (worker threads only parallelize inside NN kernels and never touch the
+// tracer). No wall clock anywhere: every timestamp is sim::SimTime.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/obs/span.h"
+#include "src/sim/time.h"
+
+namespace offload::obs {
+
+class Tracer {
+ public:
+  /// Allocate a fresh trace id (1, 2, ...). Trace 0 is the session trace.
+  TraceId new_trace() { return ++last_trace_; }
+
+  /// Open a span. Returns its id; close it with `close()` (or let a
+  /// ScopedSpan do it). `dur_s` stays 0 until closed.
+  SpanId open(TraceId trace, SpanId parent, SpanKind kind,
+              std::string_view name, std::string_view resource,
+              sim::SimTime start);
+
+  /// Close an open span at `end`; `dur_s` defaults to the SimTime interval
+  /// unless an exact charged duration is supplied. Closing id 0 or an
+  /// already-closed span is a no-op (duplicate deliveries re-ack spans).
+  void close(SpanId id, sim::SimTime end);
+  void close(SpanId id, sim::SimTime end, double exact_dur_s);
+
+  /// Emit an already-closed span in one call (charged-cost sites).
+  SpanId emit(TraceId trace, SpanId parent, SpanKind kind,
+              std::string_view name, std::string_view resource,
+              sim::SimTime start, sim::SimTime end, double exact_dur_s);
+
+  /// Instant marker (start == end, dur 0).
+  SpanId marker(TraceId trace, SpanId parent, std::string_view name,
+                std::string_view resource, sim::SimTime at);
+
+  /// Attach a key=value attribute to a span (open or closed).
+  void attr(SpanId id, std::string_view key, std::string_view value);
+  void attr(SpanId id, std::string_view key, std::int64_t value);
+
+  const std::vector<Span>& spans() const { return spans_; }
+  const Span* find(SpanId id) const;
+  std::size_t size() const { return spans_.size(); }
+
+ private:
+  Span* mutable_find(SpanId id);
+
+  std::vector<Span> spans_;
+  TraceId last_trace_ = 0;
+};
+
+/// RAII handle: opens on construction, closes at destruction time using the
+/// supplied clock callback... sim components close at explicit sim times, so
+/// the scope holds a tracer + id and the owner calls `close_at()`; if the
+/// scope dies without an explicit close it closes at the recorded start (a
+/// zero-length span), never at a wall-clock time.
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ScopedSpan(Tracer* tracer, TraceId trace, SpanId parent, SpanKind kind,
+             std::string_view name, std::string_view resource,
+             sim::SimTime start)
+      : tracer_(tracer), start_(start) {
+    if (tracer_) {
+      id_ = tracer_->open(trace, parent, kind, name, resource, start);
+    }
+  }
+  ScopedSpan(ScopedSpan&& other) noexcept { *this = std::move(other); }
+  ScopedSpan& operator=(ScopedSpan&& other) noexcept {
+    tracer_ = other.tracer_;
+    id_ = other.id_;
+    start_ = other.start_;
+    other.tracer_ = nullptr;
+    other.id_ = 0;
+    return *this;
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() {
+    if (tracer_ && id_) tracer_->close(id_, start_);
+  }
+
+  SpanId id() const { return id_; }
+  void close_at(sim::SimTime end) {
+    if (tracer_ && id_) tracer_->close(id_, end);
+    tracer_ = nullptr;
+  }
+  void close_at(sim::SimTime end, double exact_dur_s) {
+    if (tracer_ && id_) tracer_->close(id_, end, exact_dur_s);
+    tracer_ = nullptr;
+  }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  SpanId id_ = 0;
+  sim::SimTime start_;
+};
+
+}  // namespace offload::obs

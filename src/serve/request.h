@@ -48,6 +48,11 @@ struct RequestTiming {
   double compute_s = 0;     ///< fused-launch time (shared by the batch)
   int batch_size = 1;       ///< jobs fused into the launch that ran this one
   int replica = 0;          ///< lane index that executed the job
+  /// Obs span id of the lane-busy span covering this job's launch (0 when
+  /// the scheduler has no obs sink). Lets callers parent their own
+  /// sub-spans (e.g. the edge server's restore/execute/capture) inside
+  /// the lane interval.
+  std::uint64_t busy_span = 0;
 
   double total_s() const { return (completed - submitted).to_seconds(); }
 };

@@ -41,20 +41,23 @@ bool Scheduler::has_model(const std::string& name) const {
 
 SubmitResult Scheduler::submit_opaque(double busy_s, OpaqueDoneFn on_done,
                                       sim::SimTime deadline,
-                                      ExpiredFn on_expired) {
+                                      ExpiredFn on_expired,
+                                      obs::TraceContext ctx) {
   Job job;
   job.opaque = true;
   job.busy_s = busy_s;
   job.deadline = deadline;
   job.on_opaque_done = std::move(on_done);
   job.on_expired = std::move(on_expired);
+  job.ctx = ctx;
   return admit(std::move(job));
 }
 
 SubmitResult Scheduler::submit_infer(const std::string& model, std::size_t cut,
                                      nn::Tensor feature, InferDoneFn on_done,
                                      sim::SimTime deadline,
-                                     ExpiredFn on_expired) {
+                                     ExpiredFn on_expired,
+                                     obs::TraceContext ctx) {
   Job job;
   job.opaque = false;
   job.model = model;
@@ -63,19 +66,38 @@ SubmitResult Scheduler::submit_infer(const std::string& model, std::size_t cut,
   job.deadline = deadline;
   job.on_infer_done = std::move(on_done);
   job.on_expired = std::move(on_expired);
+  job.ctx = ctx;
   return admit(std::move(job));
+}
+
+void Scheduler::note_queue_depth() {
+  if (config_.obs) {
+    config_.obs->metrics.set_gauge(config_.obs_name + ".queue_depth",
+                                   static_cast<std::int64_t>(pending_.size()));
+  }
 }
 
 SubmitResult Scheduler::admit(Job job) {
   SubmitResult result;
+  obs::Obs* obs = config_.obs;
   if (!job.opaque && !has_model(job.model)) {
     ++stats_.rejected;
     result.reject = {RejectReason::kUnknownModel, pending_.size()};
+    if (obs) {
+      obs->metrics.add(config_.obs_name + ".rejected.unknown_model");
+      obs->trace.marker(job.ctx.trace, job.ctx.root, "reject:unknown_model",
+                        config_.obs_name + "/queue", sim_.now());
+    }
     return result;
   }
   if (config_.max_queue > 0 && pending_.size() >= config_.max_queue) {
     ++stats_.rejected;
     result.reject = {RejectReason::kQueueFull, pending_.size()};
+    if (obs) {
+      obs->metrics.add(config_.obs_name + ".rejected.queue_full");
+      obs->trace.marker(job.ctx.trace, job.ctx.root, "reject:queue_full",
+                        config_.obs_name + "/queue", sim_.now());
+    }
     return result;
   }
   job.id = next_id_++;
@@ -85,6 +107,8 @@ SubmitResult Scheduler::admit(Job job) {
   result.id = job.id;
   pending_.push_back(std::move(job));
   stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, pending_.size());
+  if (obs) obs->metrics.add(config_.obs_name + ".submitted");
+  note_queue_depth();
   pump();
   return result;
 }
@@ -102,8 +126,14 @@ void Scheduler::expire_overdue() {
   // Restore submission order (the reverse sweep above flipped it).
   std::sort(expired.begin(), expired.end(),
             [](const Job& a, const Job& b) { return a.id < b.id; });
+  if (!expired.empty()) note_queue_depth();
   for (Job& job : expired) {
     ++stats_.expired;
+    if (config_.obs) {
+      config_.obs->metrics.add(config_.obs_name + ".expired");
+      config_.obs->trace.marker(job.ctx.trace, job.ctx.root, "expired",
+                                config_.obs_name + "/queue", sim_.now());
+    }
     if (job.on_expired) {
       RequestTiming t;
       t.submitted = job.submitted;
@@ -220,6 +250,23 @@ void Scheduler::dispatch(const std::vector<std::size_t>& indices, int lane) {
   const sim::SimTime end = now + sim::SimTime::seconds(compute_s);
 
   Lane& l = lanes_[static_cast<std::size_t>(lane)];
+  obs::Obs* obs = config_.obs;
+  const std::string lane_res =
+      obs ? config_.obs_name + "/lane" + std::to_string(lane) : std::string();
+  // One lane-busy span per launch; per-job wait spans hang off each job's
+  // own trace. Callers of opaque jobs receive the busy-span id through
+  // RequestTiming so their restore/execute/capture sub-spans can nest in
+  // the lane interval.
+  obs::SpanId busy_span = 0;
+  if (obs) {
+    const Job& h = batch.front();
+    busy_span = obs->trace.emit(
+        h.ctx.trace, h.ctx.root, obs::SpanKind::kLaneBusy,
+        h.opaque ? "launch" : "launch:" + h.model, lane_res, now, end,
+        compute_s);
+    obs->trace.attr(busy_span, "batch_size",
+                    static_cast<std::int64_t>(batch.size()));
+  }
   std::vector<RequestTiming> timings;
   timings.reserve(batch.size());
   for (const Job& j : batch) {
@@ -233,9 +280,19 @@ void Scheduler::dispatch(const std::vector<std::size_t>& indices, int lane) {
     t.compute_s = compute_s;
     t.batch_size = static_cast<int>(batch.size());
     t.replica = lane;
+    t.busy_span = busy_span;
+    if (obs) {
+      obs->trace.emit(j.ctx.trace, j.ctx.root, obs::SpanKind::kQueueWait,
+                      "queue_wait", config_.obs_name + "/queue", j.submitted,
+                      available, t.queue_wait_s);
+      obs->trace.emit(j.ctx.trace, j.ctx.root, obs::SpanKind::kBatchWait,
+                      "batch_wait", config_.obs_name + "/queue", available,
+                      now, t.batch_wait_s);
+    }
     timings.push_back(t);
   }
   l.busy_until = end;
+  note_queue_depth();
 
   ++stats_.launches;
   stats_.largest_batch =
@@ -253,6 +310,21 @@ void Scheduler::complete(std::vector<Job> batch,
   // Mark the lane idle before callbacks run: a completion callback may
   // synchronously submit follow-up work that should see this lane free.
   lanes_[static_cast<std::size_t>(lane)].free_since = sim_.now();
+
+  if (obs::Obs* obs = config_.obs) {
+    for (std::size_t i = 0;
+         i < (batch.front().opaque ? std::size_t{1} : batch.size()); ++i) {
+      const RequestTiming& t = timings[i];
+      obs->metrics.add(config_.obs_name + ".completed");
+      obs->metrics.observe(config_.obs_name + ".queue_wait_ms",
+                           t.queue_wait_s * 1e3);
+      obs->metrics.observe(config_.obs_name + ".batch_wait_ms",
+                           t.batch_wait_s * 1e3);
+      obs->metrics.observe(config_.obs_name + ".total_ms", t.total_s() * 1e3);
+    }
+    obs->metrics.observe(config_.obs_name + ".compute_ms",
+                         timings[0].compute_s * 1e3);
+  }
 
   if (batch.front().opaque) {
     ++stats_.completed;

@@ -24,6 +24,7 @@
 
 #include "src/nn/device.h"
 #include "src/nn/network.h"
+#include "src/obs/obs.h"
 #include "src/serve/policy.h"
 #include "src/serve/request.h"
 #include "src/sim/simulation.h"
@@ -50,6 +51,16 @@ struct SchedulerConfig {
   /// `on_expired` callback fires. Off by default (deadlines then only
   /// order the EDF policy, as before).
   bool drop_expired = false;
+  /// Observability sink (optional). When set, the scheduler maintains a
+  /// queue-depth gauge, submission/completion/shed counters, and wait
+  /// histograms (all keys prefixed "<obs_name>."), and emits queue-wait /
+  /// batch-wait / lane-busy spans per dispatched job. Null disables all of
+  /// it at the cost of one branch per site.
+  obs::Obs* obs = nullptr;
+  /// Metric-key and span-resource prefix for this scheduler instance, so
+  /// several schedulers (e.g. primary + secondary edge server) can share
+  /// one registry without colliding.
+  std::string obs_name = "serve";
 };
 
 class Scheduler {
@@ -64,9 +75,11 @@ class Scheduler {
   /// Opaque job: occupies a lane for exactly `busy_s`; never fused.
   /// `on_done` runs at the completion sim-time. With `drop_expired` on,
   /// `on_expired` fires instead if the deadline passes while queued.
+  /// `ctx` ties the job's spans into the submitting request's trace.
   SubmitResult submit_opaque(double busy_s, OpaqueDoneFn on_done,
                              sim::SimTime deadline = sim::SimTime::max(),
-                             ExpiredFn on_expired = nullptr);
+                             ExpiredFn on_expired = nullptr,
+                             obs::TraceContext ctx = {});
 
   /// Inference job: rear-range forward of `model` from `cut` over
   /// `feature`. May fuse with compatible jobs. `on_done` receives this
@@ -74,7 +87,8 @@ class Scheduler {
   SubmitResult submit_infer(const std::string& model, std::size_t cut,
                             nn::Tensor feature, InferDoneFn on_done,
                             sim::SimTime deadline = sim::SimTime::max(),
-                            ExpiredFn on_expired = nullptr);
+                            ExpiredFn on_expired = nullptr,
+                            obs::TraceContext ctx = {});
 
   std::size_t queue_depth() const { return pending_.size(); }
   /// Whether a submission at this instant would pass admission control.
@@ -111,6 +125,7 @@ class Scheduler {
     OpaqueDoneFn on_opaque_done;
     InferDoneFn on_infer_done;
     ExpiredFn on_expired;
+    obs::TraceContext ctx;
 
     JobInfo info() const { return {id, submitted, deadline}; }
     /// Fusion key: opaque jobs never share a key.
@@ -126,6 +141,8 @@ class Scheduler {
   };
 
   SubmitResult admit(Job job);
+  /// Refresh the queue-depth gauge after any pending_ mutation.
+  void note_queue_depth();
   /// Drop queued jobs whose deadline has passed (drop_expired only).
   void expire_overdue();
   /// Dispatch as much ready work as idle lanes allow; arm the hold timer

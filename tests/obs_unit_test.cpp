@@ -1,0 +1,170 @@
+// Unit tests for the obs primitives: tracer span lifecycle, the metrics
+// registry (counters / gauges / histograms, stable-sorted dumps), the
+// thread-local ambient registry, and the trace exporters.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "src/obs/export.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+#include "src/obs/trace.h"
+
+namespace offload::obs {
+namespace {
+
+sim::SimTime ms(std::int64_t v) { return sim::SimTime::millis(v); }
+
+TEST(TracerTest, SpanLifecycleAndIds) {
+  Tracer tracer;
+  const TraceId t1 = tracer.new_trace();
+  const TraceId t2 = tracer.new_trace();
+  EXPECT_EQ(t1, 1u);
+  EXPECT_EQ(t2, 2u);
+
+  SpanId root = tracer.open(t1, 0, SpanKind::kInference, "inference#1",
+                            "client", ms(10));
+  SpanId child = tracer.open(t1, root, SpanKind::kClientExec, "exec",
+                             "client", ms(10));
+  EXPECT_EQ(root, 1u);
+  EXPECT_EQ(child, 2u);
+  EXPECT_FALSE(tracer.find(root)->closed);
+
+  tracer.close(child, ms(15));
+  tracer.close(root, ms(20));
+  const Span* r = tracer.find(root);
+  const Span* c = tracer.find(child);
+  ASSERT_NE(r, nullptr);
+  ASSERT_NE(c, nullptr);
+  EXPECT_TRUE(r->closed);
+  EXPECT_EQ(c->parent, root);
+  // Default charge is the SimTime interval; an exact charge overrides it.
+  EXPECT_DOUBLE_EQ(c->dur_s, 0.005);
+  SpanId exact = tracer.emit(t1, root, SpanKind::kClientCapture, "cap",
+                             "client", ms(15), ms(16), 0.00123456789);
+  EXPECT_EQ(tracer.find(exact)->dur_s, 0.00123456789);
+}
+
+TEST(TracerTest, CloseIsIdempotentAndIgnoresNullSpan) {
+  Tracer tracer;
+  SpanId s = tracer.open(1, 0, SpanKind::kTransmitUp, "up", "net", ms(0));
+  tracer.close(s, ms(5));
+  tracer.close(s, ms(99));  // duplicate delivery re-acks: no-op
+  EXPECT_EQ(tracer.find(s)->end.ns(), ms(5).ns());
+  tracer.close(0, ms(7));  // null span id: no-op
+  EXPECT_EQ(tracer.size(), 1u);
+}
+
+TEST(TracerTest, AttrsKeepInsertionOrder) {
+  Tracer tracer;
+  SpanId s = tracer.open(1, 0, SpanKind::kInference, "i", "client", ms(0));
+  tracer.attr(s, "zeta", "first");
+  tracer.attr(s, "alpha", std::int64_t{42});
+  const Span* span = tracer.find(s);
+  ASSERT_EQ(span->attrs.size(), 2u);
+  EXPECT_EQ(span->attrs[0].first, "zeta");
+  EXPECT_EQ(span->attrs[1].second, "42");
+}
+
+TEST(MetricsTest, CountersGaugesPeaks) {
+  MetricsRegistry m;
+  EXPECT_TRUE(m.empty());
+  m.add("a.count");
+  m.add("a.count", 4);
+  EXPECT_EQ(m.counter("a.count"), 5u);
+  EXPECT_EQ(m.counter("missing"), 0u);
+
+  m.set_gauge("q.depth", 3);
+  m.gauge_delta("q.depth", 2);
+  m.gauge_delta("q.depth", -4);
+  EXPECT_EQ(m.gauge("q.depth"), 1);
+  EXPECT_EQ(m.gauge_peak("q.depth"), 5);
+}
+
+TEST(MetricsTest, HistogramExactMomentsAndQuantiles) {
+  MetricsRegistry m;
+  m.define_histogram("lat_ms", {1.0, 10.0, 100.0});
+  for (double v : {0.5, 2.0, 3.0, 50.0, 500.0}) m.observe("lat_ms", v);
+  const Histogram* h = m.histogram("lat_ms");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 5u);
+  EXPECT_DOUBLE_EQ(h->sum, 555.5);
+  EXPECT_DOUBLE_EQ(h->min, 0.5);
+  EXPECT_DOUBLE_EQ(h->max, 500.0);
+  ASSERT_EQ(h->counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(h->counts[0], 1u);
+  EXPECT_EQ(h->counts[1], 2u);
+  EXPECT_EQ(h->counts[2], 1u);
+  EXPECT_EQ(h->counts[3], 1u);
+  EXPECT_DOUBLE_EQ(h->quantile(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(h->quantile(1.0), 500.0);
+  // Lazily-created histograms get default bounds instead of throwing.
+  m.observe("unregistered", 3.0);
+  EXPECT_NE(m.histogram("unregistered"), nullptr);
+}
+
+TEST(MetricsTest, DumpIsStableSortedRegardlessOfInsertion) {
+  MetricsRegistry a;
+  a.add("z.last");
+  a.add("a.first");
+  a.set_gauge("m.mid", 7);
+  MetricsRegistry b;
+  b.set_gauge("m.mid", 7);
+  b.add("a.first");
+  b.add("z.last");
+  EXPECT_EQ(a.dump_text(), b.dump_text());
+  EXPECT_EQ(a.dump_json(), b.dump_json());
+  EXPECT_LT(a.dump_text().find("a.first"), a.dump_text().find("z.last"));
+}
+
+TEST(MetricsTest, ScopedMetricsInstallsAndRestoresTls) {
+  EXPECT_EQ(tls_metrics(), nullptr);
+  MetricsRegistry outer, inner;
+  {
+    ScopedMetrics o(&outer);
+    EXPECT_EQ(tls_metrics(), &outer);
+    {
+      ScopedMetrics i(&inner);
+      EXPECT_EQ(tls_metrics(), &inner);
+    }
+    EXPECT_EQ(tls_metrics(), &outer);  // previous sink restored, not nulled
+  }
+  EXPECT_EQ(tls_metrics(), nullptr);
+}
+
+TEST(ExportTest, JsonlOneLinePerSpanChromeEnvelope) {
+  Tracer tracer;
+  TraceId t = tracer.new_trace();
+  SpanId root =
+      tracer.open(t, 0, SpanKind::kInference, "inference#1", "client", ms(0));
+  tracer.emit(t, root, SpanKind::kClientExec, "exec", "client", ms(0), ms(4),
+              0.004);
+  tracer.marker(t, root, "crash", "server", ms(2));
+  tracer.close(root, ms(5));
+
+  const std::string jsonl = to_jsonl(tracer);
+  EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 3);
+  EXPECT_NE(jsonl.find("\"inference#1\""), std::string::npos);
+  EXPECT_NE(jsonl.find("client_exec"), std::string::npos);
+
+  const std::string chrome = to_chrome_trace(tracer);
+  EXPECT_EQ(chrome.rfind("{\"traceEvents\": [", 0), 0u);
+  EXPECT_NE(chrome.find("\"ph\": \"X\""), std::string::npos);  // complete span
+  EXPECT_NE(chrome.find("\"ph\": \"i\""), std::string::npos);  // marker
+  // Same tracer twice -> same bytes (exporters are pure functions).
+  EXPECT_EQ(to_chrome_trace(tracer), chrome);
+  EXPECT_EQ(to_jsonl(tracer), jsonl);
+}
+
+TEST(ExportTest, ExportOptionsParseEnvironmentStrings) {
+  ExportOptions off;
+  EXPECT_FALSE(off.any());
+  ExportOptions on;
+  on.trace_format = "chrome";
+  on.trace_path = "/tmp/x.json";
+  EXPECT_TRUE(on.any());
+}
+
+}  // namespace
+}  // namespace offload::obs

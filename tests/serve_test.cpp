@@ -17,6 +17,7 @@
 #include "src/edge/client_device.h"
 #include "src/edge/edge_server.h"
 #include "src/nn/models.h"
+#include "src/obs/obs.h"
 #include "src/serve/scheduler.h"
 #include "src/util/rng.h"
 #include "src/util/thread_pool.h"
@@ -259,8 +260,10 @@ TEST(SchedulerTest, NoStarvationUnderMixedDeadlines) {
 
 TEST(SchedulerTest, BoundedQueueShedsBeyondCapacity) {
   sim::Simulation sim;
+  obs::Obs obs;
   SchedulerConfig cfg;
   cfg.max_queue = 2;
+  cfg.obs = &obs;
   Scheduler sched(sim, cfg);
 
   int admitted = 0;
@@ -282,8 +285,21 @@ TEST(SchedulerTest, BoundedQueueShedsBeyondCapacity) {
   EXPECT_FALSE(sched.would_admit());
   EXPECT_EQ(sched.stats().rejected, 2u);
   EXPECT_EQ(sched.stats().peak_queue_depth, 2u);
+  // The metrics registry mirrors the stats: typed shed counter and the
+  // queue-depth gauge (its peak tracks peak_queue_depth exactly).
+  EXPECT_EQ(obs.metrics.counter("serve.rejected.queue_full"),
+            sched.stats().rejected);
+  EXPECT_EQ(obs.metrics.counter("serve.submitted"),
+            static_cast<std::uint64_t>(admitted));
+  EXPECT_EQ(static_cast<std::uint64_t>(obs.metrics.gauge("serve.queue_depth")),
+            sched.queue_depth());
+  EXPECT_EQ(
+      static_cast<std::uint64_t>(obs.metrics.gauge_peak("serve.queue_depth")),
+      sched.stats().peak_queue_depth);
   sim.run();
   EXPECT_EQ(sched.stats().completed, 3u);
+  EXPECT_EQ(obs.metrics.counter("serve.completed"), 3u);
+  EXPECT_EQ(obs.metrics.gauge("serve.queue_depth"), 0);
 }
 
 // ---------------------------------------------------------------------------
@@ -357,10 +373,12 @@ TEST(EdgeServerShedTest, OverloadedSnapshotGetsControlReply) {
   ch.b_to_a.latency = sim::SimTime::millis(1);
   auto channel = net::Channel::make(sim, ch);
 
+  obs::Obs obs;
   edge::EdgeServerConfig config;
   // Stretch snapshot restore so back-to-back sends overlap on the lane.
   config.profile.snapshot_parse_Bps = 100.0;
   config.scheduler.max_queue = 1;
+  config.obs = &obs;
   edge::EdgeServer server(sim, channel->b(), config);
 
   std::vector<net::Message> inbox;
@@ -395,6 +413,14 @@ TEST(EdgeServerShedTest, OverloadedSnapshotGetsControlReply) {
     }
   }
   EXPECT_EQ(overloaded, 1);
+  // The shed counter agrees with the typed control replies on the wire,
+  // and the scheduler (inheriting the server's obs_name) exposed its
+  // queue depth as a gauge whose peak matches the stats.
+  EXPECT_EQ(obs.metrics.counter("server.snapshots_shed"),
+            static_cast<std::uint64_t>(overloaded));
+  EXPECT_EQ(obs.metrics.counter("server.snapshots_executed"), 2u);
+  EXPECT_EQ(obs.metrics.gauge_peak("server.queue_depth"), 1);
+  EXPECT_EQ(obs.metrics.gauge("server.queue_depth"), 0);
 }
 
 TEST(EdgeServerShedTest, ShedClientFallsBackToLocalExecution) {
