@@ -7,7 +7,8 @@
 //       models[0], offload::core::Scenario::kOffloadAfterAck);
 //   std::cout << result.inference_seconds << "\n";
 //
-// Layers (bottom-up): util → sim/net/nn/jsvm/vmsynth/privacy → edge → core.
+// Layers (bottom-up): util → sim/net/nn/jsvm/vmsynth/privacy → edge →
+// fleet → core.
 #pragma once
 
 #include "src/core/app.h"          // IWYU pragma: export
@@ -19,6 +20,8 @@
 #include "src/edge/supervisor.h"     // IWYU pragma: export
 #include "src/fault/fault_plan.h"    // IWYU pragma: export
 #include "src/fault/injector.h"      // IWYU pragma: export
+#include "src/fleet/balancer.h"      // IWYU pragma: export
+#include "src/fleet/fleet.h"         // IWYU pragma: export
 #include "src/jsvm/snapshot.h"       // IWYU pragma: export
 #include "src/nn/models.h"           // IWYU pragma: export
 #include "src/nn/partition.h"        // IWYU pragma: export

@@ -22,12 +22,21 @@ OffloadingRuntime::OffloadingRuntime(RuntimeConfig config,
   }
   config_.client.obs = obs_;
   config_.server.obs = obs_;
-  channel_ = net::Channel::make(sim_, config_.channel);
-  channel_->set_obs(obs_);
-  server_ = std::make_unique<edge::EdgeServer>(sim_, channel_->b(),
-                                               config_.server);
+  fleet::FleetConfig fleet_config;
+  fleet_config.size = config_.fleet.size;
+  fleet_config.balancer = config_.fleet.balancer;
+  fleet_config.dedup = config_.fleet.dedup;
+  fleet_config.channel = config_.channel;
+  fleet_config.server = config_.server;
+  fleet_config.obs = obs_;
+  fleet_ = std::make_unique<fleet::EdgeFleet>(sim_, std::move(fleet_config));
+  link_ = fleet_->connect_client("client");
+  fleet_->configure_client(config_.client, link_, "client");
   client_ = std::make_unique<edge::ClientDevice>(
-      sim_, channel_->a(), config_.client, std::move(app));
+      sim_, *link_.endpoints[0], config_.client, std::move(app));
+  for (std::size_t k = 1; k < link_.endpoints.size(); ++k) {
+    client_->attach_server(*link_.endpoints[k]);
+  }
   if (config_.secondary_server) {
     secondary_channel_ =
         net::Channel::make(sim_, config_.channel, "client", "server-b");
@@ -40,8 +49,8 @@ OffloadingRuntime::OffloadingRuntime(RuntimeConfig config,
   }
   if (config_.faults) {
     injector_ = std::make_unique<fault::FaultInjector>(sim_, *config_.faults);
-    injector_->attach_channel(*channel_);
-    injector_->attach_server(*server_);
+    injector_->attach_channel(*link_.channels[0]);
+    injector_->attach_server(fleet_->server(0));
   }
 }
 
@@ -69,10 +78,16 @@ RunResult OffloadingRuntime::run() {
   }
 
   if (result.offloaded) {
-    // The result may have come from the secondary after a failover.
-    edge::EdgeServer* source = server_.get();
-    if (result.timeline.server_index == 1 && secondary_server_) {
-      source = secondary_server_.get();
+    // The result may have come from another fleet server — or the legacy
+    // secondary, which sits after the fleet in the candidate order.
+    edge::EdgeServer* source = &fleet_->server(0);
+    const auto idx = static_cast<std::size_t>(result.timeline.server_index);
+    if (result.timeline.server_index > 0) {
+      if (idx < fleet_->size()) {
+        source = &fleet_->server(idx);
+      } else if (secondary_server_) {
+        source = secondary_server_.get();
+      }
     }
     if (source->executions().empty()) {
       throw std::runtime_error(

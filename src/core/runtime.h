@@ -11,6 +11,7 @@
 #include "src/edge/client_device.h"
 #include "src/edge/edge_server.h"
 #include "src/fault/injector.h"
+#include "src/fleet/fleet.h"
 #include "src/net/channel.h"
 #include "src/obs/obs.h"
 #include "src/sim/simulation.h"
@@ -31,8 +32,20 @@ struct RuntimeConfig {
   /// hatch). No plan (the default) = a fault-free run.
   std::optional<fault::FaultPlanConfig> faults;
   /// Stand up a second edge server (its own clean channel, same config)
-  /// and register it with the client as the failover target.
+  /// and register it with the client as the failover target. Predates the
+  /// fleet and composes with it: the secondary is appended after the fleet
+  /// servers in the client's candidate list and is never balancer-routed.
   bool secondary_server = false;
+  /// Edge-fleet shape. The default (one server, "hash" balancing, dedup
+  /// off) reproduces the single-server runtime bit-for-bit.
+  struct FleetOptions {
+    std::size_t size = 1;
+    fleet::BalancerConfig balancer;
+    /// Content-addressed model pre-send: offer digests first, upload only
+    /// the files the server's blob cache is missing.
+    bool dedup = false;
+  };
+  FleetOptions fleet;
   /// Observability sink shared by every actor (client, servers, channels,
   /// schedulers). Null = the runtime owns one internally; tracing is
   /// always on (a handful of spans per inference), and the breakdown is
@@ -75,7 +88,10 @@ class OffloadingRuntime {
 
   sim::Simulation& simulation() { return sim_; }
   edge::ClientDevice& client() { return *client_; }
-  edge::EdgeServer& server() { return *server_; }
+  /// Fleet server 0 (the only server in the degenerate configuration).
+  edge::EdgeServer& server() { return fleet_->server(0); }
+  /// The fleet every server lives in (size 1 unless configured larger).
+  fleet::EdgeFleet& fleet() { return *fleet_; }
   /// The failover server (null unless secondary_server was requested).
   edge::EdgeServer* secondary() { return secondary_server_.get(); }
   /// The active fault plan (null for fault-free runs).
@@ -92,9 +108,9 @@ class OffloadingRuntime {
   sim::Simulation sim_;
   std::unique_ptr<obs::Obs> owned_obs_;
   obs::Obs* obs_ = nullptr;
-  std::unique_ptr<net::Channel> channel_;
+  std::unique_ptr<fleet::EdgeFleet> fleet_;
+  fleet::EdgeFleet::ClientLink link_;
   std::unique_ptr<net::Channel> secondary_channel_;
-  std::unique_ptr<edge::EdgeServer> server_;
   std::unique_ptr<edge::EdgeServer> secondary_server_;
   std::unique_ptr<edge::ClientDevice> client_;
   std::unique_ptr<fault::FaultInjector> injector_;

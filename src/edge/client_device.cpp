@@ -4,6 +4,7 @@
 
 #include "src/jsvm/snapshot.h"
 #include "src/jsvm/snapshot_diff.h"
+#include "src/util/hash.h"
 #include "src/util/logging.h"
 #include "src/util/strings.h"
 #include "src/vmsynth/overlay.h"
@@ -26,11 +27,12 @@ ClientDevice::ClientDevice(sim::Simulation& sim, net::Endpoint& endpoint,
   local_store_->store_files(nn::model_files(*bundle_.network));
   browser_ = std::make_unique<BrowserHost>(config_.profile, local_store_);
   browser_->add_image("input", bundle_.input_image);
+  if (supervising()) backoff_.emplace(config_.supervisor);
+  servers_.push_back(&endpoint_);
+  model_sent_.push_back(0);
+  breakers_.emplace_back(config_.supervisor);
   endpoint_.set_handler([this](const net::Message& m) { on_message(m); });
   if (supervising()) {
-    backoff_.emplace(config_.supervisor);
-    breakers_[0] = CircuitBreaker(config_.supervisor);
-    breakers_[1] = CircuitBreaker(config_.supervisor);
     endpoint_.set_failure_handler(
         [this](const net::Message& m, int attempts) {
           on_delivery_failure(m, attempts);
@@ -38,8 +40,10 @@ ClientDevice::ClientDevice(sim::Simulation& sim, net::Endpoint& endpoint,
   }
 }
 
-void ClientDevice::attach_secondary(net::Endpoint& endpoint) {
-  secondary_ = &endpoint;
+std::size_t ClientDevice::attach_server(net::Endpoint& endpoint) {
+  servers_.push_back(&endpoint);
+  model_sent_.push_back(0);
+  breakers_.emplace_back(config_.supervisor);
   endpoint.set_handler([this](const net::Message& m) { on_message(m); });
   if (supervising()) {
     endpoint.set_failure_handler(
@@ -47,6 +51,7 @@ void ClientDevice::attach_secondary(net::Endpoint& endpoint) {
           on_delivery_failure(m, attempts);
         });
   }
+  return servers_.size() - 1;
 }
 
 std::vector<nn::ModelFile> ClientDevice::files_to_send() const {
@@ -58,6 +63,10 @@ std::vector<nn::ModelFile> ClientDevice::files_to_send() const {
 
 void ClientDevice::send_model_files(bool count_as_presend) {
   if (model_sent()) return;
+  if (config_.dedup_presend) {
+    send_model_offer(count_as_presend);
+    return;
+  }
   model_sent() = true;
   awaiting_ack_ = true;
   ModelFilesPayload payload;
@@ -76,6 +85,60 @@ void ClientDevice::send_model_files(bool count_as_presend) {
         obs_->trace.open(0, 0, obs::SpanKind::kPresend,
                          "presend:" + bundle_.name, "client/protocol",
                          sim_.now());
+    msg.ctx = {0, presend_span_, 0};
+    obs_->metrics.add("client.model_sends");
+  }
+  active_endpoint().send(std::move(msg));
+}
+
+void ClientDevice::send_model_offer(bool count_as_presend) {
+  // Content-addressed pre-send: ship digests, not bodies. The server
+  // answers "have:<app>" (an ACK) when its blob cache covers the bundle,
+  // or "send_files:<app>" naming the files it needs uploaded in full.
+  model_sent() = true;
+  awaiting_ack_ = true;
+  ModelOfferPayload payload;
+  for (const auto& f : files_to_send()) {
+    payload.files.push_back(
+        {f.name, util::fnv1a(std::span(f.content)), f.size()});
+  }
+  net::Message msg;
+  msg.type = net::MessageType::kModelOffer;
+  msg.name = bundle_.name;
+  msg.payload = payload.encode();
+  timeline_.model_upload_bytes = msg.payload.size();
+  if (count_as_presend) timeline_.model_upload_started = sim_.now();
+  if (obs_) {
+    if (presend_span_) obs_->trace.close(presend_span_, sim_.now());
+    presend_span_ =
+        obs_->trace.open(0, 0, obs::SpanKind::kPresend,
+                         "offer:" + bundle_.name, "client/protocol",
+                         sim_.now());
+    msg.ctx = {0, presend_span_, 0};
+    obs_->metrics.add("client.model_offers");
+  }
+  active_endpoint().send(std::move(msg));
+}
+
+void ClientDevice::send_requested_files(const FileListPayload& request) {
+  // The server's cache missed (some of) the offer: upload exactly the
+  // files it asked for. The ACK still arrives through the normal
+  // post-store path, so the pre-send span stays open until then.
+  ModelFilesPayload payload;
+  for (auto& f : files_to_send()) {
+    for (const auto& name : request.names) {
+      if (f.name == name) {
+        payload.files.push_back(std::move(f));
+        break;
+      }
+    }
+  }
+  net::Message msg;
+  msg.type = net::MessageType::kModelFiles;
+  msg.name = bundle_.name;
+  msg.payload = payload.encode();
+  timeline_.model_upload_bytes += msg.payload.size();
+  if (obs_) {
     msg.ctx = {0, presend_span_, 0};
     obs_->metrics.add("client.model_sends");
   }
@@ -149,6 +212,39 @@ std::size_t ClientDevice::pick_partition_cut() {
   return best.cut;
 }
 
+void ClientDevice::apply_route() {
+  candidates_.clear();
+  for (std::size_t i = 0; i < servers_.size(); ++i) candidates_.push_back(i);
+  if (!config_.route) return;
+  std::vector<std::size_t> order = config_.route(history_.size());
+  std::vector<std::size_t> valid;
+  for (std::size_t id : order) {
+    if (id >= servers_.size()) continue;
+    bool dup = false;
+    for (std::size_t seen : valid) {
+      if (seen == id) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) valid.push_back(id);
+  }
+  if (valid.empty()) return;
+  candidates_ = std::move(valid);
+  if (candidates_.front() != active_server_) {
+    active_server_ = candidates_.front();
+    baseline_.reset();  // sessions do not migrate between servers
+  }
+}
+
+void ClientDevice::notify_done() {
+  if (done_notified_ || !timeline_.finished) return;
+  done_notified_ = true;
+  if (config_.on_inference_done) {
+    config_.on_inference_done(active_server_, timeline_.offloaded);
+  }
+}
+
 void ClientDevice::begin_inference() {
   if (timeline_.finished) {
     // Archive the previous inference and start a fresh per-inference
@@ -163,6 +259,7 @@ void ClientDevice::begin_inference() {
   }
   timeline_.clicked = sim_.now();
   timeline_.used_partition_cut = config_.partition_cut;
+  apply_route();
   timeline_.server_index = static_cast<int>(active_server_);
   if (obs_) {
     // A still-open root (an inference that never finished) is closed at
@@ -183,6 +280,8 @@ void ClientDevice::begin_inference() {
   hedge_exec_s_ = 0;
   ignore_late_result_ = false;
   resend_snapshot_on_ack_ = false;
+  hold_snapshot_for_ack_ = false;
+  done_notified_ = false;
   recovery_started_.reset();
   cancel_supervision_timers();
 
@@ -245,20 +344,15 @@ void ClientDevice::run_app_events() {
   }
   if (want_offload && supervising() &&
       !active_breaker().allow(sim_.now())) {
-    // The active server's breaker is open. Route around it: the other
-    // server if its breaker admits, else local execution for this click.
-    std::size_t other = active_server_ == 0 ? 1 : 0;
-    bool other_usable =
-        (other == 0 || secondary_ != nullptr) &&
-        breakers_[other].allow(sim_.now());
-    if (other_usable) {
+    // The active server's breaker is open. Route around it: the next
+    // candidate whose breaker admits, else local execution for this click.
+    std::size_t next = next_usable_server();
+    if (next != servers_.size()) {
       ++sup_stats_.failovers;
       count("supervisor.failovers");
-      OFFLOAD_LOG_WARN << "client: breaker open, routing to "
-                       << (other == 0 ? "primary" : "secondary")
-                       << " server";
-      active_server_ = other;
-      timeline_.server_index = static_cast<int>(other);
+      OFFLOAD_LOG_WARN << "client: breaker open, routing to server " << next;
+      active_server_ = next;
+      timeline_.server_index = static_cast<int>(next);
       baseline_.reset();  // sessions do not migrate between servers
     } else {
       ++sup_stats_.breaker_short_circuits;
@@ -345,7 +439,25 @@ void ClientDevice::send_snapshot_message(net::Message msg, double busy_s) {
                                                 msg = std::move(msg)]() mutable {
     // No pre-send (or ACK still pending with nothing in flight): the model
     // must accompany the snapshot (Section III.B.1's slow path).
+    const bool model_pending = !model_sent();
     send_model_files(/*count_as_presend=*/false);
+    if (config_.dedup_presend && model_pending) {
+      // Dedup slow path: the offer has to resolve into an ACK (cache hit
+      // or an upload of the missing files) before the snapshot can run
+      // remotely — sent now it would only bounce with "model_missing".
+      // Park it; the ACK dispatches it without counting a retry.
+      inflight_snapshot_ = std::move(msg);
+      hold_snapshot_for_ack_ = true;
+      if (supervising()) {
+        arm_phase(Phase::kPresend, config_.supervisor.presend_deadline);
+        if (config_.supervisor.hedge_after != sim::SimTime::zero() &&
+            !hedge_running_ && !hedge_timer_.valid()) {
+          hedge_timer_ = sim_.schedule(config_.supervisor.hedge_after,
+                                       [this] { start_hedge(); });
+        }
+      }
+      return;
+    }
     timeline_.snapshot_sent = sim_.now();
     inflight_snapshot_ = msg;
     ++attempts_;
@@ -360,6 +472,16 @@ void ClientDevice::send_snapshot_message(net::Message msg, double busy_s) {
       }
     }
   });
+}
+
+void ClientDevice::dispatch_inflight_snapshot() {
+  if (!inflight_snapshot_) return;
+  timeline_.snapshot_sent = sim_.now();
+  ++attempts_;
+  net::Message msg = *inflight_snapshot_;
+  mark_snapshot_send(msg, "snapshot_send");
+  active_endpoint().send(std::move(msg));
+  if (supervising()) arm_upload_watchdog();
 }
 
 // ---------------------------------------------------------------------------
@@ -473,6 +595,7 @@ void ClientDevice::retry_snapshot(const char* reason) {
 
 void ClientDevice::resend_inflight() {
   if (!inflight_snapshot_) return;
+  hold_snapshot_for_ack_ = false;
   ++attempts_;
   ++sup_stats_.retries;
   ++timeline_.retries;
@@ -484,16 +607,33 @@ void ClientDevice::resend_inflight() {
   arm_upload_watchdog();
 }
 
+std::size_t ClientDevice::next_usable_server() {
+  if (candidates_.empty()) {
+    for (std::size_t i = 0; i < servers_.size(); ++i) candidates_.push_back(i);
+  }
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < candidates_.size(); ++i) {
+    if (candidates_[i] == active_server_) {
+      pos = i;
+      break;
+    }
+  }
+  for (std::size_t step = 1; step <= candidates_.size(); ++step) {
+    std::size_t idx = candidates_[(pos + step) % candidates_.size()];
+    if (idx == active_server_) continue;
+    if (breakers_[idx].allow(sim_.now())) return idx;
+  }
+  return servers_.size();
+}
+
 bool ClientDevice::try_failover() {
-  std::size_t other = active_server_ == 0 ? 1 : 0;
-  if (other == 1 && !secondary_) return false;
-  if (!breakers_[other].allow(sim_.now())) return false;
+  std::size_t next = next_usable_server();
+  if (next == servers_.size()) return false;
   ++sup_stats_.failovers;
   count("supervisor.failovers");
-  OFFLOAD_LOG_WARN << "client: failing over to "
-                   << (other == 0 ? "primary" : "secondary") << " server";
-  active_server_ = other;
-  timeline_.server_index = static_cast<int>(other);
+  OFFLOAD_LOG_WARN << "client: failing over to server " << next;
+  active_server_ = next;
+  timeline_.server_index = static_cast<int>(next);
   baseline_.reset();  // sessions do not migrate between servers
   attempts_ = 0;      // fresh retry budget against the new server
   if (model_sent()) {
@@ -541,6 +681,7 @@ void ClientDevice::abandon_remote(const char* reason) {
   awaiting_result_ = false;
   inflight_snapshot_.reset();
   resend_snapshot_on_ack_ = false;
+  hold_snapshot_for_ack_ = false;
   ignore_late_result_ = true;
   timeline_.local_fallback = true;
   timeline_.offloaded = false;  // the result will not come from a server
@@ -598,6 +739,7 @@ void ClientDevice::finish_hedge() {
   awaiting_result_ = false;
   inflight_snapshot_.reset();
   resend_snapshot_on_ack_ = false;
+  hold_snapshot_for_ack_ = false;
   ignore_late_result_ = true;
   cancel_supervision_timers();
   finish_trace();
@@ -678,6 +820,13 @@ void ClientDevice::on_message(const net::Message& message) {
         resend_inflight();
         return;
       }
+      if (hold_snapshot_for_ack_ && awaiting_result_ && inflight_snapshot_) {
+        // The dedup pre-send resolved (cache hit or completed upload):
+        // the parked snapshot goes out now, as a first send, not a retry.
+        hold_snapshot_for_ack_ = false;
+        dispatch_inflight_snapshot();
+        return;
+      }
       if (util::starts_with(message.name, "installed:") && awaiting_result_ &&
           inflight_snapshot_) {
         // Our earlier snapshot was refused pre-install; send it again.
@@ -739,6 +888,7 @@ void ClientDevice::on_message(const net::Message& message) {
       awaiting_result_ = false;
       inflight_snapshot_.reset();
       resend_snapshot_on_ack_ = false;
+      hold_snapshot_for_ack_ = false;
       timeline_.result_received = sim_.now();
       // Adopt the new execution state on a fresh page (the snapshot is a
       // self-contained app).
@@ -870,10 +1020,30 @@ void ClientDevice::on_message(const net::Message& message) {
         run_locally();
         return;
       }
+      if (util::starts_with(message.name, "send_files:")) {
+        // The server's blob cache missed part (or all) of our offer; it
+        // wants those files uploaded in full.
+        if (!payload_intact(message)) {
+          // The request list itself was damaged in flight: restart the
+          // exchange with a fresh offer.
+          if (!supervising()) throw PayloadCorruptError(message);
+          active_breaker().record_failure(sim_.now());
+          model_sent() = false;
+          send_model_files(/*count_as_presend=*/false);
+          arm_phase(Phase::kPresend, config_.supervisor.presend_deadline);
+          return;
+        }
+        send_requested_files(
+            FileListPayload::decode(std::span(message.payload)));
+        return;
+      }
       if (util::starts_with(message.name, "corrupt_payload:")) {
         // The server rejected our bytes (CRC mismatch). Re-send whatever
-        // was in flight toward it.
-        if (awaiting_result_ && inflight_snapshot_) {
+        // was in flight toward it — unless the snapshot is still parked
+        // on the dedup pre-send, in which case the damaged bytes were the
+        // offer/upload and the model branch below restarts it.
+        if (awaiting_result_ && inflight_snapshot_ &&
+            !hold_snapshot_for_ack_) {
           if (supervising()) {
             active_breaker().record_failure(sim_.now());
             retry_snapshot("server rejected corrupt payload");
@@ -937,6 +1107,7 @@ void ClientDevice::mark_snapshot_send(net::Message& msg, const char* label) {
 }
 
 void ClientDevice::finish_trace() {
+  notify_done();
   if (!obs_ || !root_span_ || !timeline_.finished) return;
   // Abandoned phases (an unanswered send, a recovery the hedge outran)
   // close with zero charge: their interval stays visible in the trace but

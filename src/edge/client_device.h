@@ -9,17 +9,19 @@
 // state machine wraps the protocol: per-phase deadlines (pre-send, upload,
 // server execution, download), retries with exponential backoff and
 // deterministic jitter, hedged local execution, a per-server circuit
-// breaker that can fail over to a secondary server (attach_secondary —
-// snapshots are self-contained, so migration is just re-targeting), and
-// crash recovery (a restarted server answers "model_missing"/"need_full";
-// the supervisor re-presends and retries). Disabled, the client behaves
-// exactly as before.
+// breaker that fails over along an ordered server candidate list
+// (attach_server — snapshots are self-contained, so migration is just
+// re-targeting), and crash recovery (a restarted server answers
+// "model_missing"/"need_full"; the supervisor re-presends and retries).
+// Disabled, the client behaves exactly as before.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "src/edge/browser_host.h"
 #include "src/edge/protocol.h"
@@ -71,6 +73,21 @@ struct ClientConfig {
   /// Offload supervision (deadlines/retries/hedging/breaker/recovery).
   /// Disabled by default.
   SupervisorConfig supervisor;
+  /// Content-addressed pre-send: offer per-file digests (kModelOffer)
+  /// before shipping bodies, so a server already caching the blobs can
+  /// skip them. Off by default — the wire protocol stays exactly the
+  /// paper's.
+  bool dedup_presend = false;
+  /// Fleet routing hook: called at the start of inference number `n`
+  /// (0-based) with the ordered server-candidate list to use — index 0 is
+  /// the primary, the rest are failover targets in preference order.
+  /// Indices refer to attached servers (0 = the constructor endpoint).
+  /// Unset (the default) keeps the sticky active-server behavior.
+  std::function<std::vector<std::size_t>(std::uint64_t n)> route;
+  /// Completion hook: fires exactly once per inference when it finishes
+  /// (remote result, local fallback, or hedge win), with the serving
+  /// server index and whether the result actually came from it.
+  std::function<void(std::size_t server, bool offloaded)> on_inference_done;
   jsvm::SnapshotOptions snapshot_options;
   /// Observability sink (optional). When set, every inference records a
   /// span tree rooted at a kInference span (trace id = inference number)
@@ -122,7 +139,7 @@ struct ClientTimeline {
   bool hedge_local_win = false;  ///< ...and the local run finished first
   double hedge_wasted_s = 0;  ///< local compute burned by a losing hedge
   bool recovered = false;     ///< hit crash recovery (model re-presend)
-  int server_index = 0;       ///< 0 = primary, 1 = secondary
+  int server_index = 0;       ///< attached-server index (0 = primary)
 
   /// End-to-end inference latency (click → finished).
   double inference_seconds() const {
@@ -144,10 +161,19 @@ class ClientDevice {
   /// completed inference's timeline is archived in history().
   void click_at(sim::SimTime at);
 
-  /// Register a secondary edge server (its own channel endpoint). The
-  /// supervisor fails over to it when the primary's circuit breaker opens
-  /// — the snapshot is self-contained, so nothing migrates but the bytes.
-  void attach_secondary(net::Endpoint& endpoint);
+  /// Register an additional edge server (its own channel endpoint). The
+  /// supervisor fails over along the ordered candidate list — the
+  /// constructor endpoint is server 0, each attach_server appends the
+  /// next index — and snapshots are self-contained, so nothing migrates
+  /// but the bytes. Returns the new server's index.
+  std::size_t attach_server(net::Endpoint& endpoint);
+
+  /// Back-compat shim from the one-secondary era: attaches `endpoint` as
+  /// the next server in the candidate list (index 1 when called once).
+  void attach_secondary(net::Endpoint& endpoint) { attach_server(endpoint); }
+
+  /// Number of attached servers (constructor endpoint included).
+  std::size_t server_count() const { return servers_.size(); }
 
   bool finished() const { return timeline_.finished.has_value(); }
   const ClientTimeline& timeline() const { return timeline_; }
@@ -162,7 +188,7 @@ class ClientDevice {
   const ClientConfig& config() const { return config_; }
   /// Lifetime supervisor counters (zeros when supervision is off).
   const SupervisorStats& supervisor_stats() const { return sup_stats_; }
-  /// Breaker for server `index` (0 primary, 1 secondary), for tests.
+  /// Breaker for server `index` (constructor endpoint = 0), for tests.
   const CircuitBreaker& breaker(std::size_t index) const {
     return breakers_[index];
   }
@@ -181,17 +207,30 @@ class ClientDevice {
   void run_locally();
   void send_snapshot_message(net::Message msg, double busy_s);
   void send_model_files(bool count_as_presend);
+  void send_model_offer(bool count_as_presend);
+  void send_requested_files(const FileListPayload& request);
   void send_overlay();
+  /// First (non-retry) send of the held in-flight snapshot: used when a
+  /// dedup pre-send resolves and the snapshot that waited on it goes out.
+  void dispatch_inflight_snapshot();
   std::vector<nn::ModelFile> files_to_send() const;
   std::size_t pick_partition_cut();
+  /// Apply the routing hook (if any) for the upcoming inference: refresh
+  /// the candidate order and re-pin the active server to its head.
+  void apply_route();
+  /// Fire the on_inference_done hook (once per inference).
+  void notify_done();
 
   // --- Supervisor machinery (all no-ops when supervision is off) ---
   bool supervising() const { return config_.supervisor.enabled; }
-  net::Endpoint& active_endpoint() {
-    return active_server_ == 1 && secondary_ ? *secondary_ : endpoint_;
-  }
+  net::Endpoint& active_endpoint() { return *servers_[active_server_]; }
   CircuitBreaker& active_breaker() { return breakers_[active_server_]; }
-  bool& model_sent() { return model_sent_flags_[active_server_]; }
+  char& model_sent() { return model_sent_[active_server_]; }
+  /// The next candidate after the active server, in candidate order with
+  /// wraparound, whose breaker admits a request right now. Returns
+  /// server_count() when there is none. Consults (and thereby mutates, in
+  /// half-open) each candidate's breaker at most once.
+  std::size_t next_usable_server();
   void arm_phase(Phase phase, sim::SimTime deadline);
   void arm_upload_watchdog();
   void cancel_phase_timer();
@@ -245,11 +284,18 @@ class ClientDevice {
   std::optional<nn::LayerCostModel> client_cost_;
   std::optional<nn::LayerCostModel> server_cost_;
 
-  // --- Supervisor state ---
-  net::Endpoint* secondary_ = nullptr;
+  // --- Server candidate state ---
+  /// Attached servers; [0] is the constructor endpoint. Parallel to
+  /// model_sent_ and breakers_.
+  std::vector<net::Endpoint*> servers_;
   std::size_t active_server_ = 0;
-  bool model_sent_flags_[2] = {false, false};
-  CircuitBreaker breakers_[2];
+  std::vector<char> model_sent_;  ///< char: vector<bool> has no refs
+  std::vector<CircuitBreaker> breakers_;
+  /// Candidate order for the current inference (route hook output, or the
+  /// natural 0..N-1). Failover walks it in wrap order after the active.
+  std::vector<std::size_t> candidates_;
+
+  // --- Supervisor state ---
   std::optional<RetryBackoff> backoff_;
   SupervisorStats sup_stats_;
   Phase phase_ = Phase::kIdle;
@@ -265,6 +311,10 @@ class ClientDevice {
   int attempts_ = 0;          ///< snapshot sends this inference
   int presend_attempts_ = 0;  ///< model sends toward the current ACK
   bool resend_snapshot_on_ack_ = false;
+  /// A captured snapshot is parked until the dedup pre-send resolves into
+  /// an ACK; its first send is not a retry.
+  bool hold_snapshot_for_ack_ = false;
+  bool done_notified_ = false;  ///< on_inference_done fired this inference
   bool ignore_late_result_ = false;
   std::optional<sim::SimTime> recovery_started_;
 

@@ -2,6 +2,7 @@
 
 #include "src/jsvm/fingerprint.h"
 #include "src/jsvm/interpreter.h"
+#include "src/util/hash.h"
 #include "src/util/logging.h"
 #include "src/util/strings.h"
 
@@ -47,6 +48,7 @@ void EdgeServer::schedule_crash(sim::SimTime at, sim::SimTime downtime) {
     // fire, so it retires instead of being destroyed; the epoch bump makes
     // them no-ops.
     store_->clear();
+    blob_store_.clear();
     sessions_.clear();
     browser_.reset();
     last_browser_ = nullptr;
@@ -75,10 +77,12 @@ void EdgeServer::schedule_stall(sim::SimTime at, sim::SimTime duration) {
   });
 }
 
-void EdgeServer::send_control(net::Endpoint& to, const std::string& name) {
+void EdgeServer::send_control(net::Endpoint& to, const std::string& name,
+                              util::Bytes payload) {
   net::Message reply;
   reply.type = net::MessageType::kControl;
   reply.name = name;
+  reply.payload = std::move(payload);
   to.send(std::move(reply));
 }
 
@@ -119,6 +123,9 @@ void EdgeServer::on_message(net::Endpoint& from, const net::Message& message) {
     case net::MessageType::kModelFiles:
       if (!installed()) return refuse(from, message);
       return handle_model_files(from, message);
+    case net::MessageType::kModelOffer:
+      if (!installed()) return refuse(from, message);
+      return handle_model_offer(from, message);
     case net::MessageType::kSnapshot:
       // The client's transmit-up span ends at (deferred) arrival — the
       // same instant `received_at` is stamped below, so the span interval
@@ -145,7 +152,12 @@ void EdgeServer::handle_model_files(net::Endpoint& from,
   ModelFilesPayload payload = ModelFilesPayload::decode(
       std::span(message.payload));
   std::uint64_t bytes = 0;
-  for (auto& f : payload.files) bytes += f.size();
+  for (auto& f : payload.files) {
+    bytes += f.size();
+    // Every uploaded file also lands in the content-addressed cache, so a
+    // later client offering the same digests skips the body entirely.
+    blob_store_.put(util::fnv1a(std::span(f.content)), f.content);
+  }
   store_->store_files(std::move(payload.files));
   ++stats_.models_stored;
   count("models_stored");
@@ -162,6 +174,61 @@ void EdgeServer::handle_model_files(net::Endpoint& from,
     ack.name = app;
     from.send(std::move(ack));
   });
+}
+
+void EdgeServer::handle_model_offer(net::Endpoint& from,
+                                    const net::Message& message) {
+  ModelOfferPayload offer =
+      ModelOfferPayload::decode(std::span(message.payload));
+  ++stats_.model_offers;
+  count("model_offers");
+
+  std::vector<nn::ModelFile> cached;
+  FileListPayload missing;
+  for (const auto& entry : offer.files) {
+    bool corrupt = false;
+    const util::Bytes* blob = blob_store_.find(entry.digest, &corrupt);
+    if (corrupt) {
+      // The cached copy rotted since it was stored; it was just evicted.
+      // Falling through to "missing" forces a clean re-upload rather than
+      // instantiating a damaged network.
+      ++stats_.dedup_corrupt_blobs;
+      count("dedup_corrupt_blobs");
+    }
+    if (blob) {
+      ++stats_.dedup_hit_files;
+      count("dedup_hits");
+      stats_.dedup_bytes_saved += entry.bytes;
+      if (config_.obs) {
+        config_.obs->metrics.add(config_.obs_name + ".dedup_bytes_saved",
+                                 entry.bytes);
+      }
+      cached.push_back({entry.name, *blob});
+    } else {
+      ++stats_.dedup_miss_files;
+      count("dedup_misses");
+      missing.names.push_back(entry.name);
+    }
+  }
+  if (!cached.empty()) store_->store_files(std::move(cached));
+
+  if (missing.names.empty()) {
+    // The whole bundle was served from the cache: nothing new to persist,
+    // ACK right away. The client's generic ACK handling completes the
+    // pre-send without ever shipping a body.
+    if (config_.obs) {
+      config_.obs->trace.marker(0, 0, "dedup_hit:" + message.name,
+                                config_.obs_name, sim_.now());
+    }
+    net::Message ack;
+    ack.type = net::MessageType::kAck;
+    ack.name = "have:" + message.name;
+    from.send(std::move(ack));
+    return;
+  }
+  // Ask for just the files we lack; handle_model_files stores them (and
+  // their blobs) and sends the normal post-store ACK.
+  send_control(from, "send_files:" + message.name, missing.encode());
 }
 
 void EdgeServer::handle_snapshot(net::Endpoint& from,

@@ -113,6 +113,10 @@ class EdgeServer {
   /// True while crashed (between a crash and its restart).
   bool down() const { return down_; }
   const ModelStore& model_store() const { return *store_; }
+  /// Content-addressed cache of every model file any client uploaded since
+  /// the last crash. Non-const so tests can corrupt_blob().
+  BlobStore& blob_store() { return blob_store_; }
+  const BlobStore& blob_store() const { return blob_store_; }
 
   struct Stats {
     int models_stored = 0;
@@ -129,6 +133,11 @@ class EdgeServer {
     int corrupt_rejected = 0;     ///< payload CRC mismatches rejected
     int model_missing_replies = 0;
     int jobs_expired = 0;         ///< queue-deadline cancellations
+    int model_offers = 0;         ///< kModelOffer pre-sends received
+    int dedup_hit_files = 0;      ///< offered files served from the cache
+    int dedup_miss_files = 0;     ///< offered files requested in full
+    int dedup_corrupt_blobs = 0;  ///< cached blobs failing their CRC check
+    std::uint64_t dedup_bytes_saved = 0;  ///< upload bytes skipped via cache
     double vm_synthesis_compute_s = 0;
   };
   const Stats& stats() const { return stats_; }
@@ -149,10 +158,12 @@ class EdgeServer {
  private:
   void on_message(net::Endpoint& from, const net::Message& message);
   void handle_model_files(net::Endpoint& from, const net::Message& message);
+  void handle_model_offer(net::Endpoint& from, const net::Message& message);
   void handle_snapshot(net::Endpoint& from, const net::Message& message);
   void handle_overlay(net::Endpoint& from, const net::Message& message);
   void refuse(net::Endpoint& from, const net::Message& message);
-  void send_control(net::Endpoint& to, const std::string& name);
+  void send_control(net::Endpoint& to, const std::string& name,
+                    util::Bytes payload = {});
   std::unique_ptr<serve::Scheduler> make_scheduler() const;
   /// Bump the counter "<obs_name>.<key>" if an obs sink is attached.
   void count(const char* key) {
@@ -166,6 +177,7 @@ class EdgeServer {
   /// (and are suppressed by the epoch check), so they must stay alive.
   std::vector<std::unique_ptr<serve::Scheduler>> retired_schedulers_;
   std::shared_ptr<ModelStore> store_;
+  BlobStore blob_store_;
   std::unique_ptr<BrowserHost> browser_;
   BrowserHost* last_browser_ = nullptr;
   /// Session kept from the last offload of each app: the realm plus the

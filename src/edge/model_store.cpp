@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "src/util/crc32.h"
+
 namespace offload::edge {
 
 void ModelStore::store_file(nn::ModelFile file) {
@@ -70,6 +72,40 @@ std::shared_ptr<nn::Network> ModelStore::instantiate(
   }
   cache_.emplace(app, net);
   return net;
+}
+
+void BlobStore::put(std::uint64_t digest, const util::Bytes& content) {
+  Blob blob;
+  blob.content = content;
+  blob.crc = util::crc32(std::span(content));
+  blobs_[digest] = std::move(blob);
+}
+
+const util::Bytes* BlobStore::find(std::uint64_t digest, bool* corrupt) {
+  if (corrupt) *corrupt = false;
+  auto it = blobs_.find(digest);
+  if (it == blobs_.end()) return nullptr;
+  if (util::crc32(std::span(it->second.content)) != it->second.crc) {
+    blobs_.erase(it);
+    if (corrupt) *corrupt = true;
+    return nullptr;
+  }
+  return &it->second.content;
+}
+
+void BlobStore::clear() { blobs_.clear(); }
+
+std::uint64_t BlobStore::total_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& [digest, blob] : blobs_) n += blob.content.size();
+  return n;
+}
+
+bool BlobStore::corrupt_blob(std::uint64_t digest) {
+  auto it = blobs_.find(digest);
+  if (it == blobs_.end() || it->second.content.empty()) return false;
+  it->second.content[0] ^= 0x5a;
+  return true;
 }
 
 }  // namespace offload::edge

@@ -45,4 +45,41 @@ class ModelStore {
   mutable std::unordered_map<std::string, std::shared_ptr<nn::Network>> cache_;
 };
 
+/// Content-addressed blob cache for pre-sent model files, keyed by the
+/// fnv1a digest the client offers. Shared by every client of one server;
+/// survives until a crash wipes it. Each blob's CRC is recorded at insert
+/// time and re-verified on lookup, so silent disk corruption downgrades to
+/// a cache miss (the client re-uploads) instead of serving a bad network.
+class BlobStore {
+ public:
+  /// Cache `content` under `digest` (overwrites an existing entry).
+  void put(std::uint64_t digest, const util::Bytes& content);
+
+  /// The cached bytes, or nullptr when absent. A blob whose bytes no
+  /// longer match their recorded CRC is evicted and reported through
+  /// `corrupt` (when non-null) — callers must treat it as a miss.
+  const util::Bytes* find(std::uint64_t digest, bool* corrupt = nullptr);
+
+  bool contains(std::uint64_t digest) const {
+    return blobs_.find(digest) != blobs_.end();
+  }
+
+  /// Drop everything (a crash loses the cache with the process).
+  void clear();
+
+  std::size_t blob_count() const { return blobs_.size(); }
+  std::uint64_t total_bytes() const;
+
+  /// Fault/test hook: flip one byte of a cached blob so the next find()
+  /// detects the CRC mismatch. Returns false if the digest is not cached.
+  bool corrupt_blob(std::uint64_t digest);
+
+ private:
+  struct Blob {
+    util::Bytes content;
+    std::uint32_t crc = 0;
+  };
+  std::unordered_map<std::uint64_t, Blob> blobs_;
+};
+
 }  // namespace offload::edge

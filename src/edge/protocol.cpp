@@ -42,6 +42,49 @@ ModelFilesPayload ModelFilesPayload::decode(
   return out;
 }
 
+util::Bytes ModelOfferPayload::encode() const {
+  util::BinaryWriter w;
+  w.varint(files.size());
+  for (const auto& f : files) {
+    w.str(f.name);
+    w.u64(f.digest);
+    w.u64(f.bytes);
+  }
+  return std::move(w).take();
+}
+
+ModelOfferPayload ModelOfferPayload::decode(
+    std::span<const std::uint8_t> data) {
+  util::BinaryReader r(data);
+  ModelOfferPayload out;
+  std::uint64_t count = r.varint();
+  out.files.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Entry e;
+    e.name = r.str();
+    e.digest = r.u64();
+    e.bytes = r.u64();
+    out.files.push_back(std::move(e));
+  }
+  return out;
+}
+
+util::Bytes FileListPayload::encode() const {
+  util::BinaryWriter w;
+  w.varint(names.size());
+  for (const auto& n : names) w.str(n);
+  return std::move(w).take();
+}
+
+FileListPayload FileListPayload::decode(std::span<const std::uint8_t> data) {
+  util::BinaryReader r(data);
+  FileListPayload out;
+  std::uint64_t count = r.varint();
+  out.names.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) out.names.push_back(r.str());
+  return out;
+}
+
 util::Bytes SnapshotPayload::encode() const {
   util::BinaryWriter w;
   w.u64(cut);

@@ -36,6 +36,31 @@ struct ModelFilesPayload {
   static ModelFilesPayload decode(std::span<const std::uint8_t> data);
 };
 
+/// Body of a kModelOffer message: per-file content digests of a pre-send.
+/// A server that already caches a blob under the same digest (uploaded by
+/// any client since its last crash) skips that file's body entirely — the
+/// Nth client's warmup shrinks from the model size to digest size.
+struct ModelOfferPayload {
+  struct Entry {
+    std::string name;           ///< model file name, e.g. "tinycnn.weights"
+    std::uint64_t digest = 0;   ///< fnv1a of the file content
+    std::uint64_t bytes = 0;    ///< content size (for bytes-saved stats)
+  };
+  std::vector<Entry> files;
+
+  util::Bytes encode() const;
+  static ModelOfferPayload decode(std::span<const std::uint8_t> data);
+};
+
+/// Body of a "send_files:" control reply: the subset of offered files the
+/// server does not hold and needs uploaded in full.
+struct FileListPayload {
+  std::vector<std::string> names;
+
+  util::Bytes encode() const;
+  static FileListPayload decode(std::span<const std::uint8_t> data);
+};
+
 /// Body of a kSnapshot / kResultSnapshot message: the snapshot program
 /// plus the partition point (SIZE_MAX when full inference), which the
 /// serving browser needs to run inference_rear on the right layer range.

@@ -1,0 +1,147 @@
+#include "src/fleet/balancer.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/util/hash.h"
+
+namespace offload::fleet {
+
+namespace {
+/// Ring positions need uniform dispersion across the full 64-bit space,
+/// which raw FNV-1a of short, similar strings ("server-0#1", "session-7")
+/// does not deliver — arcs end up lopsided. A splitmix64-style finalizer
+/// on top fixes the avalanche without changing the identity semantics.
+std::uint64_t mix(std::uint64_t h) {
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+std::uint64_t ring_point(std::string_view key) {
+  return mix(util::fnv1a(key));
+}
+}  // namespace
+
+Balancer::Balancer(BalancerConfig config, std::size_t num_servers)
+    : config_(std::move(config)), rng_(config_.seed, 0xba1a9ceull) {
+  if (num_servers == 0) {
+    throw std::invalid_argument("Balancer: empty fleet");
+  }
+  if (config_.policy != "hash" && config_.policy != "least_outstanding" &&
+      config_.policy != "p2c") {
+    throw std::invalid_argument("Balancer: unknown policy '" +
+                                config_.policy + "'");
+  }
+  if (config_.virtual_nodes < 1) config_.virtual_nodes = 1;
+  for (std::size_t id = 0; id < num_servers; ++id) servers_.push_back(id);
+  rebuild_ring();
+}
+
+void Balancer::add_server(std::size_t id) {
+  auto it = std::lower_bound(servers_.begin(), servers_.end(), id);
+  if (it != servers_.end() && *it == id) return;
+  servers_.insert(it, id);
+  rebuild_ring();
+}
+
+void Balancer::remove_server(std::size_t id) {
+  auto it = std::lower_bound(servers_.begin(), servers_.end(), id);
+  if (it == servers_.end() || *it != id) return;
+  if (servers_.size() == 1) {
+    throw std::logic_error("Balancer: cannot remove the last server");
+  }
+  servers_.erase(it);
+  rebuild_ring();
+}
+
+void Balancer::rebuild_ring() {
+  ring_.clear();
+  for (std::size_t id : servers_) {
+    for (int v = 0; v < config_.virtual_nodes; ++v) {
+      // A server's ring points depend only on its own id, so membership
+      // changes leave every other server's points untouched — the
+      // consistent-hashing remap guarantee.
+      std::string key =
+          "server-" + std::to_string(id) + "#" + std::to_string(v);
+      ring_.emplace_back(ring_point(key), id);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+int Balancer::load(std::size_t id, const std::vector<int>& outstanding) const {
+  return id < outstanding.size() ? outstanding[id] : 0;
+}
+
+std::vector<std::size_t> Balancer::route(std::string_view session,
+                                         const std::vector<int>& outstanding) {
+  if (config_.policy == "hash") return route_hash(session);
+  if (config_.policy == "least_outstanding") return route_least(outstanding);
+  return route_p2c(outstanding);
+}
+
+std::vector<std::size_t> Balancer::route_hash(std::string_view session) const {
+  std::vector<std::size_t> out;
+  const std::uint64_t point = ring_point(session);
+  // First ring entry at or after the session's point (wrapping), then walk
+  // clockwise collecting each distinct server once: the natural failover
+  // order of consistent hashing.
+  auto start = std::lower_bound(
+      ring_.begin(), ring_.end(),
+      std::make_pair(point, std::size_t{0}),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  const std::size_t n = ring_.size();
+  std::size_t begin = start == ring_.end()
+                          ? 0
+                          : static_cast<std::size_t>(start - ring_.begin());
+  for (std::size_t i = 0; i < n && out.size() < servers_.size(); ++i) {
+    std::size_t id = ring_[(begin + i) % n].second;
+    if (std::find(out.begin(), out.end(), id) == out.end()) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> Balancer::route_least(
+    const std::vector<int>& outstanding) const {
+  std::vector<std::size_t> out = servers_;
+  std::stable_sort(out.begin(), out.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     int la = load(a, outstanding);
+                     int lb = load(b, outstanding);
+                     if (la != lb) return la < lb;
+                     return a < b;
+                   });
+  return out;
+}
+
+std::vector<std::size_t> Balancer::route_p2c(
+    const std::vector<int>& outstanding) {
+  const std::size_t n = servers_.size();
+  if (n == 1) return servers_;
+  // Two distinct draws from the seeded stream (always exactly two, so the
+  // stream position — and therefore every later decision — is independent
+  // of the load values).
+  std::uint32_t i = rng_.next_below(static_cast<std::uint32_t>(n));
+  std::uint32_t j = rng_.next_below(static_cast<std::uint32_t>(n - 1));
+  if (j >= i) ++j;
+  std::size_t a = servers_[i];
+  std::size_t b = servers_[j];
+  // Strictly less loaded wins; an exact tie keeps the first draw (the
+  // classic p2c rule) — deterministic, since the draws are, and it spreads
+  // an idle fleet instead of collapsing onto the lowest id.
+  if (load(b, outstanding) < load(a, outstanding)) std::swap(a, b);
+  std::vector<std::size_t> out{a, b};
+  // Remaining servers by (load, id): sensible deep-failover order.
+  for (std::size_t id : route_least(outstanding)) {
+    if (id != a && id != b) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace offload::fleet

@@ -1,0 +1,75 @@
+// Deterministic load-balancing policies for an edge-server fleet. A
+// Balancer turns a session key plus the fleet's current per-server
+// outstanding counts into an ordered candidate list: index 0 is the
+// primary, the rest are failover targets in preference order (what
+// ClientDevice::attach_server consumes).
+//
+// Three policies, all bit-for-bit reproducible:
+//   "hash"              — consistent hashing over virtual nodes: a session
+//                         sticks to one server, and adding/removing a
+//                         server remaps only ~1/N of the sessions.
+//   "least_outstanding" — pick the server with the fewest in-flight
+//                         requests; ties break to the lower id.
+//   "p2c"               — power-of-two-choices: two draws from a seeded
+//                         PCG32 stream, keep the less loaded (classic
+//                         log-log-n max-load balance at a fraction of the
+//                         coordination cost); a load tie keeps the first
+//                         draw, so an idle fleet still spreads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace offload::fleet {
+
+struct BalancerConfig {
+  /// "hash" | "least_outstanding" | "p2c".
+  std::string policy = "hash";
+  /// Seed of the p2c draw stream (unused by the other policies).
+  std::uint64_t seed = 1;
+  /// Ring points per server for consistent hashing.
+  int virtual_nodes = 64;
+};
+
+class Balancer {
+ public:
+  /// Servers get ids 0..num_servers-1. Throws std::invalid_argument on an
+  /// unknown policy name or an empty fleet.
+  Balancer(BalancerConfig config, std::size_t num_servers);
+
+  /// Bring a (new or previously removed) server id into rotation.
+  void add_server(std::size_t id);
+  /// Take a server out of rotation (crash/drain). With consistent
+  /// hashing, only sessions it owned remap.
+  void remove_server(std::size_t id);
+  /// Live server ids, ascending.
+  const std::vector<std::size_t>& servers() const { return servers_; }
+
+  /// Ordered candidate list for `session` (primary first, every live
+  /// server exactly once). `outstanding` is indexed by server id; ids
+  /// beyond its size count as idle. The p2c policy consumes one pair of
+  /// draws from its stream per call, so two balancers with the same seed
+  /// and call sequence route identically.
+  std::vector<std::size_t> route(std::string_view session,
+                                 const std::vector<int>& outstanding);
+
+ private:
+  int load(std::size_t id, const std::vector<int>& outstanding) const;
+  void rebuild_ring();
+  std::vector<std::size_t> route_hash(std::string_view session) const;
+  std::vector<std::size_t> route_least(
+      const std::vector<int>& outstanding) const;
+  std::vector<std::size_t> route_p2c(const std::vector<int>& outstanding);
+
+  BalancerConfig config_;
+  std::vector<std::size_t> servers_;  ///< live ids, ascending
+  /// Consistent-hash ring: (point, server id), sorted by point then id.
+  std::vector<std::pair<std::uint64_t, std::size_t>> ring_;
+  util::Pcg32 rng_;
+};
+
+}  // namespace offload::fleet

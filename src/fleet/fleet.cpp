@@ -1,0 +1,111 @@
+#include "src/fleet/fleet.h"
+
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace offload::fleet {
+
+namespace {
+constexpr std::size_t kIdle = std::numeric_limits<std::size_t>::max();
+}  // namespace
+
+EdgeFleet::EdgeFleet(sim::Simulation& sim, FleetConfig config)
+    : sim_(sim), config_(std::move(config)) {
+  if (config_.size == 0) {
+    throw std::invalid_argument("EdgeFleet: size must be at least 1");
+  }
+  balancer_ = std::make_unique<Balancer>(config_.balancer, config_.size);
+  outstanding_.assign(config_.size, 0);
+}
+
+EdgeFleet::~EdgeFleet() = default;
+
+std::string EdgeFleet::server_name(std::size_t k) const {
+  // A fleet of one keeps the historical single-server name, so channel
+  // endpoint names, obs resources, and therefore every golden trace stay
+  // byte-identical to the pre-fleet runtime.
+  if (config_.size == 1) return "server";
+  return "fleet/server" + std::to_string(k);
+}
+
+EdgeFleet::ClientLink EdgeFleet::connect_client(const std::string& name) {
+  ClientLink link;
+  link.id = charged_.size();
+  charged_.push_back(kIdle);
+  const bool first = servers_.empty();
+  for (std::size_t k = 0; k < config_.size; ++k) {
+    auto channel =
+        net::Channel::make(sim_, config_.channel, name, server_name(k));
+    if (config_.obs) channel->set_obs(config_.obs);
+    if (first) {
+      edge::EdgeServerConfig server_config = config_.server;
+      server_config.obs = config_.obs;
+      // A real fleet namespaces each server's metrics/spans; the
+      // degenerate fleet keeps the caller's obs_name untouched.
+      if (config_.size > 1) server_config.obs_name = server_name(k);
+      servers_.push_back(std::make_unique<edge::EdgeServer>(
+          sim_, channel->b(), std::move(server_config)));
+    } else {
+      servers_[k]->attach(channel->b());
+    }
+    link.endpoints.push_back(&channel->a());
+    link.channels.push_back(channel.get());
+    channels_.push_back(std::move(channel));
+  }
+  return link;
+}
+
+void EdgeFleet::configure_client(edge::ClientConfig& config,
+                                 const ClientLink& link,
+                                 const std::string& session) {
+  config.dedup_presend = config_.dedup;
+  if (config_.size == 1) return;  // degenerate: no routing hook, no markers
+  const std::size_t id = link.id;
+  config.route = [this, id, session](std::uint64_t) {
+    return route_for(id, session);
+  };
+  config.on_inference_done = [this, id](std::size_t, bool) {
+    complete_for(id);
+  };
+}
+
+std::vector<std::size_t> EdgeFleet::route_for(std::size_t client,
+                                              const std::string& session) {
+  std::vector<std::size_t> order = balancer_->route(session, outstanding_);
+  const std::size_t primary = order.empty() ? 0 : order.front();
+  // Charge the primary for the whole inference. Completion (wherever the
+  // inference actually finished) releases the same charge, so the
+  // outstanding gauges never drift even across failovers.
+  if (charged_[client] != kIdle) complete_for(client);
+  charged_[client] = primary;
+  if (primary < outstanding_.size()) ++outstanding_[primary];
+  if (config_.obs) {
+    config_.obs->trace.marker(0, 0, "route:server" + std::to_string(primary),
+                              "fleet/balancer", sim_.now());
+    config_.obs->metrics.add("fleet.routed.server" + std::to_string(primary));
+    config_.obs->metrics.set_gauge(
+        "fleet.outstanding.server" + std::to_string(primary),
+        outstanding_[primary]);
+  }
+  return order;
+}
+
+void EdgeFleet::complete_for(std::size_t client) {
+  const std::size_t k = charged_[client];
+  charged_[client] = kIdle;
+  if (k >= outstanding_.size() || outstanding_[k] == 0) return;
+  --outstanding_[k];
+  if (config_.obs) {
+    config_.obs->metrics.set_gauge(
+        "fleet.outstanding.server" + std::to_string(k), outstanding_[k]);
+  }
+}
+
+std::uint64_t EdgeFleet::dedup_bytes_saved() const {
+  std::uint64_t total = 0;
+  for (const auto& s : servers_) total += s->stats().dedup_bytes_saved;
+  return total;
+}
+
+}  // namespace offload::fleet

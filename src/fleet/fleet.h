@@ -1,0 +1,104 @@
+// An edge-server fleet: N edge::EdgeServers (each client gets a dedicated
+// shaped channel to every server), a Balancer routing each inference to a
+// server, per-server outstanding accounting, and the content-addressed
+// model pre-send flag wired into client configs. The degenerate fleet —
+// size 1, "hash" policy, dedup off — is bit-for-bit identical to the
+// single-server runtime: same endpoint names, same obs resources, same
+// event order.
+//
+// Usage (the OffloadingRuntime does exactly this):
+//   fleet::EdgeFleet fleet(sim, fleet_config);
+//   auto link = fleet.connect_client("client");
+//   fleet.configure_client(client_config, link, "client");
+//   edge::ClientDevice client(sim, *link.endpoints[0], client_config, app);
+//   for (std::size_t k = 1; k < link.endpoints.size(); ++k)
+//     client.attach_server(*link.endpoints[k]);
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/edge/client_device.h"
+#include "src/edge/edge_server.h"
+#include "src/fleet/balancer.h"
+#include "src/net/channel.h"
+#include "src/obs/obs.h"
+#include "src/sim/simulation.h"
+
+namespace offload::fleet {
+
+struct FleetConfig {
+  /// Number of edge servers. 1 reproduces the single-server runtime.
+  std::size_t size = 1;
+  BalancerConfig balancer;
+  /// Turn on content-addressed pre-send for every connected client.
+  bool dedup = false;
+  /// Link shape used for every client↔server channel.
+  net::ChannelConfig channel;
+  /// Template for every server (obs_name is overridden per server).
+  edge::EdgeServerConfig server;
+  /// Shared observability sink (servers, channels, routing markers).
+  obs::Obs* obs = nullptr;
+};
+
+class EdgeFleet {
+ public:
+  EdgeFleet(sim::Simulation& sim, FleetConfig config);
+  ~EdgeFleet();
+
+  /// One connected client's view of the fleet: an endpoint (and channel)
+  /// per server, in fleet order. Index k talks to server k, so the vector
+  /// doubles as the ClientDevice attach order.
+  struct ClientLink {
+    std::size_t id = 0;
+    std::vector<net::Endpoint*> endpoints;
+    std::vector<net::Channel*> channels;
+  };
+
+  /// Create this client's channels (one per server). The first client's
+  /// channels also bring the servers up — server k is constructed on its
+  /// b-side endpoint; later clients attach.
+  ClientLink connect_client(const std::string& name);
+
+  /// Wire fleet policy into a client config: the balancer routing hook,
+  /// completion accounting, and the dedup pre-send flag. `session` is the
+  /// balancer's session key (hash policy pins it to a server). With a
+  /// fleet of one the config is left untouched except for dedup — the
+  /// degenerate path stays byte-identical to the plain runtime.
+  void configure_client(edge::ClientConfig& config, const ClientLink& link,
+                        const std::string& session);
+
+  std::size_t size() const { return config_.size; }
+  edge::EdgeServer& server(std::size_t k) { return *servers_[k]; }
+  std::size_t servers_up() const { return servers_.size(); }
+  Balancer& balancer() { return *balancer_; }
+  /// In-flight inferences per server (fleet accounting, not the server's
+  /// own queue — that is the scheduler's queue_depth gauge).
+  const std::vector<int>& outstanding() const { return outstanding_; }
+  /// Sum of every server's dedup_bytes_saved.
+  std::uint64_t dedup_bytes_saved() const;
+  /// "server" for a fleet of one (degenerate naming), else
+  /// "fleet/server<k>" — used for channel endpoint names and obs
+  /// resources alike.
+  std::string server_name(std::size_t k) const;
+
+ private:
+  std::vector<std::size_t> route_for(std::size_t client,
+                                     const std::string& session);
+  void complete_for(std::size_t client);
+
+  sim::Simulation& sim_;
+  FleetConfig config_;
+  std::unique_ptr<Balancer> balancer_;
+  std::vector<std::unique_ptr<edge::EdgeServer>> servers_;
+  std::vector<std::unique_ptr<net::Channel>> channels_;
+  std::vector<int> outstanding_;
+  /// Per-client: the server charged for its in-flight inference (SIZE_MAX
+  /// when idle). Completion decrements the same server the route charged,
+  /// even if a failover finished the inference elsewhere.
+  std::vector<std::size_t> charged_;
+};
+
+}  // namespace offload::fleet

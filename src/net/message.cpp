@@ -18,6 +18,8 @@ const char* message_type_name(MessageType t) {
       return "VmOverlay";
     case MessageType::kControl:
       return "Control";
+    case MessageType::kModelOffer:
+      return "ModelOffer";
   }
   return "?";
 }
@@ -36,7 +38,7 @@ Message Message::decode(std::span<const std::uint8_t> wire) {
   util::BinaryReader r(wire);
   Message m;
   auto t = r.u8();
-  if (t < 1 || t > 6) throw util::DecodeError("Message: bad type");
+  if (t < 1 || t > 7) throw util::DecodeError("Message: bad type");
   m.type = static_cast<MessageType>(t);
   m.id = r.u64();
   m.name = r.str();

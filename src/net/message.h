@@ -18,6 +18,8 @@ enum class MessageType : std::uint8_t {
   kResultSnapshot = 4, ///< Server → client: snapshot with the result state.
   kVmOverlay = 5,      ///< Client → server: on-demand system install.
   kControl = 6,        ///< Small control/handshake messages.
+  kModelOffer = 7,     ///< Client → server: per-file digests of a pre-send,
+                       ///< so a server holding the blobs can skip the body.
 };
 
 const char* message_type_name(MessageType t);

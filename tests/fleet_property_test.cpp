@@ -1,0 +1,266 @@
+// Property tests for the fleet balancer (src/fleet) and the routed
+// end-to-end pipeline.
+//
+// The balancer is pure state + a seeded PCG32 stream, so its properties are
+// checked directly over a wide seed grid (hundreds of seeds × three
+// policies × fleet sizes) — determinism across identical runs and across
+// worker-pool thread counts, the p2c max-load bound, and the
+// consistent-hashing remap guarantee. A smaller end-to-end grid then runs
+// whole supervised offloads through a routed fleet under PR 3 fault plans
+// and demands that no inference is ever lost.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/offload.h"
+#include "src/obs/export.h"
+#include "src/util/thread_pool.h"
+
+namespace offload::fleet {
+namespace {
+
+struct PoolGuard {
+  ~PoolGuard() { util::set_default_pool_threads(0); }
+};
+
+nn::BenchmarkModel tiny_model() {
+  return {"TinyCNN", &nn::build_tiny_cnn_default, 17, 32};
+}
+
+const char* kPolicies[] = {"hash", "least_outstanding", "p2c"};
+const std::size_t kSizes[] = {2, 4, 8};
+
+/// Drive one balancer through a fixed request schedule (route, charge the
+/// primary, release the oldest charge every third request) and serialize
+/// every candidate list. Any nondeterminism anywhere shows up as a string
+/// diff.
+std::string routing_transcript(const BalancerConfig& config, std::size_t n,
+                               int requests) {
+  Balancer balancer(config, n);
+  std::vector<int> outstanding(n, 0);
+  std::vector<std::size_t> charges;
+  std::ostringstream out;
+  for (int r = 0; r < requests; ++r) {
+    std::vector<std::size_t> order =
+        balancer.route("session-" + std::to_string(r % 17), outstanding);
+    out << r << ":";
+    for (std::size_t id : order) out << " " << id;
+    out << "\n";
+    charges.push_back(order.front());
+    ++outstanding[order.front()];
+    if (r % 3 == 2) {
+      --outstanding[charges.front()];
+      charges.erase(charges.begin());
+    }
+  }
+  return out.str();
+}
+
+TEST(FleetProperty, RoutingDeterministicAcrossRunsAndThreadCounts) {
+  PoolGuard guard;
+  for (const char* policy : kPolicies) {
+    for (std::size_t n : kSizes) {
+      for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+        BalancerConfig config;
+        config.policy = policy;
+        config.seed = seed;
+        util::set_default_pool_threads(1);
+        const std::string first = routing_transcript(config, n, 60);
+        const std::string again = routing_transcript(config, n, 60);
+        util::set_default_pool_threads(4);
+        const std::string threaded = routing_transcript(config, n, 60);
+        ASSERT_EQ(first, again)
+            << policy << " n=" << n << " seed=" << seed << " is unstable";
+        ASSERT_EQ(first, threaded)
+            << policy << " n=" << n << " seed=" << seed
+            << " depends on OFFLOAD_THREADS";
+      }
+    }
+  }
+}
+
+TEST(FleetProperty, CandidateListIsAPermutationOfTheFleet) {
+  for (const char* policy : kPolicies) {
+    for (std::size_t n : kSizes) {
+      BalancerConfig config;
+      config.policy = policy;
+      config.seed = 7;
+      Balancer balancer(config, n);
+      std::vector<int> outstanding(n, 0);
+      for (int r = 0; r < 100; ++r) {
+        std::vector<std::size_t> order =
+            balancer.route("s" + std::to_string(r), outstanding);
+        ASSERT_EQ(order.size(), n) << policy;
+        std::set<std::size_t> distinct(order.begin(), order.end());
+        ASSERT_EQ(distinct.size(), n)
+            << policy << " repeated a server in one candidate list";
+        ASSERT_LT(*std::max_element(order.begin(), order.end()), n);
+        outstanding[order.front()] = (outstanding[order.front()] + r) % 5;
+      }
+    }
+  }
+}
+
+TEST(FleetProperty, P2cMaxLoadStaysWithinLogLogBoundOfMean) {
+  // Balls-into-bins with load feedback: place `balls` sticky requests
+  // (each charges its primary permanently). Classic p2c theory bounds the
+  // max bin at mean + O(log log n); with full load visibility the constant
+  // is tiny, so mean + log2(log2(n)+1) + 2 is generous yet sharp enough to
+  // catch a broken draw stream (uniform random placement would exceed it
+  // with overwhelming probability at these counts).
+  for (std::size_t n : kSizes) {
+    for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+      BalancerConfig config;
+      config.policy = "p2c";
+      config.seed = seed;
+      Balancer balancer(config, n);
+      const int balls = 200 * static_cast<int>(n);
+      std::vector<int> outstanding(n, 0);
+      for (int r = 0; r < balls; ++r) {
+        std::vector<std::size_t> order = balancer.route("", outstanding);
+        ++outstanding[order.front()];
+      }
+      const double mean = static_cast<double>(balls) / static_cast<double>(n);
+      const double bound =
+          mean + std::log2(std::log2(static_cast<double>(n)) + 1.0) + 2.0;
+      const int max_load =
+          *std::max_element(outstanding.begin(), outstanding.end());
+      ASSERT_LE(max_load, bound)
+          << "n=" << n << " seed=" << seed << " p2c balance degenerated";
+    }
+  }
+}
+
+TEST(FleetProperty, ConsistentHashRemapsAtMostTwoOverNOnRemoval) {
+  const int kSessions = 1000;
+  for (std::size_t n : {std::size_t{4}, std::size_t{8}}) {
+    BalancerConfig config;
+    config.policy = "hash";
+    Balancer balancer(config, n);
+    std::vector<int> idle(n, 0);
+    std::map<std::string, std::size_t> before;
+    for (int s = 0; s < kSessions; ++s) {
+      std::string key = "session-" + std::to_string(s);
+      before[key] = balancer.route(key, idle).front();
+    }
+    for (std::size_t removed = 0; removed < n; ++removed) {
+      balancer.remove_server(removed);
+      int remapped = 0;
+      for (const auto& [key, old_primary] : before) {
+        std::size_t now = balancer.route(key, idle).front();
+        if (old_primary == removed) {
+          ASSERT_NE(now, removed);
+          ++remapped;
+        } else {
+          // The consistent-hashing contract: sessions not owned by the
+          // removed server keep their primary exactly.
+          ASSERT_EQ(now, old_primary)
+              << key << " moved although server " << removed
+              << " did not own it";
+        }
+      }
+      ASSERT_LE(remapped, 2 * kSessions / static_cast<int>(n))
+          << "removing server " << removed << " of " << n
+          << " remapped too much";
+      // Re-adding restores the original assignment bit-for-bit.
+      balancer.add_server(removed);
+      for (const auto& [key, old_primary] : before) {
+        ASSERT_EQ(balancer.route(key, idle).front(), old_primary);
+      }
+    }
+  }
+}
+
+TEST(FleetProperty, HashFailoverOrderSurvivesPrimaryRemoval) {
+  // Removing a session's primary must promote its *existing* second
+  // choice — the ring walk is unchanged apart from the removed points.
+  BalancerConfig config;
+  config.policy = "hash";
+  Balancer balancer(config, 5);
+  std::vector<int> idle(5, 0);
+  for (int s = 0; s < 200; ++s) {
+    std::string key = "k" + std::to_string(s);
+    std::vector<std::size_t> order = balancer.route(key, idle);
+    balancer.remove_server(order[0]);
+    ASSERT_EQ(balancer.route(key, idle).front(), order[1]) << key;
+    balancer.add_server(order[0]);
+  }
+}
+
+TEST(FleetProperty, BalancerRejectsBadConfigurations) {
+  BalancerConfig bad;
+  bad.policy = "round_robin";
+  EXPECT_THROW(Balancer(bad, 3), std::invalid_argument);
+  EXPECT_THROW(Balancer(BalancerConfig{}, 0), std::invalid_argument);
+  Balancer one(BalancerConfig{}, 1);
+  EXPECT_THROW(one.remove_server(0), std::logic_error);
+}
+
+/// One supervised, fleet-routed end-to-end run under a PR 3 fault plan:
+/// message chaos on the primary link plus one primary crash. Returns the
+/// client's completed-inference count.
+std::size_t run_routed_faulted(const char* policy, std::uint64_t seed,
+                               obs::Obs* obs_out) {
+  edge::AppBundle bundle = core::make_benchmark_app(tiny_model(), false);
+  core::RuntimeConfig config;
+  config.fleet.size = 2;
+  config.fleet.balancer.policy = policy;
+  config.fleet.balancer.seed = seed;
+  config.fleet.dedup = true;
+  config.client.supervisor.enabled = true;
+  config.click_at =
+      core::after_ack_click_time(*bundle.network, false, 0, 30e6);
+  fault::FaultPlanConfig faults = fault::FaultPlanConfig::uniform(0.05, seed);
+  fault::CrashSpec crash;
+  crash.first_at = config.click_at + sim::SimTime::millis(2);
+  crash.downtime = sim::SimTime::seconds(3);
+  faults.crashes.push_back(crash);
+  config.faults = faults;
+  obs::Obs local;
+  config.obs = obs_out != nullptr ? obs_out : &local;
+  core::OffloadingRuntime runtime(config, std::move(bundle));
+  runtime.client().click_at(config.click_at + sim::SimTime::seconds(6));
+  runtime.client().click_at(config.click_at + sim::SimTime::seconds(12));
+  core::RunResult result = runtime.run();
+  EXPECT_TRUE(result.timeline.finished.has_value());
+  // Every click completed: the two archived timelines plus the final one.
+  EXPECT_EQ(runtime.client().history().size(), 2u);
+  for (const edge::ClientTimeline& t : runtime.client().history()) {
+    EXPECT_TRUE(t.finished.has_value()) << "an inference was lost";
+  }
+  return runtime.client().history().size() + 1;
+}
+
+TEST(FleetProperty, NoInferenceLostUnderFaultsAcrossPoliciesAndSeeds) {
+  PoolGuard guard;
+  util::set_default_pool_threads(1);
+  for (const char* policy : kPolicies) {
+    for (std::uint64_t seed : {11ull, 23ull, 47ull}) {
+      SCOPED_TRACE(std::string(policy) + " seed=" + std::to_string(seed));
+      EXPECT_EQ(run_routed_faulted(policy, seed, nullptr), 3u);
+    }
+  }
+}
+
+TEST(FleetProperty, RoutedTraceByteIdenticalAcrossThreadCounts) {
+  PoolGuard guard;
+  util::set_default_pool_threads(1);
+  obs::Obs one;
+  run_routed_faulted("p2c", 23, &one);
+  util::set_default_pool_threads(4);
+  obs::Obs four;
+  run_routed_faulted("p2c", 23, &four);
+  // Route markers, dedup counters, per-server spans: all byte-identical —
+  // the fleet layer sits entirely above the worker pool.
+  EXPECT_EQ(obs::to_jsonl(one.trace), obs::to_jsonl(four.trace));
+  EXPECT_EQ(one.metrics.dump_text(), four.metrics.dump_text());
+}
+
+}  // namespace
+}  // namespace offload::fleet

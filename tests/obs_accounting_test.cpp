@@ -10,6 +10,7 @@
 // parents, and no two units of work overlapping on one serial resource.
 #include <gtest/gtest.h>
 
+#include <set>
 #include <string>
 #include <vector>
 
@@ -262,6 +263,48 @@ TEST(ObsAccounting, LeafSumsReconcileAcrossConfigGrid) {
       }
     }
   }
+}
+
+TEST(ObsAccounting, FleetServerResourcesReconcile) {
+  // A balanced 2-server run with dedup pre-send: the breakdown must still
+  // reconcile exactly against raw leaf sums, with every server-side span
+  // carried by a namespaced fleet/server<k> resource.
+  edge::AppBundle bundle = make_benchmark_app(tiny_model(), false);
+  RuntimeConfig config;
+  config.fleet.size = 2;
+  config.fleet.balancer.policy = "p2c";
+  config.fleet.dedup = true;
+  config.click_at = after_ack_click_time(*bundle.network, false, 0, 30e6);
+  TracedRun run;
+  run.label = "fleet p2c dedup";
+  config.obs = &run.obs;
+  OffloadingRuntime runtime(config, std::move(bundle));
+  run.result = runtime.run();
+
+  ASSERT_TRUE(run.result.offloaded);
+  check_accounting(run);
+  check_tree_basics(run.obs.trace, run.label);
+  check_tree_geometry(run.obs.trace, run.label);
+
+  // Server-side work runs on exactly one fleet server, and its spans say
+  // which: every exclusive server span's resource is fleet-namespaced.
+  std::set<std::string> server_resources;
+  for (const obs::Span& s : run.obs.trace.spans()) {
+    switch (s.kind) {
+      case obs::SpanKind::kServerRestore:
+      case obs::SpanKind::kServerExec:
+      case obs::SpanKind::kServerCapture:
+      case obs::SpanKind::kLaneBusy:
+        EXPECT_EQ(s.resource.rfind("fleet/server", 0), 0u)
+            << s.name << " ran on non-fleet resource " << s.resource;
+        server_resources.insert(s.resource.substr(0, 13));
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_EQ(server_resources.size(), 1u)
+      << "one inference must execute on exactly one server";
 }
 
 TEST(ObsAccounting, FaultedSupervisedTreeIsWellFormed) {

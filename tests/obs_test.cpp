@@ -57,6 +57,26 @@ void run_faulted_scenario(obs::Obs& obs) {
   runtime.run();
 }
 
+/// The pinned fleet scenario: two servers behind a p2c balancer with
+/// content-addressed pre-send on, three clicks from one supervised client.
+/// Routing markers, per-server (fleet/server<k>) spans and gauges, and the
+/// dedup counters all land in the golden.
+void run_fleet_scenario(obs::Obs& obs) {
+  edge::AppBundle bundle = make_benchmark_app(tiny_model(), false);
+  RuntimeConfig config;
+  config.fleet.size = 2;
+  config.fleet.balancer.policy = "p2c";
+  config.fleet.balancer.seed = 5;
+  config.fleet.dedup = true;
+  config.client.supervisor.enabled = true;
+  config.click_at = after_ack_click_time(*bundle.network, false, 0, 30e6);
+  config.obs = &obs;
+  OffloadingRuntime runtime(config, std::move(bundle));
+  runtime.client().click_at(config.click_at + sim::SimTime::seconds(4));
+  runtime.client().click_at(config.click_at + sim::SimTime::seconds(8));
+  runtime.run();
+}
+
 std::string read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return {};
@@ -107,6 +127,29 @@ TEST(ObsGolden, FaultedTraceMatchesGoldenByteForByte) {
   ASSERT_GT(obs.trace.size(), 20u);  // the run exercises the span taxonomy
   check_golden("faulted_trace.jsonl", obs::to_jsonl(obs.trace));
   check_golden("faulted_metrics.txt", obs.metrics.dump_text());
+}
+
+TEST(ObsGolden, FleetTraceMatchesGoldenByteForByte) {
+  PoolGuard guard;
+  util::set_default_pool_threads(1);
+  obs::Obs obs;
+  run_fleet_scenario(obs);
+  const std::string trace = obs::to_jsonl(obs.trace);
+  const std::string metrics = obs.metrics.dump_text();
+  // The balanced run actually exercised the fleet machinery.
+  EXPECT_NE(trace.find("fleet/balancer"), std::string::npos);
+  EXPECT_NE(trace.find("fleet/server0"), std::string::npos);
+  EXPECT_NE(metrics.find("fleet.routed."), std::string::npos);
+  check_golden("fleet_trace.jsonl", trace);
+  check_golden("fleet_metrics.txt", metrics);
+
+  // Same run at OFFLOAD_THREADS=4: byte-identical — routing and dedup sit
+  // entirely above the worker pool.
+  util::set_default_pool_threads(4);
+  obs::Obs threaded;
+  run_fleet_scenario(threaded);
+  EXPECT_EQ(obs::to_jsonl(threaded.trace), trace);
+  EXPECT_EQ(threaded.metrics.dump_text(), metrics);
 }
 
 TEST(ObsGolden, TraceIdenticalAcrossThreadCountsAndRuns) {
