@@ -1,10 +1,25 @@
 #include "src/sim/simulation.h"
 
-#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
+#include <string_view>
 
 namespace offload::sim {
+
+namespace {
+
+SchedulerKind scheduler_from_env() {
+  const char* env = std::getenv("OFFLOAD_SIM_SCHED");
+  if (env == nullptr || *env == '\0') return SchedulerKind::kWheel;
+  std::string_view v(env);
+  if (v == "wheel") return SchedulerKind::kWheel;
+  if (v == "heap") return SchedulerKind::kHeap;
+  throw std::invalid_argument(
+      "OFFLOAD_SIM_SCHED must be 'heap' or 'wheel'");
+}
+
+}  // namespace
 
 std::string SimTime::str() const {
   char buf[64];
@@ -19,31 +34,71 @@ std::string SimTime::str() const {
   return buf;
 }
 
+Simulation::Simulation() : Simulation(scheduler_from_env()) {}
+
+Simulation::Simulation(SchedulerKind kind) : kind_(kind) {}
+
 EventHandle Simulation::schedule_at(SimTime when, EventFn fn) {
   if (when < now_) {
     throw std::logic_error("Simulation::schedule_at: time is in the past");
   }
   std::uint64_t seq = next_seq_++;
-  queue_.push(Entry{when, seq, std::move(fn)});
-  pending_.insert(seq);
-  return EventHandle(seq);
+  EventNode* node = arena_.allocate(when, seq, std::move(fn));
+  ++pending_;
+  if (kind_ == SchedulerKind::kWheel) {
+    wheel_.insert(TimingWheel::Record{
+        static_cast<std::uint64_t>(when.ns()), seq, node->index});
+  } else {
+    heap_.push(HeapKey{when, seq, node->index});
+  }
+  return EventHandle(node->index, node->gen);
 }
 
 bool Simulation::cancel(EventHandle handle) {
   if (!handle.valid()) return false;
-  return pending_.erase(handle.seq_) > 0;
+  EventNode* node = arena_.resolve(handle.index_, handle.gen_);
+  if (node == nullptr) return false;
+  --pending_;
+  // Both backends keep (when, seq, index) records, not the node: the
+  // record stays behind as a tombstone and is skipped lazily (the live
+  // seq no longer matches); the closure and the node are reclaimed now.
+  arena_.release(node);
+  return true;
+}
+
+EventNode* Simulation::peek_next() {
+  if (kind_ == SchedulerKind::kWheel) return wheel_.peek();
+  while (!heap_.empty()) {
+    const HeapKey& key = heap_.top();
+    EventNode* node = arena_.at(key.index);
+    if (node->seq == key.seq) return node;  // live (seqs are unique)
+    heap_.pop();                            // cancelled: slot was recycled
+  }
+  return nullptr;
 }
 
 bool Simulation::fire_next() {
-  while (!queue_.empty()) {
-    Entry e = queue_.top();
-    queue_.pop();
-    if (pending_.erase(e.seq) == 0) continue;  // Cancelled event; skip.
-    now_ = e.when;
-    e.fn();
-    return true;
+  EventNode* node;
+  if (kind_ == SchedulerKind::kWheel) {
+    node = wheel_.pop();  // one scan, not peek-then-pop
+    if (node == nullptr) return false;
+  } else {
+    node = peek_next();
+    if (node == nullptr) return false;
+    heap_.pop();
   }
-  return false;
+  now_ = node->when;
+  --pending_;
+  // Tombstone the slot before running user code, so a cancel of this very
+  // event from inside its own callback is a clean "already fired" no (the
+  // sequence number no longer matches, and resolve() treats seq == 0 as
+  // free). The closure runs in place — no move of the inline capture
+  // buffer — and the node is recycled right after; the node cannot be
+  // handed out again mid-callback because it is not on the free list yet.
+  node->seq = 0;
+  node->fn.consume();  // invoke + destroy, one dispatch
+  arena_.release(node);
+  return true;
 }
 
 std::size_t Simulation::run() {
@@ -55,11 +110,8 @@ std::size_t Simulation::run() {
 std::size_t Simulation::run_until(SimTime deadline) {
   std::size_t fired = 0;
   while (true) {
-    // Prune cancelled entries so the deadline check sees a live event.
-    while (!queue_.empty() && pending_.count(queue_.top().seq) == 0) {
-      queue_.pop();
-    }
-    if (queue_.empty() || queue_.top().when > deadline) break;
+    EventNode* node = peek_next();
+    if (node == nullptr || node->when > deadline) break;
     if (fire_next()) ++fired;
   }
   if (now_ < deadline) now_ = deadline;

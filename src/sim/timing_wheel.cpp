@@ -1,0 +1,250 @@
+#include "src/sim/timing_wheel.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace offload::sim {
+
+int TimingWheel::level_for(std::uint64_t t, std::uint64_t base) {
+  // The lowest level whose *parent* slot matches the cursor's: such an
+  // event needs no further cascading to be fired from that level.
+  if ((t >> kSlotBits) == (base >> kSlotBits)) return 0;
+  if ((t >> (2 * kSlotBits)) == (base >> (2 * kSlotBits))) return 1;
+  if ((t >> (3 * kSlotBits)) == (base >> (3 * kSlotBits))) return 2;
+  if ((t >> kBlockBits) == (base >> kBlockBits)) return 3;
+  return -1;  // different block: calendar overflow
+}
+
+void TimingWheel::insert(const Record& rec) {
+  if (rec.when < base_) {
+    // The cursor ran ahead of `now` (a run_until drained the next slot
+    // past its deadline); merge into the due batch in (when, seq) order.
+    auto it = std::lower_bound(
+        due_.begin() + static_cast<std::ptrdiff_t>(due_head_), due_.end(),
+        rec, [](const Record& a, const Record& b) {
+          if (a.when != b.when) return a.when < b.when;
+          return a.seq < b.seq;
+        });
+    due_.insert(it, rec);
+    return;
+  }
+  insert_at(rec);
+}
+
+void TimingWheel::insert_at(const Record& rec) {
+  int level = level_for(rec.when, base_);
+  if (level < 0) {
+    // Steady-state workloads land almost every overflow insert in the
+    // same (next) block; memoize that bucket to skip the map walk.
+    std::uint64_t key = rec.when >> kBlockBits;
+    if (key != ovf_key_ || ovf_bucket_ == nullptr) {
+      ovf_bucket_ = &overflow_[key];
+      ovf_key_ = key;
+    }
+    ovf_bucket_->push_back(rec);
+    return;
+  }
+  int idx = static_cast<int>((rec.when >> (level * kSlotBits)) & (kSlots - 1));
+  slots_[level][idx].push_back(rec);
+  set_bit(level, idx);
+}
+
+int TimingWheel::find_bit(int level, int from) const {
+  if (from >= kSlots) return -1;
+  int word = from >> 6;
+  std::uint64_t mask = ~0ULL << (from & 63);
+  for (; word < kSlots / 64; ++word) {
+    std::uint64_t bits = bits_[level][word] & mask;
+    if (bits != 0) return word * 64 + std::countr_zero(bits);
+    mask = ~0ULL;
+  }
+  return -1;
+}
+
+void TimingWheel::set_bit(int level, int idx) {
+  bits_[level][idx >> 6] |= 1ULL << (idx & 63);
+}
+
+void TimingWheel::clear_bit(int level, int idx) {
+  bits_[level][idx >> 6] &= ~(1ULL << (idx & 63));
+}
+
+void TimingWheel::cascade_scratch() {
+  // Re-binning never targets the slot being drained: the cursor already
+  // advanced, so every record lands at a strictly lower level (or, after
+  // a block migration, anywhere in the now-current wheels).
+  for (const Record& r : scratch_) insert_at(r);
+  scratch_.clear();
+}
+
+void TimingWheel::migrate_lowest_bucket() {
+  auto it = overflow_.begin();
+  base_ = it->first << kBlockBits;  // jump the cursor to the block start
+  scratch_.swap(it->second);
+  overflow_.erase(it);
+  ovf_bucket_ = nullptr;  // the memoized bucket may be the erased node
+  cascade_scratch();
+}
+
+bool TimingWheel::fill_due() {
+  while (true) {
+    // A level-1 direct drain of slot 255 parks the cursor at the start of
+    // the NEXT window, entering it without the cascade that normally
+    // empties the cursor's outer-level slots — so the level-2 (and, when
+    // the carry ripples further, level-3) slot under the cursor may still
+    // hold this window's records. Drain those top-down first; inserts
+    // never target a cursor slot at these levels, so occupied-at-cursor
+    // implies base_ is exactly the window start and every record is ahead
+    // of it.
+    for (int level = kLevels - 1; level >= 2; --level) {
+      int cur = static_cast<int>((base_ >> (level * kSlotBits)) &
+                                 (kSlots - 1));
+      if (!slots_[level][cur].empty()) {
+        scratch_.swap(slots_[level][cur]);
+        clear_bit(level, cur);
+        cascade_scratch();
+      }
+    }
+    // The cursor's own level-1 slot may still hold records (deposited
+    // before the cursor entered this 2^16-ns window) whose timestamps
+    // interleave with — or precede — whatever level 0 holds. Re-bin it
+    // through insert() first: timestamps behind base_ merge into the due
+    // batch in order, the rest land in level 0 for the scan below.
+    int cur1 =
+        static_cast<int>((base_ >> kSlotBits) & (kSlots - 1));
+    if (!slots_[1][cur1].empty()) {
+      scratch_.swap(slots_[1][cur1]);
+      clear_bit(1, cur1);
+      for (const Record& r : scratch_) insert(r);
+      scratch_.clear();
+    }
+    // Level 0: the slot at the cursor itself may hold events at == base_.
+    int idx = find_bit(0, static_cast<int>(base_ & (kSlots - 1)));
+    if (idx >= 0) {
+      base_ = (base_ & ~static_cast<std::uint64_t>(kSlots - 1)) |
+              static_cast<std::uint64_t>(idx);
+      std::vector<Record>& slot = slots_[0][idx];
+      clear_bit(0, idx);
+      // One level-0 slot == one exact timestamp; FIFO order is seq order.
+      std::sort(slot.begin(), slot.end(),
+                [](const Record& a, const Record& b) { return a.seq < b.seq; });
+      due_.insert(due_.end(), slot.begin(), slot.end());
+      slot.clear();
+      return true;
+    }
+    // The cur1 re-bin above may have produced only behind-cursor merges.
+    if (due_head_ < due_.size()) return true;
+    // Level 1 ahead of the cursor: every record in such a slot is later
+    // than anything fired or currently due, and one slot spans only 256
+    // ticks — so skip the level-0 round trip and drain it straight into
+    // the due batch in (when, seq) order, parking the cursor at the end
+    // of the slot's range (inserts landing inside it merge via the
+    // behind-cursor path above).
+    int j1 = find_bit(1, cur1 + 1);
+    if (j1 >= 0) {
+      std::uint64_t group = base_ >> kSlotBits;
+      group = (group & ~static_cast<std::uint64_t>(kSlots - 1)) |
+              static_cast<std::uint64_t>(j1);
+      base_ = (group + 1) << kSlotBits;
+      std::vector<Record>& slot = slots_[1][j1];
+      clear_bit(1, j1);
+      std::sort(slot.begin(), slot.end(),
+                [](const Record& a, const Record& b) {
+                  if (a.when != b.when) return a.when < b.when;
+                  return a.seq < b.seq;
+                });
+      due_.insert(due_.end(), slot.begin(), slot.end());
+      slot.clear();
+      return true;
+    }
+    // Level 2 ahead of the cursor: levels 0 and 1 just came up empty, so
+    // the rest of the current 2^16-ns window holds nothing — everything
+    // in the next occupied level-2 slot is strictly later than anything
+    // fired or due. Drain it straight into the due batch as one sorted
+    // ~2^16-tick block (the batch size is also what makes the peek-time
+    // node prefetch effective), parking the cursor past the slot's range.
+    int cur2 = static_cast<int>((base_ >> (2 * kSlotBits)) & (kSlots - 1));
+    int j2 = find_bit(2, cur2);
+    if (j2 >= 0) {
+      std::uint64_t group = base_ >> (2 * kSlotBits);
+      group = (group & ~static_cast<std::uint64_t>(kSlots - 1)) |
+              static_cast<std::uint64_t>(j2);
+      base_ = (group + 1) << (2 * kSlotBits);
+      std::vector<Record>& slot = slots_[2][j2];
+      clear_bit(2, j2);
+      std::sort(slot.begin(), slot.end(),
+                [](const Record& a, const Record& b) {
+                  if (a.when != b.when) return a.when < b.when;
+                  return a.seq < b.seq;
+                });
+      due_.insert(due_.end(), slot.begin(), slot.end());
+      slot.clear();
+      return true;
+    }
+    // Level 3: one slot spans 2^24 ticks — too wide to park the cursor
+    // behind (inserts inside it would pay a due-batch merge on a batch
+    // thousands long), so cascade it into the levels below and rescan.
+    int cur3 = static_cast<int>((base_ >> (3 * kSlotBits)) & (kSlots - 1));
+    int j3 = find_bit(3, cur3);
+    if (j3 >= 0) {
+      std::uint64_t group = base_ >> (3 * kSlotBits);
+      group = (group & ~static_cast<std::uint64_t>(kSlots - 1)) |
+              static_cast<std::uint64_t>(j3);
+      base_ = group << (3 * kSlotBits);
+      scratch_.swap(slots_[3][j3]);
+      clear_bit(3, j3);
+      cascade_scratch();
+      continue;
+    }
+    if (overflow_.empty()) return false;
+    migrate_lowest_bucket();
+  }
+}
+
+EventNode* TimingWheel::peek() {
+  while (true) {
+    while (due_head_ < due_.size()) {
+      const Record& rec = due_[due_head_];
+      EventNode* node = arena_.at(rec.index);
+      if (node->seq != rec.seq) {
+        ++due_head_;  // tombstone: cancelled, slot possibly reused
+        continue;
+      }
+      if (due_head_ + kPrefetchDepth < due_.size()) {
+        // Pull an upcoming due node toward the cache while the caller
+        // works through the ones before it (pure latency hiding; no
+        // semantic effect). Fetching several events ahead matters: one
+        // event's worth of work is far shorter than a DRAM load, so a
+        // depth-1 prefetch would barely start before the stall. A node
+        // spans two cache lines (timestamp/links + the inline closure
+        // buffer), so touch both.
+        const char* ahead = reinterpret_cast<const char*>(
+            arena_.at(due_[due_head_ + kPrefetchDepth].index));
+        __builtin_prefetch(ahead);
+        __builtin_prefetch(ahead + 64);
+      }
+      return node;
+    }
+    due_.clear();
+    due_head_ = 0;
+    if (!fill_due()) return nullptr;
+    // Warm the head of the fresh batch; the steady-state prefetch above
+    // only covers entries kPrefetchDepth or more ahead.
+    std::size_t warm = due_.size() < kPrefetchDepth ? due_.size()
+                                                    : kPrefetchDepth;
+    for (std::size_t i = 0; i < warm; ++i) {
+      const char* node = reinterpret_cast<const char*>(arena_.at(due_[i].index));
+      __builtin_prefetch(node);
+      __builtin_prefetch(node + 64);
+    }
+  }
+}
+
+EventNode* TimingWheel::pop() {
+  EventNode* node = peek();
+  if (node != nullptr) ++due_head_;
+  return node;
+}
+
+}  // namespace offload::sim

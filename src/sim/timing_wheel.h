@@ -1,0 +1,105 @@
+// Hierarchical timing wheel for the discrete-event scheduler. Four levels
+// of 256 slots at 1 ns tick resolution cover a 2^32 ns (~4.29 s) block;
+// events beyond the current block overflow into a calendar queue of
+// per-block buckets that are pulled back into the wheels when the clock
+// reaches their block. Schedule and cancel are O(1); advancing the clock
+// skips empty regions via per-level occupancy bitmaps, and each event
+// cascades through at most (levels-1) slots on its way down — so a full
+// schedule→fire cycle is amortized O(1) regardless of how many million
+// events are pending.
+//
+// The wheel stores compact POD records {when, seq, index}, not the event
+// nodes themselves: cascading a slot streams a contiguous vector the
+// hardware prefetcher can keep ahead of (at 10^6 pending events this is
+// the difference between a cascade being a memcpy-speed redistribution
+// and a serialized pointer chase through ~100-byte nodes). The arena node
+// — timestamp, closure, generation — is touched exactly twice per event:
+// at fire and at release. Cancellation releases the node eagerly and
+// leaves the record behind as a tombstone; a record is stale iff the
+// arena slot's live sequence number no longer matches (sequence numbers
+// are globally unique, so slot reuse can never resurrect a tombstone).
+//
+// Determinism (DESIGN.md §8): a level-0 slot holds exactly one timestamp,
+// and draining it sorts the batch by sequence number — so equal-timestamp
+// events fire in exact FIFO schedule order no matter how they cascaded
+// through the outer wheels or the overflow calendar. The binary-heap
+// backend in simulation.cpp fires the same (when, seq) order; a
+// differential test in tests/sim_test.cpp holds the two to byte-identical
+// firing sequences over randomized schedule/cancel workloads.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/sim/event_arena.h"
+
+namespace offload::sim {
+
+class TimingWheel {
+ public:
+  static constexpr int kLevels = 4;
+  static constexpr int kSlotBits = 8;
+  static constexpr int kSlots = 1 << kSlotBits;  // 256
+  /// Ticks (ns) covered by one block = the whole wheel hierarchy.
+  static constexpr int kBlockBits = kLevels * kSlotBits;  // 32
+  /// How many due events ahead peek() prefetches the arena node for: one
+  /// event's processing is much shorter than a DRAM load, so the fetch
+  /// must be issued several events early to complete in time.
+  static constexpr std::size_t kPrefetchDepth = 4;
+
+  /// A scheduled event's key: all the wheel needs to order and locate it.
+  struct Record {
+    std::uint64_t when;  ///< ticks (ns)
+    std::uint64_t seq;
+    std::uint32_t index;  ///< arena slot
+  };
+
+  explicit TimingWheel(EventArena& arena) : arena_(arena) {}
+  TimingWheel(const TimingWheel&) = delete;
+  TimingWheel& operator=(const TimingWheel&) = delete;
+
+  /// Accept a record for a live node. `when` may be anywhere at or after
+  /// the last fired timestamp; times before the wheel cursor (a
+  /// `run_until` past the last event can leave the cursor ahead) are
+  /// merged into the pending due batch in (when, seq) order. There is no
+  /// remove: cancellation releases the arena slot, which turns the
+  /// record into a tombstone skipped at peek time.
+  void insert(const Record& rec);
+
+  /// Next live event in (when, seq) order, or nullptr when empty.
+  /// Repeated calls return the same node until pop(). May advance the
+  /// wheel cursor and cascade slots, but never runs user code.
+  EventNode* peek();
+
+  /// Remove and return the next live event (nullptr when empty).
+  EventNode* pop();
+
+ private:
+  static int level_for(std::uint64_t t, std::uint64_t base);
+
+  void insert_at(const Record& rec);
+  bool fill_due();
+  int find_bit(int level, int from) const;
+  void set_bit(int level, int idx);
+  void clear_bit(int level, int idx);
+  /// Redistribute a drained slot (or overflow bucket) from scratch_.
+  void cascade_scratch();
+  void migrate_lowest_bucket();
+
+  EventArena& arena_;
+  std::uint64_t base_ = 0;  ///< wheel cursor, in ticks (ns)
+  std::vector<Record> slots_[kLevels][kSlots];
+  std::uint64_t bits_[kLevels][kSlots / 64] = {};
+  /// Far-future calendar: block number (when >> kBlockBits) → bucket.
+  std::map<std::uint64_t, std::vector<Record>> overflow_;
+  /// One-entry memo of the last overflow bucket touched by insert_at().
+  std::vector<Record>* ovf_bucket_ = nullptr;
+  std::uint64_t ovf_key_ = 0;
+  /// Drained records in firing order; consumed from due_head_.
+  std::vector<Record> due_;
+  std::size_t due_head_ = 0;
+  std::vector<Record> scratch_;
+};
+
+}  // namespace offload::sim

@@ -1,0 +1,193 @@
+#include "src/sim/workload.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace offload::sim::workload {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+
+/// splitmix64 finalizer: stable per-client draws (device class, warm
+/// pre-seed) that do not depend on arrival order or consume RNG stream.
+std::uint64_t mix(std::uint64_t h) {
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+double unit_fraction(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+}  // namespace
+
+std::vector<DeviceClass> default_device_classes() {
+  // The three paper apps across a fast/slow device split; edge service
+  // times follow the WebGL-server ablation (DESIGN.md §6), uplinks span
+  // Wi-Fi to congested cellular so cold pre-sends differ meaningfully.
+  return {
+      {"googlenet_phone", 0.35, 8.0, 26.7, 41.0, 21.76},
+      {"agenet_phone", 0.45, 12.0, 11.6, 18.0, 9.57},
+      {"gendernet_embedded", 0.20, 3.0, 11.6, 18.0, 9.57},
+  };
+}
+
+double DiurnalCurve::factor(double t_s) const {
+  if (!enabled) return 1.0;
+  double phase = t_s / period_s - peak_at_frac;
+  return trough + (peak - trough) * 0.5 * (1.0 + std::cos(kTwoPi * phase));
+}
+
+Generator::Generator(Simulation& sim, Config config, RequestFn on_request)
+    : sim_(sim),
+      config_(std::move(config)),
+      on_request_(std::move(on_request)),
+      arrival_rng_(config_.seed, 0xa221),
+      session_rng_(config_.seed, 0x5e55) {
+  if (config_.clients == 0) {
+    throw std::invalid_argument("workload::Generator: zero clients");
+  }
+  classes_ = config_.device_classes.empty() ? default_device_classes()
+                                            : config_.device_classes;
+  double total = 0;
+  for (const DeviceClass& c : classes_) total += c.weight;
+  if (total <= 0) {
+    throw std::invalid_argument("workload::Generator: class weights <= 0");
+  }
+  double acc = 0;
+  for (const DeviceClass& c : classes_) {
+    acc += c.weight / total;
+    class_cdf_.push_back(acc);
+  }
+  class_cdf_.back() = 1.0;  // close rounding gaps
+  clients_.assign(config_.clients, ClientState{SimTime::nanos(-1)});
+
+  const ArrivalConfig& a = config_.arrivals;
+  rate_max_ = a.session_rate_per_s;
+  if (a.pattern == ArrivalConfig::Pattern::kBursty) {
+    rate_max_ *= a.burst_multiplier;
+  }
+  if (a.diurnal.enabled) {
+    rate_max_ *= std::max(a.diurnal.peak, a.diurnal.trough);
+  }
+  for (const FlashCrowd& f : a.flash_crowds) {
+    rate_max_ *= std::max(1.0, f.multiplier);  // envelope covers overlaps
+  }
+  if (rate_max_ <= 0) {
+    throw std::invalid_argument("workload::Generator: arrival rate <= 0");
+  }
+}
+
+std::uint32_t Generator::device_class_of(std::uint64_t client) const {
+  double u = unit_fraction(mix(client ^ (config_.seed * 0x9e3779b97f4a7c15ull)));
+  for (std::size_t i = 0; i < class_cdf_.size(); ++i) {
+    if (u < class_cdf_[i]) return static_cast<std::uint32_t>(i);
+  }
+  return static_cast<std::uint32_t>(class_cdf_.size() - 1);
+}
+
+double Generator::rate_at(double t_s) const {
+  const ArrivalConfig& a = config_.arrivals;
+  double rate = a.session_rate_per_s * a.diurnal.factor(t_s);
+  for (const FlashCrowd& f : a.flash_crowds) {
+    if (t_s >= f.at_s && t_s < f.at_s + f.duration_s) rate *= f.multiplier;
+  }
+  return rate;
+}
+
+double Generator::exp_draw(util::Pcg32& rng, double mean) {
+  return -mean * std::log(1.0 - rng.canonical());
+}
+
+void Generator::start(SimTime until) {
+  until_s_ = until.to_seconds();
+  arrival_cursor_s_ = sim_.now().to_seconds();
+  if (config_.arrivals.pattern == ArrivalConfig::Pattern::kBursty) {
+    burst_on_ = false;
+    burst_until_s_ =
+        arrival_cursor_s_ + exp_draw(arrival_rng_, config_.arrivals.mean_off_s);
+  }
+  schedule_next_arrival();
+}
+
+void Generator::schedule_next_arrival() {
+  const ArrivalConfig& a = config_.arrivals;
+  // Non-homogeneous Poisson via Lewis thinning: candidate gaps from the
+  // constant envelope rate_max_, accepted with probability rate(t)/max.
+  while (true) {
+    arrival_cursor_s_ += exp_draw(arrival_rng_, 1.0 / rate_max_);
+    if (arrival_cursor_s_ >= until_s_) return;  // stream exhausted
+    if (a.pattern == ArrivalConfig::Pattern::kBursty) {
+      while (burst_until_s_ <= arrival_cursor_s_) {
+        burst_on_ = !burst_on_;
+        burst_until_s_ +=
+            exp_draw(arrival_rng_, burst_on_ ? a.mean_on_s : a.mean_off_s);
+      }
+    }
+    double rate = rate_at(arrival_cursor_s_);
+    if (a.pattern == ArrivalConfig::Pattern::kBursty && burst_on_) {
+      rate *= a.burst_multiplier;
+    }
+    if (arrival_rng_.canonical() * rate_max_ < rate) break;
+  }
+  sim_.schedule_at(SimTime::seconds(arrival_cursor_s_), [this] {
+    begin_session();
+    schedule_next_arrival();
+  });
+}
+
+void Generator::begin_session() {
+  std::uint64_t client =
+      session_rng_.next_below(static_cast<std::uint32_t>(config_.clients));
+  std::uint32_t klass = device_class_of(client);
+  ClientState& st = clients_[client];
+  if (st.warm_until.ns() < 0) {
+    // First touch: some clients start the experiment with a warm cache.
+    double u = unit_fraction(
+        mix(client ^ (config_.seed * 0xd1342543de82ef95ull)));
+    if (u < config_.session.warm_start_fraction) {
+      st.warm_until = SimTime::seconds(config_.session.cache_ttl_s);
+    }
+  }
+  bool cold = sim_.now() > st.warm_until;
+  std::uint32_t count = 1;
+  double p_more = config_.session.mean_requests <= 1.0
+                      ? 0.0
+                      : 1.0 - 1.0 / config_.session.mean_requests;
+  while (session_rng_.chance(p_more)) ++count;
+  ++sessions_started_;
+  if (cold) ++cold_sessions_;
+  emit_request(client, sessions_started_, klass, 0, count - 1, cold);
+}
+
+void Generator::emit_request(std::uint64_t client, std::uint64_t session,
+                             std::uint32_t klass, std::uint32_t index,
+                             std::uint32_t remaining, bool cold) {
+  Request req;
+  req.client = client;
+  req.session = session;
+  req.device_class = klass;
+  req.index_in_session = index;
+  req.cold_model = cold;
+  req.at = sim_.now();
+  ++requests_emitted_;
+  clients_[client].warm_until =
+      sim_.now() + SimTime::seconds(config_.session.cache_ttl_s);
+  on_request_(req);
+  if (remaining > 0) {
+    double gap = exp_draw(session_rng_, config_.session.mean_think_s);
+    sim_.schedule(SimTime::seconds(gap),
+                  [this, client, session, klass, index, remaining] {
+                    emit_request(client, session, klass, index + 1,
+                                 remaining - 1, false);
+                  });
+  }
+}
+
+}  // namespace offload::sim::workload
