@@ -78,6 +78,14 @@ void TimingWheel::cascade_scratch() {
   scratch_.clear();
 }
 
+void TimingWheel::park_cursor(std::uint64_t parked) {
+  std::uint64_t block = base_ >> kBlockBits;
+  if ((parked >> kBlockBits) != block) {
+    parked = ((block + 1) << kBlockBits) - 1;
+  }
+  base_ = parked;
+}
+
 void TimingWheel::migrate_lowest_bucket() {
   auto it = overflow_.begin();
   base_ = it->first << kBlockBits;  // jump the cursor to the block start
@@ -146,7 +154,7 @@ bool TimingWheel::fill_due() {
       std::uint64_t group = base_ >> kSlotBits;
       group = (group & ~static_cast<std::uint64_t>(kSlots - 1)) |
               static_cast<std::uint64_t>(j1);
-      base_ = (group + 1) << kSlotBits;
+      park_cursor((group + 1) << kSlotBits);
       std::vector<Record>& slot = slots_[1][j1];
       clear_bit(1, j1);
       std::sort(slot.begin(), slot.end(),
@@ -170,7 +178,7 @@ bool TimingWheel::fill_due() {
       std::uint64_t group = base_ >> (2 * kSlotBits);
       group = (group & ~static_cast<std::uint64_t>(kSlots - 1)) |
               static_cast<std::uint64_t>(j2);
-      base_ = (group + 1) << (2 * kSlotBits);
+      park_cursor((group + 1) << (2 * kSlotBits));
       std::vector<Record>& slot = slots_[2][j2];
       clear_bit(2, j2);
       std::sort(slot.begin(), slot.end(),

@@ -79,6 +79,15 @@ class TimingWheel {
   static int level_for(std::uint64_t t, std::uint64_t base);
 
   void insert_at(const Record& rec);
+  /// Park the cursor after a direct drain, clamped so it never carries
+  /// into the next 2^32-tick block: the overflow calendar may still hold
+  /// that block's bucket, and a cursor already inside the block would let
+  /// newly inserted events reach the wheel levels and fire ahead of the
+  /// stranded bucket (fill_due migrates overflow only once the levels are
+  /// empty, and the migration would drag base_ backwards). Parking at the
+  /// block's last tick keeps next-block inserts flowing into the calendar
+  /// until the migration runs.
+  void park_cursor(std::uint64_t parked);
   bool fill_due();
   int find_bit(int level, int from) const;
   void set_bit(int level, int idx);

@@ -143,8 +143,7 @@ void Generator::schedule_next_arrival() {
 }
 
 void Generator::begin_session() {
-  std::uint64_t client =
-      session_rng_.next_below(static_cast<std::uint32_t>(config_.clients));
+  std::uint64_t client = session_rng_.next_below64(config_.clients);
   std::uint32_t klass = device_class_of(client);
   ClientState& st = clients_[client];
   if (st.warm_until.ns() < 0) {

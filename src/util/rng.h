@@ -44,6 +44,21 @@ class Pcg32 {
     }
   }
 
+  /// Uniform in [0, bound) for 64-bit bounds, rejection-sampled like
+  /// next_below. Bounds that fit in 32 bits delegate to next_below and
+  /// consume the identical stream, so callers can widen without
+  /// perturbing existing seeded runs.
+  std::uint64_t next_below64(std::uint64_t bound) {
+    if (bound <= 0xffffffffULL) {
+      return next_below(static_cast<std::uint32_t>(bound));
+    }
+    std::uint64_t threshold = (0 - bound) % bound;
+    while (true) {
+      std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
   /// 53-bit uniform in [0, 1).
   double canonical() {
     return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);

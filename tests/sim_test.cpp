@@ -214,6 +214,58 @@ TEST_P(SimulationBackends, FarFutureAndBlockBoundaryOrdering) {
   EXPECT_EQ(sim.now(), SimTime::nanos(90 * kBlock + 123));
 }
 
+TEST_P(SimulationBackends, DirectDrainAtBlockTopDoesNotStrandOverflow) {
+  // Regression: draining the top level-2 slot of a block used to park the
+  // cursor into the NEXT 2^32 ns block while the calendar still held that
+  // block's bucket. A follow-up scheduled from inside the drained
+  // callback then entered the wheel levels and fired ahead of the
+  // stranded bucket — out of timestamp order, with now() moving
+  // backwards when the bucket finally migrated.
+  Simulation sim(GetParam());
+  const std::int64_t kBlock = std::int64_t{1} << 32;
+  std::vector<int> order;
+  std::vector<std::int64_t> fired_at;
+  auto record = [&](int id) {
+    order.push_back(id);
+    fired_at.push_back(sim.now().ns());
+  };
+  sim.schedule_at(SimTime::nanos(kBlock + 5), [&] { record(1); });
+  sim.schedule_at(SimTime::nanos(kBlock - 50), [&] {
+    record(2);
+    sim.schedule_at(SimTime::nanos(kBlock + 1000), [&] { record(3); });
+  });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{2, 1, 3}));
+  EXPECT_EQ(fired_at, (std::vector<std::int64_t>{kBlock - 50, kBlock + 5,
+                                                 kBlock + 1000}));
+  EXPECT_EQ(sim.now(), SimTime::nanos(kBlock + 1000));
+}
+
+TEST_P(SimulationBackends, Level1DirectDrainAtBlockTopDoesNotStrand) {
+  // Same carry bug via the level-1 direct-drain path: the first event
+  // parks the cursor at the start of the block's top 2^16 ns window, the
+  // second then sits in level-1 slot 255 whose drain would carry into
+  // the next block.
+  Simulation sim(GetParam());
+  const std::int64_t kBlock = std::int64_t{1} << 32;
+  std::vector<int> order;
+  std::int64_t last_ns = 0;
+  auto record = [&](int id) {
+    order.push_back(id);
+    EXPECT_GE(sim.now().ns(), last_ns) << "now() must never move backwards";
+    last_ns = sim.now().ns();
+  };
+  sim.schedule_at(SimTime::nanos(kBlock + 5), [&] { record(3); });
+  sim.schedule_at(SimTime::nanos(kBlock - 2 * 65536 + 7), [&] { record(1); });
+  sim.schedule_at(SimTime::nanos(kBlock - 100), [&] {
+    record(2);
+    sim.schedule_at(SimTime::nanos(kBlock + 1000), [&] { record(4); });
+  });
+  EXPECT_EQ(sim.run(), 4u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(sim.now(), SimTime::nanos(kBlock + 1000));
+}
+
 TEST_P(SimulationBackends, EqualFarTimestampScheduledAcrossAdvances) {
   // A and B share a far timestamp; B is scheduled later (after the clock
   // moved), so it must fire second even though it entered the wheel at a
@@ -375,6 +427,43 @@ TEST(SchedulerDifferential, IdenticalFiringOrderAcrossBackends) {
   for (std::uint64_t seed = 1; seed <= 25; ++seed) {
     SCOPED_TRACE("seed " + std::to_string(seed));
     RunDifferentialWorkload(seed, 600);
+  }
+}
+
+TEST(SchedulerDifferential, BlockBoundaryClusteredOrdering) {
+  // Timestamps clustered tightly around 2^32 ns block boundaries, so the
+  // top slots of every wheel level — the direct-drain paths whose cursor
+  // parking can carry across a block — are hit constantly while the next
+  // block's overflow bucket is pending, and chained follow-ups land in
+  // that bucket's block from inside callbacks.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    DifferentialSim heap(SchedulerKind::kHeap);
+    DifferentialSim wheel(SchedulerKind::kWheel);
+    Pcg32 rng(seed, 0xb10c);
+    const std::int64_t kBlock = std::int64_t{1} << 32;
+    int next_id = 0;
+    for (int round = 1; round <= 4; ++round) {
+      for (int i = 0; i < 300; ++i) {
+        std::int64_t target = round * kBlock - 70000 +
+                              static_cast<std::int64_t>(rng.next_below(80000));
+        std::int64_t now = heap.sim.now().ns();
+        if (target < now) target = now;
+        int chain = rng.next_below(8) == 0 ? 1 : 0;
+        int id = next_id++;
+        heap.schedule_recording(target - now, id, chain);
+        wheel.schedule_recording(target - now, id, chain);
+      }
+      SimTime until = SimTime::nanos(round * kBlock + 500);
+      std::size_t a = heap.sim.run_until(until);
+      std::size_t b = wheel.sim.run_until(until);
+      ASSERT_EQ(a, b) << "run_until fired-count diverged in round " << round;
+      ASSERT_EQ(heap.sim.now().ns(), wheel.sim.now().ns());
+    }
+    heap.sim.run();
+    wheel.sim.run();
+    ASSERT_EQ(heap.fired, wheel.fired);
+    EXPECT_EQ(heap.sim.now().ns(), wheel.sim.now().ns());
   }
 }
 

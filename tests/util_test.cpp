@@ -123,6 +123,33 @@ TEST(Rng, BoundsRespected) {
   EXPECT_EQ(rng.next_below(1), 0u);
 }
 
+TEST(Rng, NextBelow64MatchesNextBelowFor32BitBounds) {
+  // Callers widened to next_below64 (workload client picks) must keep the
+  // exact stream of existing seeded runs when the bound fits in 32 bits.
+  Pcg32 a(21);
+  Pcg32 b(21);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next_below64(1000000), b.next_below(1000000));
+  }
+  EXPECT_EQ(a.next_below64(0), 0u);
+  EXPECT_EQ(a.next_below64(0xffffffffULL), b.next_below(0xffffffffu));
+}
+
+TEST(Rng, NextBelow64AddressesFullRangeAboveUint32) {
+  // Regression: a population bound above 2^32 must not be truncated to
+  // its low 32 bits — draws have to cover the whole range.
+  Pcg32 rng(23);
+  const std::uint64_t bound = 5ull << 32;
+  bool above_32_bits = false;
+  for (int i = 0; i < 200; ++i) {
+    std::uint64_t v = rng.next_below64(bound);
+    EXPECT_LT(v, bound);
+    if (v > 0xffffffffULL) above_32_bits = true;
+  }
+  // P(all 200 draws land in the low 2^32 slice) = (1/5)^200.
+  EXPECT_TRUE(above_32_bits);
+}
+
 TEST(Rng, GaussianMoments) {
   Pcg32 rng(11);
   Accumulator acc;
