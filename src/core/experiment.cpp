@@ -51,7 +51,13 @@ std::size_t first_pool_cut(const nn::Network& net) {
   for (std::size_t cut : net.cut_points()) {
     if (net.layer(cut).kind() == nn::LayerKind::kMaxPool) return cut;
   }
-  throw std::runtime_error("first_pool_cut: network has no pooling cut point");
+  for (std::size_t cut : net.cut_points()) {
+    if (net.layer(cut).kind() == nn::LayerKind::kAvgPool) return cut;
+  }
+  for (std::size_t cut : net.cut_points()) {
+    if (net.layer(cut).kind() == nn::LayerKind::kConv) return cut;
+  }
+  return net.cut_points().front();
 }
 
 sim::SimTime after_ack_click_time(const nn::Network& net, bool rear_only,

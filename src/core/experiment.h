@@ -43,7 +43,13 @@ struct CutLabel {
 };
 std::vector<CutLabel> labeled_cut_points(const nn::Network& net);
 
-/// The paper's chosen offloading point: the first pooling layer.
+/// The paper's chosen offloading point: the first pooling layer (max pool
+/// preferred, then average pool). Networks with no pooling cut point fall
+/// back to the first conv cut point, and failing that to the first cut
+/// point (node 0 / full offload for a multi-node net; for a single-node
+/// net the only cut point is the final node, i.e. fully local). The
+/// fallback chain is pinned by partition_test so the controller can
+/// iterate candidates on any model without special cases.
 std::size_t first_pool_cut(const nn::Network& net);
 
 /// A click time safely after the model ACK for this app/config.

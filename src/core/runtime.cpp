@@ -32,6 +32,27 @@ OffloadingRuntime::OffloadingRuntime(RuntimeConfig config,
   fleet_ = std::make_unique<fleet::EdgeFleet>(sim_, std::move(fleet_config));
   link_ = fleet_->connect_client("client");
   fleet_->configure_client(config_.client, link_, "client");
+  {
+    // Partition-controller telemetry: the scheduler's pull accessors and
+    // the fleet's outstanding counts, read live at decision time. Always
+    // wired — the client only calls it when an adaptive policy is on.
+    config_.client.signals = [this](std::size_t server) {
+      ctrl::LinkSignals s;
+      if (server < fleet_->servers_up()) {
+        const serve::Scheduler& sched = fleet_->server(server).scheduler();
+        s.queue_depth = sched.queue_depth();
+        s.lanes = sched.lanes();
+        s.batch_wait_s = sched.recent_batch_wait_s();
+        s.outstanding = fleet_->outstanding_for(server);
+      } else if (secondary_server_) {
+        const serve::Scheduler& sched = secondary_server_->scheduler();
+        s.queue_depth = sched.queue_depth();
+        s.lanes = sched.lanes();
+        s.batch_wait_s = sched.recent_batch_wait_s();
+      }
+      return s;
+    };
+  }
   client_ = std::make_unique<edge::ClientDevice>(
       sim_, *link_.endpoints[0], config_.client, std::move(app));
   for (std::size_t k = 1; k < link_.endpoints.size(); ++k) {

@@ -94,6 +94,10 @@ class OffloadingRuntime {
   fleet::EdgeFleet& fleet() { return *fleet_; }
   /// The failover server (null unless secondary_server was requested).
   edge::EdgeServer* secondary() { return secondary_server_.get(); }
+  /// The client's channels to the fleet (index k ↔ server k). Benches use
+  /// channel->link_a_to_b().set_bandwidth_bps(...) to model netem-style
+  /// mid-run bandwidth shifts for the dynamic-partitioning experiments.
+  const fleet::EdgeFleet::ClientLink& client_link() const { return link_; }
   /// The active fault plan (null for fault-free runs).
   fault::FaultPlan* fault_plan() {
     return injector_ ? &injector_->plan() : nullptr;

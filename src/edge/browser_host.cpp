@@ -94,6 +94,12 @@ void BrowserHost::reset_realm() {
 }
 
 void BrowserHost::set_partition_cut(const std::string& app, std::size_t cut) {
+  // Validate when the model is known here (servers may record a cut before
+  // the model pre-send arrives; those are checked at instantiation).
+  if (store_->can_instantiate(app)) {
+    const std::size_t nodes = store_->instantiate(app)->size();
+    if (cut >= nodes) throw InvalidCutError(app, cut, nodes);
+  }
   cuts_[app] = cut;
 }
 

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 
@@ -22,6 +23,18 @@
 #include "src/nn/device.h"
 
 namespace offload::edge {
+
+/// Thrown by BrowserHost::set_partition_cut for a cut index outside the
+/// model's node range. Typed so callers (controller, tests) can
+/// distinguish a bad cut from other out_of_range conditions.
+class InvalidCutError : public std::out_of_range {
+ public:
+  InvalidCutError(const std::string& app, std::size_t cut,
+                  std::size_t node_count)
+      : std::out_of_range("invalid partition cut " + std::to_string(cut) +
+                          " for model '" + app + "' with " +
+                          std::to_string(node_count) + " nodes") {}
+};
 
 class BrowserHost {
  public:
@@ -36,7 +49,9 @@ class BrowserHost {
   void reset_realm();
 
   /// Set the partition point used by inference_front/inference_rear for
-  /// one model. `cut` is a node index of the model's network.
+  /// one model. `cut` is a node index of the model's network; when the
+  /// model is already instantiable, an out-of-range cut throws
+  /// InvalidCutError (unknown models are validated lazily at load time).
   void set_partition_cut(const std::string& app, std::size_t cut);
   /// Returns SIZE_MAX when unset.
   std::size_t partition_cut(const std::string& app) const;

@@ -24,6 +24,7 @@ ClientDevice::ClientDevice(sim::Simulation& sim, net::Endpoint& endpoint,
   }
   // The client owns the full, trained model locally.
   obs_ = config_.obs;
+  config_.controller.apply_env();
   local_store_->store_files(nn::model_files(*bundle_.network));
   browser_ = std::make_unique<BrowserHost>(config_.profile, local_store_);
   browser_->add_image("input", bundle_.input_image);
@@ -55,6 +56,9 @@ std::size_t ClientDevice::attach_server(net::Endpoint& endpoint) {
 }
 
 std::vector<nn::ModelFile> ClientDevice::files_to_send() const {
+  // An adaptive controller may re-cut shallower than the click-time cut,
+  // so the server needs the full weights (auto_partition's convention).
+  if (controller_active()) return nn::model_files(*bundle_.network);
   if (config_.presend_rear_only && config_.partition_cut != SIZE_MAX) {
     return nn::model_files_rear_only(*bundle_.network, config_.partition_cut);
   }
@@ -212,6 +216,184 @@ std::size_t ClientDevice::pick_partition_cut() {
   return best.cut;
 }
 
+// ---------------------------------------------------------------------------
+// Partition controller
+// ---------------------------------------------------------------------------
+
+void ClientDevice::ensure_controller() {
+  if (controller_) return;
+  if (!client_cost_) {
+    const nn::Network* nets[] = {bundle_.network.get()};
+    client_cost_ = nn::LayerCostModel::profile_device(config_.profile, nets);
+    server_cost_ = nn::LayerCostModel::profile_device(
+        nn::DeviceProfile::edge_server(), nets);
+  }
+  controller_.emplace(config_.controller, bundle_.network, *client_cost_,
+                      *server_cost_);
+}
+
+ctrl::LinkSignals ClientDevice::gather_signals(std::size_t server) {
+  ctrl::LinkSignals s;
+  if (config_.signals) s = config_.signals(server);
+  if (s.bandwidth_bps <= 0) s.bandwidth_bps = bandwidth_.estimate_bps();
+  return s;
+}
+
+void ClientDevice::apply_decision(ctrl::Decision decision,
+                                  const char* origin) {
+  decision_ = decision;
+  decision_recorded_ = false;
+  if (decision.local) {
+    // The controller says local execution wins under current conditions.
+    // The app still needs a valid cut for its inference_front/rear calls
+    // (same idiom as the auto_partition local branch).
+    timeline_.local_fallback = true;
+    std::size_t local_cut = config_.partition_cut != SIZE_MAX
+                                ? config_.partition_cut
+                                : bundle_.network->cut_points().front();
+    browser_->set_partition_cut(bundle_.name, local_cut);
+    timeline_.used_partition_cut = local_cut;
+  } else {
+    browser_->set_partition_cut(bundle_.name, decision.cut);
+    timeline_.used_partition_cut = decision.cut;
+  }
+  count("ctrl.decisions");
+  if (decision.local) count("ctrl.local_decisions");
+  if (obs_) {
+    obs::SpanId s = obs_->trace.emit(
+        trace_, root_span_, obs::SpanKind::kCtrlDecision,
+        std::string("ctrl:") + origin, "client", sim_.now(), sim_.now(), 0.0);
+    obs_->trace.attr(s, "policy", policy_name(config_.controller.policy));
+    obs_->trace.attr(s, "cut", static_cast<std::int64_t>(decision.cut));
+    obs_->trace.attr(s, "local",
+                     static_cast<std::int64_t>(decision.local ? 1 : 0));
+    obs_->trace.attr(s, "server",
+                     static_cast<std::int64_t>(decision.server));
+  }
+}
+
+void ClientDevice::record_decision(bool ok, double observed_s) {
+  if (!controller_ || !decision_ || decision_recorded_) return;
+  decision_recorded_ = true;
+  ctrl::Outcome o;
+  o.server = decision_->server;
+  o.arm = decision_->arm;
+  o.local = decision_->local;
+  o.ok = ok;
+  o.observed_s = observed_s;
+  o.predicted_s = decision_->predicted_s;
+  controller_->record(o);
+}
+
+std::optional<ctrl::Decision> ClientDevice::plan_recut() {
+  if (!controller_active() || !controller_ || !decision_) return std::nullopt;
+  // After a hedge the realm has consumed the deferred event — the front
+  // cannot be re-run; and full-inference offloads have nothing to re-cut.
+  if (hedge_running_) return std::nullopt;
+  if (!awaiting_result_ || !inflight_snapshot_) return std::nullopt;
+  if (timeline_.used_partition_cut == SIZE_MAX) return std::nullopt;
+  ctrl::Decision d = controller_->redecide(
+      active_server_, gather_signals(active_server_), attempts_);
+  if (!d.local && d.cut == timeline_.used_partition_cut) {
+    return std::nullopt;  // same cut: a plain retry is cheaper
+  }
+  return d;
+}
+
+void ClientDevice::perform_recut(const ctrl::Decision& decision) {
+  if (!awaiting_result_ || !inflight_snapshot_ || hedge_running_) return;
+  // The superseded decision pays for the time burned on it so far.
+  record_decision(false, (sim_.now() - timeline_.clicked).to_seconds());
+  decision_ = decision;
+  decision_recorded_ = false;
+  count("ctrl.recuts");
+  OFFLOAD_LOG_INFO << "client: re-cutting in flight to node " << decision.cut;
+  if (obs_) {
+    obs::SpanId s = obs_->trace.emit(
+        trace_, root_span_, obs::SpanKind::kCtrlDecision, "ctrl:recut",
+        "client", sim_.now(), sim_.now(), 0.0);
+    obs_->trace.attr(s, "policy", policy_name(config_.controller.policy));
+    obs_->trace.attr(s, "cut", static_cast<std::int64_t>(decision.cut));
+    obs_->trace.attr(s, "server",
+                     static_cast<std::int64_t>(decision.server));
+  }
+
+  // The deferred offload event is stale (it carries the old cut's feature
+  // state): drop it, re-run the front at the new cut, and recapture. The
+  // recompute is charged honestly — a re-cut is only worth it when the
+  // saved transfer outweighs it.
+  jsvm::Interpreter& interp = browser_->interp();
+  interp.pop_front_event();
+  browser_->set_partition_cut(bundle_.name, decision.cut);
+  timeline_.used_partition_cut = decision.cut;
+  jsvm::DomNodePtr target =
+      interp.document().get_element_by_id(bundle_.click_target);
+  if (!target) {
+    abandon_remote("recut: no click target");
+    return;
+  }
+  interp.enqueue_event(std::move(target), "click", jsvm::Undefined{});
+  interp.offload_hook = [this](const jsvm::PendingEvent& ev) {
+    return ev.type == config_.offload_event;
+  };
+  {
+    obs::ScopedMetrics nn_metrics(obs_ ? &obs_->metrics : nullptr);
+    interp.run_events();
+  }
+  double exec_s = browser_->consume_compute_seconds();
+  timeline_.client_exec_s += exec_s;
+  const sim::SimTime exec_end = sim_.now() + sim::SimTime::seconds(exec_s);
+  if (obs_) {
+    obs_->trace.emit(trace_, root_span_, obs::SpanKind::kClientExec,
+                     "exec_recut", "client", sim_.now(), exec_end, exec_s);
+  }
+  auto pending = interp.take_pending_offload();
+  if (!pending) {
+    // The app ran to completion locally (no offload event at the new cut).
+    timeline_.local_fallback = true;
+    timeline_.offloaded = false;
+    awaiting_result_ = false;
+    inflight_snapshot_.reset();
+    cancel_supervision_timers();
+    timeline_.finished = exec_end;
+    finish_trace();
+    return;
+  }
+  jsvm::SnapshotResult snap =
+      jsvm::capture_snapshot(interp, config_.snapshot_options);
+  SnapshotPayload payload;
+  payload.cut = decision.cut;
+  payload.program = std::move(snap.program);
+  timeline_.snapshot_stats = snap.stats;
+  timeline_.used_differential = false;
+  double capture_s =
+      config_.profile.snapshot_capture_s(snap.stats.total_bytes);
+  timeline_.capture_s += capture_s;
+  if (obs_) {
+    obs_->trace.emit(trace_, root_span_, obs::SpanKind::kClientCapture,
+                     "recapture", "client", exec_end,
+                     exec_end + sim::SimTime::seconds(capture_s), capture_s);
+    obs_->metrics.add("client.recaptures");
+  }
+  net::Message msg;
+  msg.type = net::MessageType::kSnapshot;
+  msg.name = bundle_.name;
+  msg.payload = payload.encode();
+  timeline_.snapshot_bytes = msg.wire_size();
+  inflight_snapshot_ = std::move(msg);
+  baseline_.reset();  // the re-run front invalidated the shared baseline
+  sim_.schedule(sim::SimTime::seconds(exec_s + capture_s), [this] {
+    if (!awaiting_result_ || !inflight_snapshot_) return;
+    if (model_sent()) {
+      resend_inflight();
+    } else {
+      // Failover landed on a cold server: presend first; the ACK replays
+      // the refreshed snapshot.
+      begin_recovery("recut on cold server");
+    }
+  });
+}
+
 void ClientDevice::apply_route() {
   candidates_.clear();
   for (std::size_t i = 0; i < servers_.size(); ++i) candidates_.push_back(i);
@@ -284,8 +466,16 @@ void ClientDevice::begin_inference() {
   done_notified_ = false;
   recovery_started_.reset();
   cancel_supervision_timers();
+  decision_.reset();
+  decision_recorded_ = false;
+  pending_recut_.reset();
 
-  if (config_.offload && config_.auto_partition) {
+  if (controller_active()) {
+    ensure_controller();
+    apply_decision(
+        controller_->decide(active_server_, gather_signals(active_server_)),
+        "click");
+  } else if (config_.offload && config_.auto_partition) {
     std::size_t cut = pick_partition_cut();
     if (cut + 1 >= bundle_.network->size()) {
       // The partitioner says local execution wins under current network
@@ -578,6 +768,20 @@ void ClientDevice::retry_snapshot(const char* reason) {
     abandon_remote(reason);
     return;
   }
+  if (auto recut = plan_recut()) {
+    if (recut->local) {
+      // The controller prices the remote side out entirely: charge the
+      // superseded decision and let the local decision govern the finish.
+      record_decision(false, (sim_.now() - timeline_.clicked).to_seconds());
+      decision_ = *recut;
+      decision_recorded_ = false;
+      count("ctrl.recuts_local");
+      abandon_remote("controller chose local");
+      return;
+    }
+    // Re-cut after the backoff wait instead of resending the same bytes.
+    pending_recut_ = *recut;
+  }
   sim::SimTime wait = backoff_->delay(attempts_);
   sup_stats_.backoff_wait_s += wait.to_seconds();
   timeline_.backoff_wait_s += wait.to_seconds();
@@ -589,7 +793,14 @@ void ClientDevice::retry_snapshot(const char* reason) {
   OFFLOAD_LOG_INFO << "client: offload attempt " << attempts_ << " failed ("
                    << reason << "), retrying after " << wait.str();
   sim_.schedule(wait, [this] {
-    if (awaiting_result_ && inflight_snapshot_) resend_inflight();
+    if (!awaiting_result_ || !inflight_snapshot_) return;
+    if (pending_recut_) {
+      ctrl::Decision d = *pending_recut_;
+      pending_recut_.reset();
+      perform_recut(d);
+      return;
+    }
+    resend_inflight();
   });
 }
 
@@ -636,6 +847,21 @@ bool ClientDevice::try_failover() {
   timeline_.server_index = static_cast<int>(next);
   baseline_.reset();  // sessions do not migrate between servers
   attempts_ = 0;      // fresh retry budget against the new server
+  if (auto recut = plan_recut()) {
+    // The failover carries a per-server cut override: the new server's
+    // load (and our learned corrections for it) may favor another split.
+    if (recut->local) {
+      record_decision(false, (sim_.now() - timeline_.clicked).to_seconds());
+      decision_ = *recut;
+      decision_recorded_ = false;
+      count("ctrl.recuts_local");
+      abandon_remote("controller chose local");
+      return true;
+    }
+    pending_recut_.reset();
+    perform_recut(*recut);  // resends (or recovers) with the new cut
+    return true;
+  }
   if (model_sent()) {
     // This server already holds the model from an earlier stint.
     resend_inflight();
@@ -920,7 +1146,15 @@ void ClientDevice::on_message(const net::Message& message) {
     }
     case net::MessageType::kControl: {
       if (util::starts_with(message.name, "accepted:") && awaiting_result_) {
-        // Upload phase done; the execution clock starts.
+        // Upload phase done; the execution clock starts. With the
+        // controller on, the receipt doubles as a per-attempt upload
+        // bandwidth observation (gated so the static path's estimator
+        // state stays bit-identical to the paper reproduction).
+        if (controller_active() && timeline_.snapshot_sent &&
+            timeline_.snapshot_bytes > 0) {
+          bandwidth_.observe(timeline_.snapshot_bytes,
+                             sim_.now() - *timeline_.snapshot_sent);
+        }
         if (supervising()) {
           arm_phase(Phase::kExecute, config_.supervisor.execute_deadline);
         }
@@ -1108,6 +1342,14 @@ void ClientDevice::mark_snapshot_send(net::Message& msg, const char* label) {
 
 void ClientDevice::finish_trace() {
   notify_done();
+  if (timeline_.finished) {
+    // Close the controller loop exactly once per decision: a local
+    // decision always "worked"; a remote one only if the result actually
+    // came from the server.
+    record_decision(decision_ && decision_->local ? true
+                                                  : timeline_.offloaded,
+                    timeline_.inference_seconds());
+  }
   if (!obs_ || !root_span_ || !timeline_.finished) return;
   // Abandoned phases (an unanswered send, a recovery the hedge outran)
   // close with zero charge: their interval stays visible in the trace but

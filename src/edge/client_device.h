@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "src/ctrl/controller.h"
 #include "src/edge/browser_host.h"
 #include "src/edge/protocol.h"
 #include "src/edge/supervisor.h"
@@ -73,6 +74,21 @@ struct ClientConfig {
   /// Offload supervision (deadlines/retries/hedging/breaker/recovery).
   /// Disabled by default.
   SupervisorConfig supervisor;
+  /// Online partition-point controller (src/ctrl). The default `static`
+  /// policy disables it entirely — the click-time cut above is used and
+  /// behavior is bit-identical to the paper reproduction. `drift`/`bandit`
+  /// re-select the cut per inference from live telemetry, and re-cut on
+  /// supervised failures. Only meaningful for partial-inference apps
+  /// (offload_event == "front_complete"); implies full-weight pre-send,
+  /// like auto_partition (which it overrides when active). The constructor
+  /// applies the OFFLOAD_CTRL / OFFLOAD_CTRL_SEED env knobs unless
+  /// controller.ignore_env is set.
+  ctrl::ControllerConfig controller;
+  /// Telemetry hook for the controller: given an attached-server index,
+  /// return that server's live load signals (queue depth, lanes, batch
+  /// wait, fleet outstanding). The runtime wires this to the scheduler's
+  /// pull accessors; unset, the controller sees only measured bandwidth.
+  std::function<ctrl::LinkSignals(std::size_t server)> signals;
   /// Content-addressed pre-send: offer per-file digests (kModelOffer)
   /// before shipping bodies, so a server already caching the blobs can
   /// skip them. Off by default — the wire protocol stays exactly the
@@ -196,6 +212,11 @@ class ClientDevice {
   /// or when tracing is off. The runtime derives InferenceBreakdown from
   /// this trace's span tree.
   obs::TraceId last_trace_id() const { return trace_; }
+  /// The partition controller, once an adaptive policy has built it
+  /// (null under `static` or before the first decision). For tests.
+  const ctrl::CutController* cut_controller() const {
+    return controller_ ? &*controller_ : nullptr;
+  }
 
  private:
   /// Supervisor phase currently under a deadline watchdog.
@@ -215,6 +236,30 @@ class ClientDevice {
   void dispatch_inflight_snapshot();
   std::vector<nn::ModelFile> files_to_send() const;
   std::size_t pick_partition_cut();
+
+  // --- Partition controller (all no-ops under the static policy) ---
+  /// The controller governs this client: adaptive policy, offloading
+  /// partial-inference app.
+  bool controller_active() const {
+    return config_.controller.active() && config_.offload &&
+           config_.offload_event == "front_complete";
+  }
+  /// Build the controller (and the shared cost models) on first use.
+  void ensure_controller();
+  /// Assemble the telemetry for a decision about `server`: measured upload
+  /// bandwidth plus whatever the signals hook reports.
+  ctrl::LinkSignals gather_signals(std::size_t server);
+  /// Make the per-inference decision for the upcoming click and apply it
+  /// (cut, or local fallback). Emits a kCtrlDecision span.
+  void apply_decision(ctrl::Decision decision, const char* origin);
+  /// Close the loop: report the active decision's outcome once.
+  void record_decision(bool ok, double observed_s);
+  /// Re-decide after `attempts_` failed sends; nullopt = keep retrying the
+  /// current cut (controller inactive, hedge running, or nothing useful).
+  std::optional<ctrl::Decision> plan_recut();
+  /// Re-run the app front at the decision's cut and resend the snapshot
+  /// (drops the stale deferred event, honest recompute + recapture).
+  void perform_recut(const ctrl::Decision& decision);
   /// Apply the routing hook (if any) for the upcoming inference: refresh
   /// the candidate order and re-pin the active server to its head.
   void apply_route();
@@ -283,6 +328,14 @@ class ClientDevice {
   /// Lazily built cost models for auto-partitioning.
   std::optional<nn::LayerCostModel> client_cost_;
   std::optional<nn::LayerCostModel> server_cost_;
+
+  // --- Partition-controller state ---
+  std::optional<ctrl::CutController> controller_;
+  /// The decision governing the current inference (unset under static).
+  std::optional<ctrl::Decision> decision_;
+  bool decision_recorded_ = false;
+  /// A re-cut chosen during backoff, performed when the wait elapses.
+  std::optional<ctrl::Decision> pending_recut_;
 
   // --- Server candidate state ---
   /// Attached servers; [0] is the constructor endpoint. Parallel to

@@ -77,6 +77,11 @@ class EdgeFleet {
   /// In-flight inferences per server (fleet accounting, not the server's
   /// own queue — that is the scheduler's queue_depth gauge).
   const std::vector<int>& outstanding() const { return outstanding_; }
+  /// Outstanding count for one server (0 for out-of-range indices, so the
+  /// partition controller can poll candidates it has not routed to yet).
+  int outstanding_for(std::size_t k) const {
+    return k < outstanding_.size() ? outstanding_[k] : 0;
+  }
   /// Sum of every server's dedup_bytes_saved.
   std::uint64_t dedup_bytes_saved() const;
   /// "server" for a fleet of one (degenerate naming), else

@@ -44,6 +44,7 @@ enum class SpanKind : std::uint8_t {
   kTransmitAttempt, // one physical channel transmission attempt
   kLaneBusy,        // a scheduler lane occupied by one launch
   kMarker,          // instant event (crash, restart, shed, expired, ...)
+  kCtrlDecision,    // one controller cut decision (adaptive policies only)
 };
 
 const char* span_kind_name(SpanKind kind);

@@ -21,6 +21,7 @@ const char* span_kind_name(SpanKind kind) {
     case SpanKind::kTransmitAttempt: return "transmit_attempt";
     case SpanKind::kLaneBusy: return "lane_busy";
     case SpanKind::kMarker: return "marker";
+    case SpanKind::kCtrlDecision: return "ctrl_decision";
   }
   return "unknown";
 }

@@ -292,6 +292,10 @@ void Scheduler::dispatch(const std::vector<std::size_t>& indices, int lane) {
     timings.push_back(t);
   }
   l.busy_until = end;
+  l.last_batch_wait_s = 0;
+  for (const RequestTiming& t : timings) {
+    l.last_batch_wait_s = std::max(l.last_batch_wait_s, t.batch_wait_s);
+  }
   note_queue_depth();
 
   ++stats_.launches;

@@ -16,6 +16,7 @@
 // request-at-a-time FIFO comes from.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -91,6 +92,30 @@ class Scheduler {
                             obs::TraceContext ctx = {});
 
   std::size_t queue_depth() const { return pending_.size(); }
+  /// Cheap pull-style load signals for the partition-point controller (and
+  /// tests): no metrics-registry round-trip, just the scheduler's own
+  /// state. Parity with the obs gauges is asserted in serve_test.
+  int lanes() const { return static_cast<int>(lanes_.size()); }
+  /// Lanes whose current launch is still running at `now`.
+  int busy_lanes(sim::SimTime now) const {
+    int n = 0;
+    for (const Lane& l : lanes_) {
+      if (l.busy_until > now) ++n;
+    }
+    return n;
+  }
+  /// Batch-formation wait of the most recent launch on `lane` (seconds;
+  /// 0 until that lane has dispatched).
+  double lane_batch_wait_s(int lane) const {
+    return lanes_.at(static_cast<std::size_t>(lane)).last_batch_wait_s;
+  }
+  /// Max over lanes of the most recent launch's batch-formation wait —
+  /// the pull-side analogue of the serve.batch_wait_ms histogram tail.
+  double recent_batch_wait_s() const {
+    double w = 0;
+    for (const Lane& l : lanes_) w = std::max(w, l.last_batch_wait_s);
+    return w;
+  }
   /// Whether a submission at this instant would pass admission control.
   /// Lets callers shed *before* doing per-request work (e.g. the edge
   /// server refuses a snapshot before restoring it).
@@ -138,6 +163,8 @@ class Scheduler {
   struct Lane {
     sim::SimTime busy_until;
     sim::SimTime free_since;  ///< when the lane last became idle
+    /// Longest batch-formation wait in this lane's most recent launch.
+    double last_batch_wait_s = 0;
   };
 
   SubmitResult admit(Job job);

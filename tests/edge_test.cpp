@@ -93,6 +93,30 @@ TEST(BrowserHostTest, InferenceMatchesDirectExecution) {
   EXPECT_GT(host.pending_compute_seconds(), 0.0);
 }
 
+TEST(BrowserHostTest, SetPartitionCutValidatesAgainstNodeCount) {
+  BrowserHost host(nn::DeviceProfile::embedded_client(), store_with_tiny());
+  const std::size_t nodes = store_with_tiny()->instantiate("tinycnn")->size();
+  // Every in-range cut (including the final node = fully local) is fine.
+  host.set_partition_cut("tinycnn", 0);
+  host.set_partition_cut("tinycnn", nodes - 1);
+  // One past the end is rejected with the typed error, message intact.
+  try {
+    host.set_partition_cut("tinycnn", nodes);
+    FAIL() << "out-of-range cut was accepted";
+  } catch (const InvalidCutError& e) {
+    EXPECT_NE(std::string(e.what()).find("tinycnn"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find(std::to_string(nodes)),
+              std::string::npos);
+  }
+  EXPECT_THROW(host.set_partition_cut("tinycnn", SIZE_MAX), InvalidCutError);
+  // InvalidCutError is an out_of_range, so legacy catch sites still work.
+  EXPECT_THROW(host.set_partition_cut("tinycnn", nodes + 7),
+               std::out_of_range);
+  // Unknown models cannot be validated yet: the cut is recorded and
+  // checked lazily when the model becomes instantiable (load time).
+  host.set_partition_cut("not_yet_uploaded", 12345);
+}
+
 TEST(BrowserHostTest, ComputeAccountingConsumable) {
   BrowserHost host(nn::DeviceProfile::embedded_client(), store_with_tiny());
   host.add_image("input", test_image());

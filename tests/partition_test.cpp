@@ -4,6 +4,10 @@
 
 #include "src/nn/cost_model.h"
 #include "src/nn/models.h"
+#include "src/core/experiment.h"
+#include "src/nn/activation.h"
+#include "src/nn/conv.h"
+#include "src/nn/dense.h"
 #include "src/nn/partition.h"
 
 namespace offload::nn {
@@ -144,6 +148,73 @@ TEST(Partitioner, GoogLeNetPoolBeatsConvNeighbors) {
   EXPECT_LT(find("pool1").total_s(), find("conv1").total_s());
   // And pool1's feature is 4x smaller than conv1's (112² vs 56² × 64ch).
   EXPECT_EQ(find("conv1").feature_bytes, 4u * find("pool1").feature_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// first_pool_cut fallback chain (pinned: the cut controller iterates
+// candidates on arbitrary models and relies on this never throwing).
+
+// input → conv → fc → softmax: no pooling layer anywhere.
+std::unique_ptr<Network> build_poolless_net() {
+  auto net = std::make_unique<Network>("poolless");
+  net->add(std::make_unique<InputLayer>("data", Shape{3, 8, 8}, 1.0 / 255.0));
+  net->add(std::make_unique<ConvLayer>("conv1",
+                                       ConvConfig{.in_channels = 3,
+                                                  .out_channels = 4,
+                                                  .kernel = 3,
+                                                  .stride = 1,
+                                                  .pad = 1}),
+           {"data"});
+  net->add(std::make_unique<FullyConnectedLayer>("fc2", 4 * 8 * 8, 10),
+           {"conv1"});
+  net->add(std::make_unique<SoftmaxLayer>("prob"), {"fc2"});
+  net->init_params(23);
+  return net;
+}
+
+TEST(FirstPoolCut, PrefersFirstMaxPool) {
+  auto net = build_tiny_cnn(9);
+  std::size_t cut = core::first_pool_cut(*net);
+  EXPECT_EQ(net->layer(cut).kind(), LayerKind::kMaxPool);
+  EXPECT_EQ(net->layer(cut).name(), "pool1");
+}
+
+TEST(FirstPoolCut, NoPoolFallsBackToFirstConv) {
+  auto net = build_poolless_net();
+  std::size_t cut = core::first_pool_cut(*net);
+  EXPECT_EQ(net->layer(cut).kind(), LayerKind::kConv);
+  EXPECT_EQ(net->layer(cut).name(), "conv1");
+}
+
+TEST(FirstPoolCut, SingleNodeNetFallsBackToOnlyCutPoint) {
+  // A bare input "network": its only cut point is the final (and only)
+  // node, i.e. fully local. first_pool_cut must return it, not throw.
+  Network net("bare");
+  net.add(std::make_unique<InputLayer>("data", Shape{1, 4, 4}));
+  ASSERT_EQ(net.size(), 1u);
+  ASSERT_EQ(net.cut_points(), std::vector<std::size_t>{0});
+  EXPECT_EQ(core::first_pool_cut(net), 0u);
+}
+
+TEST(FirstPoolCut, LabeledCutPointsCoverPaperCandidates) {
+  // Labels only input/conv/pool cuts (the Fig. 8 x-axis), in order.
+  auto net = build_tiny_cnn(9);
+  auto labels = core::labeled_cut_points(*net);
+  ASSERT_GE(labels.size(), 3u);
+  EXPECT_EQ(labels.front().label, "input");
+  for (const auto& l : labels) {
+    LayerKind k = net->layer(l.cut).kind();
+    EXPECT_TRUE(k == LayerKind::kInput || k == LayerKind::kConv ||
+                k == LayerKind::kMaxPool || k == LayerKind::kAvgPool)
+        << l.label;
+  }
+  // The poolless net still yields input + conv candidates.
+  auto poolless = build_poolless_net();
+  auto poolless_labels = core::labeled_cut_points(*poolless);
+  ASSERT_GE(poolless_labels.size(), 2u);
+  for (const auto& l : poolless_labels) {
+    EXPECT_NE(poolless->layer(l.cut).kind(), LayerKind::kMaxPool);
+  }
 }
 
 TEST(Partitioner, DenatureKindClassification) {

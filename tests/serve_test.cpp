@@ -296,10 +296,18 @@ TEST(SchedulerTest, BoundedQueueShedsBeyondCapacity) {
   EXPECT_EQ(
       static_cast<std::uint64_t>(obs.metrics.gauge_peak("serve.queue_depth")),
       sched.stats().peak_queue_depth);
+  // Pull accessors (the partition controller's live-telemetry feed) agree
+  // with the push-side gauges at every point in time: one busy lane right
+  // now, all idle after the queue drains.
+  EXPECT_EQ(sched.lanes(), 1);
+  EXPECT_EQ(sched.busy_lanes(sim.now()), 1);
   sim.run();
   EXPECT_EQ(sched.stats().completed, 3u);
   EXPECT_EQ(obs.metrics.counter("serve.completed"), 3u);
   EXPECT_EQ(obs.metrics.gauge("serve.queue_depth"), 0);
+  EXPECT_EQ(static_cast<std::uint64_t>(obs.metrics.gauge("serve.queue_depth")),
+            sched.queue_depth());
+  EXPECT_EQ(sched.busy_lanes(sim.now()), 0);
 }
 
 // ---------------------------------------------------------------------------
@@ -340,6 +348,11 @@ TEST(SchedulerTest, PartialBatchDispatchesAtMaxBatchWait) {
     EXPECT_EQ(t.batch_size, 2);
   }
   EXPECT_EQ(sched.stats().launches, 1u);
+  // The pull accessor reports the same hold window the per-request
+  // timings observed — this is the value the partition controller folds
+  // into its queue-wait estimate.
+  EXPECT_DOUBLE_EQ(sched.recent_batch_wait_s(), 0.010);
+  EXPECT_DOUBLE_EQ(sched.lane_batch_wait_s(0), 0.010);
 }
 
 TEST(SchedulerTest, MultipleReplicasRunConcurrently) {
