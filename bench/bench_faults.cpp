@@ -38,11 +38,11 @@ struct TrialOutcome {
 /// protocol, corrupted payload killing an unsupervised client) are caught
 /// and reported, not fatal — they are the phenomenon being measured.
 TrialOutcome run_trial(bool supervised, const fault::FaultPlanConfig& faults,
-                       bool secondary, fault::CrashSpec* crash) {
+                       bool spare, fault::CrashSpec* crash) {
   edge::AppBundle bundle = core::make_benchmark_app(tiny_model(), false);
   core::RuntimeConfig config;
   config.client.supervisor.enabled = supervised;
-  config.secondary_server = secondary;
+  config.fleet.spares = spare ? 1 : 0;
   config.click_at =
       core::after_ack_click_time(*bundle.network, false, 0, 30e6);
   fault::FaultPlanConfig plan = faults;
@@ -87,7 +87,7 @@ struct SweepResult {
 };
 
 SweepResult run_sweep(bool supervised, double rate, int trials,
-                      bool secondary, fault::CrashSpec* crash) {
+                      bool spare, fault::CrashSpec* crash) {
   SweepResult out;
   out.trials = trials;
   util::Samples latency;
@@ -95,7 +95,7 @@ SweepResult run_sweep(bool supervised, double rate, int trials,
   for (int i = 0; i < trials; ++i) {
     fault::FaultPlanConfig faults =
         fault::FaultPlanConfig::uniform(rate, 1000 + i);
-    TrialOutcome t = run_trial(supervised, faults, secondary, crash);
+    TrialOutcome t = run_trial(supervised, faults, spare, crash);
     if (!t.completed) continue;
     ++out.completed;
     latency.add(t.inference_s);
@@ -133,7 +133,7 @@ int main() {
   for (double rate : {0.0, 0.02, 0.05, 0.10}) {
     for (bool supervised : {false, true}) {
       SweepResult r = run_sweep(supervised, rate, kTrials,
-                                /*secondary=*/false, /*crash=*/nullptr);
+                                /*spare=*/false, /*crash=*/nullptr);
       table.row({fmt2(rate), supervised ? "on" : "off",
                  fmt3(r.availability), fmt3(r.p50_s), fmt3(r.p95_s),
                  fmt3(r.p99_s), fmt2(r.mean_retries),
@@ -163,26 +163,26 @@ int main() {
       "Crash scenario — primary server dies right after the click",
       "without supervision the snapshot lands on a dead host and the app "
       "hangs; with it, deadlines fire and the inference completes via "
-      "retry, failover to a secondary, or hedged local execution");
+      "retry, failover to a spare server, or hedged local execution");
 
   util::TextTable crash_table;
   crash_table.header({"config", "avail", "p50 s", "p95 s"});
   struct CrashVariant {
     const char* label;
     bool supervised;
-    bool secondary;
+    bool spare;
   };
   const CrashVariant variants[] = {
       {"unsupervised", false, false},
       {"supervised", true, false},
-      {"supervised+secondary", true, true},
+      {"supervised+spare", true, true},
   };
   for (const CrashVariant& v : variants) {
     fault::CrashSpec crash;
     crash.first_at = sim::SimTime::millis(1);  // relative to the click
     crash.downtime = sim::SimTime::seconds(30);
     SweepResult r =
-        run_sweep(v.supervised, 0.0, kTrials, v.secondary, &crash);
+        run_sweep(v.supervised, 0.0, kTrials, v.spare, &crash);
     crash_table.row(
         {v.label, fmt3(r.availability), fmt3(r.p50_s), fmt3(r.p95_s)});
     json.push_back(bench::JsonObject()

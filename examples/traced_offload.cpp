@@ -24,10 +24,10 @@ int main() {
   edge::AppBundle app = core::make_benchmark_app(tiny, /*partial=*/false);
 
   // A faulted, supervised run makes for an interesting trace: retries,
-  // backoff spans, a crash marker, failover to the secondary server.
+  // backoff spans, a crash marker, failover to the spare server.
   core::RuntimeConfig config;
   config.client.supervisor.enabled = true;
-  config.secondary_server = true;
+  config.fleet.spares = 1;
   config.click_at = core::after_ack_click_time(*app.network, false, 0, 30e6);
   fault::FaultPlanConfig faults = fault::FaultPlanConfig::uniform(0.08, 23);
   fault::CrashSpec crash;

@@ -2,7 +2,7 @@
 // and corrupts messages, and the primary server crashes right after the
 // click — yet the inference completes, because the client runs an offload
 // supervisor (per-phase deadlines, retries with backoff, a hedged local
-// run, a circuit breaker, and failover to a secondary server).
+// run, a circuit breaker, and failover to a spare server).
 //
 //   ./build/examples/unreliable_edge
 //
@@ -27,7 +27,7 @@ int main() {
   // the default 8 s hedge the local run would win the race instead.
   config.client.supervisor.enabled = true;
   config.client.supervisor.hedge_after = sim::SimTime::zero();
-  config.secondary_server = true;
+  config.fleet.spares = 1;
 
   // The hostile environment: 5% of messages suffer a fault in each
   // direction, and the primary server crashes 1 ms after the click and
@@ -46,7 +46,7 @@ int main() {
   std::printf("inference time:    %s (click -> result)\n",
               util::format_seconds(result.inference_seconds).c_str());
   std::printf("offloaded:         %s%s\n", result.offloaded ? "yes" : "no",
-              result.timeline.server_index == 1 ? " (secondary server)" : "");
+              result.timeline.server_index == 1 ? " (spare server)" : "");
   std::printf("local fallback:    %s\n",
               result.timeline.local_fallback ? "yes" : "no");
 

@@ -1,10 +1,26 @@
 #include "src/core/runtime.h"
 
+#include <cstdlib>
 #include <stdexcept>
 
 #include "src/core/trace_breakdown.h"
 
 namespace offload::core {
+
+namespace {
+bool env_truthy(const char* name) {
+  const char* env = std::getenv(name);
+  if (!env) return false;
+  const std::string v(env);
+  return v == "1" || v == "true" || v == "on";
+}
+}  // namespace
+
+void RuntimeConfig::TierOptions::apply_env() {
+  if (ignore_env) return;
+  if (env_truthy("OFFLOAD_TIER")) enabled = true;
+  if (env_truthy("OFFLOAD_STEAL")) steal = true;
+}
 
 OffloadingRuntime::OffloadingRuntime(RuntimeConfig config,
                                      edge::AppBundle app)
@@ -24,6 +40,7 @@ OffloadingRuntime::OffloadingRuntime(RuntimeConfig config,
   config_.server.obs = obs_;
   fleet::FleetConfig fleet_config;
   fleet_config.size = config_.fleet.size;
+  fleet_config.spares = config_.fleet.spares;
   fleet_config.balancer = config_.fleet.balancer;
   fleet_config.dedup = config_.fleet.dedup;
   fleet_config.channel = config_.channel;
@@ -44,11 +61,11 @@ OffloadingRuntime::OffloadingRuntime(RuntimeConfig config,
         s.lanes = sched.lanes();
         s.batch_wait_s = sched.recent_batch_wait_s();
         s.outstanding = fleet_->outstanding_for(server);
-      } else if (secondary_server_) {
-        const serve::Scheduler& sched = secondary_server_->scheduler();
-        s.queue_depth = sched.queue_depth();
-        s.lanes = sched.lanes();
-        s.batch_wait_s = sched.recent_batch_wait_s();
+        // Jobs the edge relayed up-tier or cross-peer still occupy it
+        // (their results route back through it); 0 without a topology,
+        // leaving the flat-fleet predictions bit-identical.
+        s.escalations =
+            topology_ ? topology_->outstanding_relays(server) : 0;
       }
       return s;
     };
@@ -58,20 +75,34 @@ OffloadingRuntime::OffloadingRuntime(RuntimeConfig config,
   for (std::size_t k = 1; k < link_.endpoints.size(); ++k) {
     client_->attach_server(*link_.endpoints[k]);
   }
-  if (config_.secondary_server) {
-    secondary_channel_ =
-        net::Channel::make(sim_, config_.channel, "client", "server-b");
-    secondary_channel_->set_obs(obs_);
-    edge::EdgeServerConfig secondary_config = config_.server;
-    secondary_config.obs_name = config_.server.obs_name + "-b";
-    secondary_server_ = std::make_unique<edge::EdgeServer>(
-        sim_, secondary_channel_->b(), std::move(secondary_config));
-    client_->attach_secondary(secondary_channel_->a());
-  }
   if (config_.faults) {
     injector_ = std::make_unique<fault::FaultInjector>(sim_, *config_.faults);
     injector_->attach_channel(*link_.channels[0]);
     injector_->attach_server(fleet_->server(0));
+  }
+  config_.tier.apply_env();
+  if (config_.tier.enabled) {
+    tier::TierConfig tier_config;
+    tier_config.escalation_budget = config_.tier.escalation_budget;
+    tier_config.steal = config_.tier.steal;
+    tier_config.steal_interval = config_.tier.steal_interval;
+    tier_config.steal_seed = config_.tier.steal_seed;
+    tier_config.steal_min_backlog = config_.tier.steal_min_backlog;
+    tier_config.uplink.a_to_b.bandwidth_bps = config_.tier.uplink_bandwidth_bps;
+    tier_config.uplink.a_to_b.latency = config_.tier.uplink_latency;
+    tier_config.uplink.b_to_a.bandwidth_bps = config_.tier.uplink_bandwidth_bps;
+    tier_config.uplink.b_to_a.latency = config_.tier.uplink_latency;
+    tier_config.cloud_replicas = config_.tier.cloud_replicas;
+    tier_config.obs = obs_;
+    if (injector_) {
+      // Tier links share the run's fault plan: blackout windows (and any
+      // message-fault specs) apply to the uplink and every relay channel.
+      tier_config.on_channel = [this](net::Channel& channel) {
+        injector_->attach_channel(channel);
+      };
+    }
+    topology_ = std::make_unique<tier::Topology>(sim_, *fleet_,
+                                                 std::move(tier_config));
   }
 }
 
@@ -99,16 +130,12 @@ RunResult OffloadingRuntime::run() {
   }
 
   if (result.offloaded) {
-    // The result may have come from another fleet server — or the legacy
-    // secondary, which sits after the fleet in the candidate order.
+    // The result may have come from another fleet server — a balanced
+    // peer, or a spare at the tail of the candidate order.
     edge::EdgeServer* source = &fleet_->server(0);
     const auto idx = static_cast<std::size_t>(result.timeline.server_index);
-    if (result.timeline.server_index > 0) {
-      if (idx < fleet_->size()) {
-        source = &fleet_->server(idx);
-      } else if (secondary_server_) {
-        source = secondary_server_.get();
-      }
+    if (result.timeline.server_index > 0 && idx < fleet_->servers_up()) {
+      source = &fleet_->server(idx);
     }
     if (source->executions().empty()) {
       throw std::runtime_error(

@@ -15,6 +15,7 @@
 #include "src/net/channel.h"
 #include "src/obs/obs.h"
 #include "src/sim/simulation.h"
+#include "src/tier/topology.h"
 
 namespace offload::core {
 
@@ -28,24 +29,50 @@ struct RuntimeConfig {
   /// comfortably after → "after ACK".
   sim::SimTime click_at = sim::SimTime::seconds(0.1);
   /// Deterministic fault plan, applied to the *primary* channel and server
-  /// (the secondary, when present, stays healthy — it is the escape
-  /// hatch). No plan (the default) = a fault-free run.
+  /// (spares, when present, stay healthy — they are the escape hatch). No
+  /// plan (the default) = a fault-free run.
   std::optional<fault::FaultPlanConfig> faults;
-  /// Stand up a second edge server (its own clean channel, same config)
-  /// and register it with the client as the failover target. Predates the
-  /// fleet and composes with it: the secondary is appended after the fleet
-  /// servers in the client's candidate list and is never balancer-routed.
-  bool secondary_server = false;
   /// Edge-fleet shape. The default (one server, "hash" balancing, dedup
   /// off) reproduces the single-server runtime bit-for-bit.
   struct FleetOptions {
     std::size_t size = 1;
+    /// Standby servers appended after the balanced set — never
+    /// balancer-routed, reached only by candidate-list failover. One spare
+    /// on a fleet of one reproduces the historical secondary-server
+    /// wiring ("server-b") bit-for-bit.
+    std::size_t spares = 0;
     fleet::BalancerConfig balancer;
     /// Content-addressed model pre-send: offer digests first, upload only
     /// the files the server's blob cache is missing.
     bool dedup = false;
   };
   FleetOptions fleet;
+  /// Edge→cloud tier above the fleet. Off by default: the degenerate
+  /// configuration constructs no topology, no cloud, no extra channels —
+  /// the paper reproduction stays bit-for-bit identical.
+  struct TierOptions {
+    /// `OFFLOAD_TIER=1` turns the tier on (cloud overflow escalation and
+    /// drain-based migration become available).
+    bool enabled = false;
+    /// `OFFLOAD_STEAL=1` additionally enables deterministic work stealing
+    /// between edges (implies nothing unless `enabled` is also set).
+    bool steal = false;
+    /// Per-relay deadline budget (tier::TierConfig::escalation_budget).
+    sim::SimTime escalation_budget = sim::SimTime::seconds(2);
+    sim::SimTime steal_interval = sim::SimTime::millis(50);
+    std::uint64_t steal_seed = 1;
+    std::size_t steal_min_backlog = 2;
+    /// Edge→cloud WAN shape: fatter but farther than the client links.
+    double uplink_bandwidth_bps = 200e6;
+    sim::SimTime uplink_latency = sim::SimTime::millis(20);
+    /// Lanes on the cloud scheduler (it absorbs every edge's overflow).
+    int cloud_replicas = 4;
+    /// Tests set this to pin a configuration against ambient env vars.
+    bool ignore_env = false;
+    /// Fold in `OFFLOAD_TIER` / `OFFLOAD_STEAL` ("1"/"true"/"on" enable).
+    void apply_env();
+  };
+  TierOptions tier;
   /// Observability sink shared by every actor (client, servers, channels,
   /// schedulers). Null = the runtime owns one internally; tracing is
   /// always on (a handful of spans per inference), and the breakdown is
@@ -92,8 +119,6 @@ class OffloadingRuntime {
   edge::EdgeServer& server() { return fleet_->server(0); }
   /// The fleet every server lives in (size 1 unless configured larger).
   fleet::EdgeFleet& fleet() { return *fleet_; }
-  /// The failover server (null unless secondary_server was requested).
-  edge::EdgeServer* secondary() { return secondary_server_.get(); }
   /// The client's channels to the fleet (index k ↔ server k). Benches use
   /// channel->link_a_to_b().set_bandwidth_bps(...) to model netem-style
   /// mid-run bandwidth shifts for the dynamic-partitioning experiments.
@@ -102,6 +127,8 @@ class OffloadingRuntime {
   fault::FaultPlan* fault_plan() {
     return injector_ ? &injector_->plan() : nullptr;
   }
+  /// The edge→cloud tier, or null when RuntimeConfig::tier left it off.
+  tier::Topology* topology() { return topology_.get(); }
   /// The observability sink all actors share (the caller's, or the
   /// runtime-owned one). Valid for the runtime's lifetime.
   obs::Obs& obs() { return *obs_; }
@@ -114,10 +141,9 @@ class OffloadingRuntime {
   obs::Obs* obs_ = nullptr;
   std::unique_ptr<fleet::EdgeFleet> fleet_;
   fleet::EdgeFleet::ClientLink link_;
-  std::unique_ptr<net::Channel> secondary_channel_;
-  std::unique_ptr<edge::EdgeServer> secondary_server_;
   std::unique_ptr<edge::ClientDevice> client_;
   std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<tier::Topology> topology_;
 };
 
 /// The Fig. 6 "Server" baseline: the app runs entirely on the server's

@@ -117,7 +117,9 @@ std::vector<double> CutController::predict(const LinkSignals& signals,
       signals.batch_wait_s +
       static_cast<double>(signals.queue_depth +
                           static_cast<std::size_t>(
-                              std::max(0, signals.outstanding))) *
+                              std::max(0, signals.outstanding)) +
+                          static_cast<std::size_t>(
+                              std::max(0, signals.escalations))) *
           service_s / lanes;
 
   const std::size_t last = net_->size() - 1;

@@ -97,6 +97,11 @@ struct LinkSignals {
   int lanes = 1;                ///< serve::Scheduler::lanes()
   double batch_wait_s = 0;      ///< serve::Scheduler::recent_batch_wait_s()
   int outstanding = 0;          ///< fleet::EdgeFleet::outstanding_for(k)
+  /// Jobs this server currently has escalated up-tier and still awaits
+  /// results for (tier::Topology::outstanding_relays(k)). Each one is load
+  /// the queue gauges no longer show; 0 (tier off) leaves predictions
+  /// bit-identical.
+  int escalations = 0;
 };
 
 struct Decision {

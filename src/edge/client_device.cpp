@@ -1,5 +1,6 @@
 #include "src/edge/client_device.h"
 
+#include <cstdlib>
 #include <stdexcept>
 
 #include "src/jsvm/snapshot.h"
@@ -715,7 +716,7 @@ void ClientDevice::on_phase_timeout(Phase phase) {
   phase_ = Phase::kIdle;
   ++sup_stats_.deadline_expiries;
   count("supervisor.deadline_expiries");
-  active_breaker().record_failure(sim_.now());
+  record_breaker_outcome(/*success=*/false);
   if (phase == Phase::kPresend) {
     if (!awaiting_ack_) return;  // raced with the ACK
     if (awaiting_result_ && inflight_snapshot_) {
@@ -816,6 +817,29 @@ void ClientDevice::resend_inflight() {
   mark_snapshot_send(*inflight_snapshot_, "snapshot_resend");
   active_endpoint().send(*inflight_snapshot_);
   arm_upload_watchdog();
+}
+
+void ClientDevice::record_breaker_outcome(bool success) {
+  CircuitBreaker& breaker = active_breaker();
+  const bool was_tripped =
+      breaker.state(sim_.now()) != CircuitBreaker::State::kClosed;
+  const int opened_before = breaker.times_opened();
+  if (success) {
+    breaker.record_success(sim_.now());
+  } else {
+    breaker.record_failure(sim_.now());
+  }
+  if (breaker.times_opened() > opened_before) {
+    ++sup_stats_.breaker_opens;
+    count("supervisor.breaker_opens");
+  }
+  const bool tripped =
+      breaker.state(sim_.now()) != CircuitBreaker::State::kClosed;
+  if (obs_ && tripped != was_tripped) {
+    obs_->metrics.set_gauge(
+        "supervisor.breaker_open.server" + std::to_string(active_server_),
+        tripped ? 1 : 0);
+  }
 }
 
 std::size_t ClientDevice::next_usable_server() {
@@ -961,7 +985,7 @@ void ClientDevice::finish_hedge() {
   timeline_.hedge_local_win = true;
   timeline_.local_fallback = true;
   timeline_.offloaded = false;
-  active_breaker().record_failure(sim_.now());
+  record_breaker_outcome(/*success=*/false);
   awaiting_result_ = false;
   inflight_snapshot_.reset();
   resend_snapshot_on_ack_ = false;
@@ -977,7 +1001,7 @@ void ClientDevice::on_delivery_failure(const net::Message& message,
   OFFLOAD_LOG_WARN << "client: delivery failed for "
                    << net::message_type_name(message.type) << " after "
                    << attempts << " attempt(s)";
-  active_breaker().record_failure(sim_.now());
+  record_breaker_outcome(/*success=*/false);
   if (message.type == net::MessageType::kSnapshot) {
     retry_snapshot("delivery failure");
     return;
@@ -1016,7 +1040,7 @@ void ClientDevice::on_message(const net::Message& message) {
       }
       if (supervising()) {
         awaiting_ack_ = false;
-        active_breaker().record_success(sim_.now());
+        record_breaker_outcome(/*success=*/true);
         if (phase_ == Phase::kPresend) cancel_phase_timer();
       }
       if (!timeline_.ack_received) {
@@ -1082,7 +1106,7 @@ void ClientDevice::on_message(const net::Message& message) {
         // Damaged on the downlink. Supervised: treat as one more
         // retryable failure. Unsupervised: surface the typed error.
         if (!supervising()) throw PayloadCorruptError(message);
-        active_breaker().record_failure(sim_.now());
+        record_breaker_outcome(/*success=*/false);
         retry_snapshot("corrupt result payload");
         return;
       }
@@ -1109,7 +1133,7 @@ void ClientDevice::on_message(const net::Message& message) {
       }
       if (supervising()) {
         cancel_supervision_timers();
-        active_breaker().record_success(sim_.now());
+        record_breaker_outcome(/*success=*/true);
       }
       awaiting_result_ = false;
       inflight_snapshot_.reset();
@@ -1207,6 +1231,56 @@ void ClientDevice::on_message(const net::Message& message) {
         send_snapshot_message(std::move(msg), recapture_s);
         return;
       }
+      if (util::starts_with(message.name, "redirect:") && awaiting_result_) {
+        // The server is draining its queue (tier migration): it names a
+        // peer that should finish this inference. Our session realm did
+        // not travel — the peer gets a fresh model push and a replayed
+        // self-contained snapshot; the redirect is just a failover whose
+        // target the server chose for us.
+        std::size_t target = servers_.size();
+        const std::string name = message.name.substr(9);
+        std::size_t colon = name.find(':');
+        if (colon != std::string::npos) {
+          target = static_cast<std::size_t>(
+              std::strtoul(name.substr(0, colon).c_str(), nullptr, 10));
+        }
+        if (supervising() && inflight_snapshot_) {
+          cancel_phase_timer();
+          if (target < servers_.size() && target != active_server_ &&
+              breakers_[target].allow(sim_.now())) {
+            OFFLOAD_LOG_INFO << "client: server redirected us to server "
+                             << target;
+            ++sup_stats_.redirects;
+            count("supervisor.redirects");
+            active_server_ = target;
+            timeline_.server_index = static_cast<int>(target);
+            baseline_.reset();  // sessions do not migrate between servers
+            attempts_ = 0;      // fresh retry budget against the target
+            if (model_sent()) {
+              resend_inflight();
+            } else {
+              begin_recovery("redirect");
+            }
+            return;
+          }
+          // The named target is unusable (bad index, open breaker): fall
+          // into the ordinary retry/failover policy instead.
+          retry_snapshot("redirect to unusable server");
+          return;
+        }
+        OFFLOAD_LOG_WARN << "client: redirected without a usable inflight "
+                            "snapshot, falling back locally";
+        if (supervising()) {
+          abandon_remote("redirect without snapshot");
+          return;
+        }
+        awaiting_result_ = false;
+        inflight_snapshot_.reset();
+        timeline_.local_fallback = true;
+        timeline_.offloaded = false;
+        run_locally();
+        return;
+      }
       if ((util::starts_with(message.name, "overloaded") ||
            util::starts_with(message.name, "expired:")) &&
           awaiting_result_) {
@@ -1261,7 +1335,7 @@ void ClientDevice::on_message(const net::Message& message) {
           // The request list itself was damaged in flight: restart the
           // exchange with a fresh offer.
           if (!supervising()) throw PayloadCorruptError(message);
-          active_breaker().record_failure(sim_.now());
+          record_breaker_outcome(/*success=*/false);
           model_sent() = false;
           send_model_files(/*count_as_presend=*/false);
           arm_phase(Phase::kPresend, config_.supervisor.presend_deadline);
@@ -1279,7 +1353,7 @@ void ClientDevice::on_message(const net::Message& message) {
         if (awaiting_result_ && inflight_snapshot_ &&
             !hold_snapshot_for_ack_) {
           if (supervising()) {
-            active_breaker().record_failure(sim_.now());
+            record_breaker_outcome(/*success=*/false);
             retry_snapshot("server rejected corrupt payload");
           } else {
             OFFLOAD_LOG_WARN << "client: snapshot corrupted in flight, "

@@ -184,10 +184,6 @@ class ClientDevice {
   /// but the bytes. Returns the new server's index.
   std::size_t attach_server(net::Endpoint& endpoint);
 
-  /// Back-compat shim from the one-secondary era: attaches `endpoint` as
-  /// the next server in the candidate list (index 1 when called once).
-  void attach_secondary(net::Endpoint& endpoint) { attach_server(endpoint); }
-
   /// Number of attached servers (constructor endpoint included).
   std::size_t server_count() const { return servers_.size(); }
 
@@ -270,6 +266,13 @@ class ClientDevice {
   bool supervising() const { return config_.supervisor.enabled; }
   net::Endpoint& active_endpoint() { return *servers_[active_server_]; }
   CircuitBreaker& active_breaker() { return breakers_[active_server_]; }
+  /// Route every breaker verdict through here: records the outcome on the
+  /// active server's breaker and, when that flips the breaker between
+  /// closed and open/half-open, publishes the per-server obs gauge
+  /// `supervisor.breaker_open.server<k>` (1 = tripped, 0 = closed) and
+  /// the breaker_opens counter. Emitted only on transitions, so steady
+  /// workloads carry no gauge churn.
+  void record_breaker_outcome(bool success);
   char& model_sent() { return model_sent_[active_server_]; }
   /// The next candidate after the active server, in candidate order with
   /// wraparound, whose breaker admits a request right now. Returns

@@ -50,6 +50,7 @@ void EdgeServer::schedule_crash(sim::SimTime at, sim::SimTime downtime) {
     store_->clear();
     blob_store_.clear();
     sessions_.clear();
+    migratable_.clear();
     browser_.reset();
     last_browser_ = nullptr;
     retired_schedulers_.push_back(std::move(scheduler_));
@@ -231,9 +232,45 @@ void EdgeServer::handle_model_offer(net::Endpoint& from,
   send_control(from, "send_files:" + message.name, missing.encode());
 }
 
+bool EdgeServer::try_escalate(net::Endpoint& from, const std::string& app,
+                              util::Bytes payload, obs::TraceContext ctx,
+                              const char* reason) {
+  if (!escalate_) return false;
+  // Differential snapshots patch this server's session realm; they are
+  // meaningless anywhere else, so they never escalate.
+  if (SnapshotPayload::decode(std::span(payload)).differential) return false;
+  EscalationRequest req;
+  req.app = app;
+  req.payload = std::move(payload);
+  req.reply_to = &from;
+  req.ctx = ctx;
+  req.reason = reason;
+  if (!escalate_(std::move(req))) return false;
+  ++stats_.snapshots_escalated;
+  count("snapshots_escalated");
+  if (config_.obs) {
+    config_.obs->trace.marker(ctx.trace, ctx.root,
+                              std::string("escalate:") + reason,
+                              config_.obs_name + "/queue", sim_.now());
+  }
+  return true;
+}
+
 void EdgeServer::handle_snapshot(net::Endpoint& from,
                                  const net::Message& message) {
   if (!scheduler_->would_admit()) {
+    // Overloaded. First offer the job up-tier: the topology (when
+    // attached) executes it on the cloud and replies through this
+    // endpoint, so the client just sees a slower "accepted:" → result.
+    if (try_escalate(from, message.name, message.payload, message.ctx,
+                     "overloaded")) {
+      if (config_.ack_snapshots) {
+        // The admission receipt still comes from here — the supervising
+        // client's upload deadline must not fire while the job climbs.
+        send_control(from, "accepted:" + message.name);
+      }
+      return;
+    }
     // Load shed before restoring anything: the client's realm still holds
     // the offloaded event, so it finishes this inference locally. This
     // shed happens before scheduler admission, so it shows up here — not
@@ -377,11 +414,18 @@ void EdgeServer::handle_snapshot(net::Endpoint& from,
   const std::uint64_t epoch = boot_epoch_;
   std::string app = message.name;
   const obs::TraceContext ctx = message.ctx;
-  scheduler_->submit_opaque(
+  // The scheduler id is unknown until submit returns, but both callbacks
+  // are built first; they read it through this box (safe: completions and
+  // expiries fire from simulation events, never inside submit_opaque).
+  auto id_box = std::make_shared<std::uint64_t>(0);
+  serve::SubmitResult submitted = scheduler_->submit_opaque(
       record.busy_s(),
-      [this, &from, record_index, epoch, ctx,
+      [this, &from, record_index, epoch, ctx, id_box,
        reply = std::move(reply)](const serve::RequestTiming& t) mutable {
         if (epoch != boot_epoch_) return;  // crashed mid-execution
+        // (After the epoch check: a post-crash scheduler reuses job ids,
+        // so a stale completion must not erase a new job's entry.)
+        migratable_.erase(*id_box);
         ServerExecutionRecord& rec = executions_[record_index];
         rec.queue_wait_s = t.queue_wait_s;
         rec.batch_wait_s = t.batch_wait_s;
@@ -415,14 +459,55 @@ void EdgeServer::handle_snapshot(net::Endpoint& from,
         from.send(std::move(reply));
       },
       deadline,
-      [this, &from, app, epoch](const serve::RequestTiming&) {
+      [this, &from, app, epoch, ctx, id_box](const serve::RequestTiming&) {
         if (epoch != boot_epoch_) return;
-        // Queued too long: deadline-aware cancellation. The client hears
-        // why, so it can fall back locally instead of waiting forever.
+        // Queued too long. A job that can run elsewhere gets one more
+        // chance up-tier before the client hears "expired:".
+        util::Bytes payload;
+        if (auto it = migratable_.find(*id_box); it != migratable_.end()) {
+          payload = std::move(it->second.payload);
+          migratable_.erase(it);
+        }
+        if (!payload.empty() &&
+            try_escalate(from, app, std::move(payload), ctx, "expired")) {
+          return;
+        }
+        // Deadline-aware cancellation: the client hears why, so it can
+        // fall back locally instead of waiting forever.
         ++stats_.jobs_expired;
         send_control(from, "expired:" + app);
       },
       ctx);
+  if (submitted.admitted) {
+    MigratableJob job;
+    job.id = submitted.id;
+    job.app = app;
+    // Differential jobs keep an empty payload: they can only redirect
+    // (the session realm lives here), never re-run elsewhere.
+    if (!payload.differential) job.payload = message.payload;
+    job.reply_to = &from;
+    job.ctx = ctx;
+    job.differential = payload.differential;
+    *id_box = submitted.id;
+    migratable_.emplace(submitted.id, std::move(job));
+    if (on_admit_) on_admit_();
+  }
+}
+
+std::optional<EdgeServer::MigratableJob> EdgeServer::steal_job(
+    bool relayable_only) {
+  for (auto it = migratable_.begin(); it != migratable_.end(); ++it) {
+    if (relayable_only && it->second.differential) continue;
+    // Only a job still sitting in the queue can leave; one already on a
+    // lane (or completed) fails the cancel and keeps its local fate.
+    if (!scheduler_->cancel(it->first)) continue;
+    MigratableJob job = std::move(it->second);
+    migratable_.erase(it);
+    ++stats_.jobs_migrated;
+    count("jobs_migrated");
+    return job;
+  }
+  return std::nullopt;
 }
 
 void EdgeServer::handle_overlay(net::Endpoint& from,

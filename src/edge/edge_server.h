@@ -19,6 +19,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -69,6 +71,19 @@ struct EdgeServerConfig {
   std::string obs_name = "server";
 };
 
+/// A job an overloaded (or deadline-missing) edge hands to the tier
+/// topology instead of shedding: everything an up-tier executor needs to
+/// run it and reply transparently to the original client. The snapshot is
+/// self-contained, so `payload` plus the origin's pre-sent model files is
+/// the whole session.
+struct EscalationRequest {
+  std::string app;
+  util::Bytes payload;        ///< encoded SnapshotPayload, verbatim
+  net::Endpoint* reply_to = nullptr;  ///< the client-facing b-side endpoint
+  obs::TraceContext ctx;
+  const char* reason = "";    ///< "overloaded" or "expired"
+};
+
 /// Per-offload server-side timing, for the Fig. 7 breakdown.
 struct ServerExecutionRecord {
   sim::SimTime received_at;
@@ -109,9 +124,52 @@ class EdgeServer {
   /// from co-located tenants, thermal throttling).
   void schedule_stall(sim::SimTime at, sim::SimTime duration);
 
+  /// Tier hook: offered every job this server would otherwise shed at
+  /// admission or cancel at its queue deadline (non-differential snapshots
+  /// only — differential ones are meaningless without this server's
+  /// session realm). Return true to take ownership: the server then never
+  /// sheds/expires the job, and the handler owes the client exactly one
+  /// result or typed failure on `reply_to`.
+  void set_escalation_handler(std::function<bool(EscalationRequest)> handler) {
+    escalate_ = std::move(handler);
+  }
+
+  /// A queued snapshot job withdrawn for work stealing or migration. An
+  /// empty `payload` marks a differential job: it cannot run elsewhere, so
+  /// the drain path redirects its client instead of relaying it.
+  struct MigratableJob {
+    std::uint64_t id = 0;
+    std::string app;
+    util::Bytes payload;
+    net::Endpoint* reply_to = nullptr;
+    obs::TraceContext ctx;
+    bool differential = false;
+  };
+
+  /// Withdraw the oldest still-queued snapshot job (smallest scheduler id
+  /// whose cancel() succeeds). With `relayable_only`, differential jobs
+  /// are skipped — a thief can only run self-contained snapshots. The
+  /// caller owns the job's fate: this server will never reply for it.
+  std::optional<MigratableJob> steal_job(bool relayable_only);
+
+  /// Queued snapshot jobs currently eligible for steal_job().
+  std::size_t migratable_jobs() const { return migratable_.size(); }
+
+  /// Tier hook: fires after every snapshot admission (the job just joined
+  /// the queue). The work-stealing scheduler arms its tick off this, so
+  /// ticks exist only while there is load and the simulation can quiesce.
+  void set_admission_hook(std::function<void()> hook) {
+    on_admit_ = std::move(hook);
+  }
+
   bool installed() const { return config_.offloading_system_installed; }
   /// True while crashed (between a crash and its restart).
   bool down() const { return down_; }
+  /// Whether this server sends "accepted:"/"done:" receipts (tier relays
+  /// mirror the origin's receipt behavior toward the client).
+  bool acks() const { return config_.ack_snapshots; }
+  /// Crash counter; work captured under an older epoch must stay silent.
+  std::uint64_t boot_epoch() const { return boot_epoch_; }
   const ModelStore& model_store() const { return *store_; }
   /// Content-addressed cache of every model file any client uploaded since
   /// the last crash. Non-const so tests can corrupt_blob().
@@ -133,6 +191,8 @@ class EdgeServer {
     int corrupt_rejected = 0;     ///< payload CRC mismatches rejected
     int model_missing_replies = 0;
     int jobs_expired = 0;         ///< queue-deadline cancellations
+    int snapshots_escalated = 0;  ///< jobs handed up-tier instead of shed
+    int jobs_migrated = 0;        ///< queued jobs withdrawn via steal_job()
     int model_offers = 0;         ///< kModelOffer pre-sends received
     int dedup_hit_files = 0;      ///< offered files served from the cache
     int dedup_miss_files = 0;     ///< offered files requested in full
@@ -162,6 +222,12 @@ class EdgeServer {
   void handle_snapshot(net::Endpoint& from, const net::Message& message);
   void handle_overlay(net::Endpoint& from, const net::Message& message);
   void refuse(net::Endpoint& from, const net::Message& message);
+  /// Offer a would-be-shed/expired job to the escalation handler. True =
+  /// the handler took it (stats and marker recorded); the caller must not
+  /// shed or reply.
+  bool try_escalate(net::Endpoint& from, const std::string& app,
+                    util::Bytes payload, obs::TraceContext ctx,
+                    const char* reason);
   void send_control(net::Endpoint& to, const std::string& name,
                     util::Bytes payload = {});
   std::unique_ptr<serve::Scheduler> make_scheduler() const;
@@ -187,6 +253,12 @@ class EdgeServer {
     std::uint64_t version = 0;
   };
   std::unordered_map<std::string, Session> sessions_;
+  /// Still-queued snapshot jobs by scheduler id (ascending = admission
+  /// order), each holding enough to re-run elsewhere. Entries leave when
+  /// the job dispatches, expires, is stolen, or the server crashes.
+  std::map<std::uint64_t, MigratableJob> migratable_;
+  std::function<bool(EscalationRequest)> escalate_;
+  std::function<void()> on_admit_;
   vmsynth::VmImage base_image_;
   std::optional<vmsynth::VmImage> synthesized_;
   bool down_ = false;

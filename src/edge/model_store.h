@@ -28,6 +28,9 @@ class ModelStore {
   const nn::ModelFile* find(const std::string& name) const;
   std::uint64_t total_bytes() const;
   std::size_t file_count() const { return files_.size(); }
+  /// Every stored file, in insertion order (tier relays push an app's
+  /// files up-tier by filtering on the "<app>." name prefix).
+  const std::vector<nn::ModelFile>& files() const { return files_; }
 
   /// True if enough files exist to instantiate `app` (description plus
   /// full or rear weights).

@@ -144,6 +144,8 @@ struct SupervisorStats {
   int breaker_opens = 0;
   int breaker_short_circuits = 0;  ///< offloads skipped: breaker open
   int failovers = 0;           ///< switched primary ↔ secondary server
+  int redirects = 0;           ///< server-directed migrations followed
+                               ///< ("redirect:<target>:<app>" controls)
   int model_represends = 0;    ///< crash recovery: model pushed again
   int local_fallbacks = 0;     ///< inferences finished locally by the
                                ///< supervisor after remote attempts failed

@@ -48,12 +48,35 @@ struct StallSpec {
   sim::SimTime duration = sim::SimTime::seconds(1);
 };
 
+/// A link blackout: every transmission attempt in [start, start+duration)
+/// is dropped, both directions (models a WAN path failing over, the
+/// edge→cloud uplink in the tier topology). Unlike the probabilistic
+/// MessageFaults, blackouts are time-windowed and consume no PRNG draws,
+/// so adding one never perturbs the rest of the plan's decisions.
+struct BlackoutSpec {
+  sim::SimTime start;
+  sim::SimTime duration = sim::SimTime::seconds(1);
+
+  bool covers(sim::SimTime t) const {
+    return t >= start && t < start + duration;
+  }
+};
+
 struct FaultPlanConfig {
   std::uint64_t seed = 1;
   MessageFaults uplink;    ///< client → server direction (channel a→b)
   MessageFaults downlink;  ///< server → client direction (channel b→a)
   std::vector<CrashSpec> crashes;
   std::vector<StallSpec> stalls;
+  std::vector<BlackoutSpec> blackouts;
+
+  /// True when any blackout window covers `t`.
+  bool blacked_out(sim::SimTime t) const {
+    for (const BlackoutSpec& b : blackouts) {
+      if (b.covers(t)) return true;
+    }
+    return false;
+  }
 
   /// Convenience: the symmetric "p on every message kind, both ways" plan
   /// the fault benchmarks sweep.

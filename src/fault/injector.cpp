@@ -8,13 +8,26 @@ FaultInjector::FaultInjector(sim::Simulation& sim, FaultPlanConfig config)
     : sim_(sim), plan_(std::move(config)) {}
 
 void FaultInjector::attach_channel(net::Channel& channel) {
-  if (plan_.config().uplink.any()) {
+  // Blackout windows are checked before the probabilistic decision and
+  // short-circuit it, so they never consume PRNG draws — a plan with and
+  // without blackouts makes identical per-message decisions outside the
+  // windows.
+  const bool blackouts = !plan_.config().blackouts.empty();
+  if (plan_.config().uplink.any() || blackouts) {
     channel.set_fault_hook(/*a_to_b=*/true, [this](const net::Message& m) {
+      if (plan_.config().blacked_out(sim_.now())) {
+        return net::FaultDecision{.drop = true};
+      }
+      if (!plan_.config().uplink.any()) return net::FaultDecision{};
       return plan_.decide(/*uplink=*/true, m);
     });
   }
-  if (plan_.config().downlink.any()) {
+  if (plan_.config().downlink.any() || blackouts) {
     channel.set_fault_hook(/*a_to_b=*/false, [this](const net::Message& m) {
+      if (plan_.config().blacked_out(sim_.now())) {
+        return net::FaultDecision{.drop = true};
+      }
+      if (!plan_.config().downlink.any()) return net::FaultDecision{};
       return plan_.decide(/*uplink=*/false, m);
     });
   }

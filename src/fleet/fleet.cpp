@@ -25,6 +25,15 @@ std::string EdgeFleet::server_name(std::size_t k) const {
   // A fleet of one keeps the historical single-server name, so channel
   // endpoint names, obs resources, and therefore every golden trace stay
   // byte-identical to the pre-fleet runtime.
+  if (k >= config_.size) {
+    const std::size_t spare = k - config_.size;
+    // Degenerate fleet: the historical secondary-server name ("server-b",
+    // then "-c", …) so the pre-fleet failover goldens stay byte-identical.
+    if (config_.size == 1) {
+      return "server-" + std::string(1, static_cast<char>('b' + spare));
+    }
+    return "fleet/spare" + std::to_string(spare);
+  }
   if (config_.size == 1) return "server";
   return "fleet/server" + std::to_string(k);
 }
@@ -34,7 +43,7 @@ EdgeFleet::ClientLink EdgeFleet::connect_client(const std::string& name) {
   link.id = charged_.size();
   charged_.push_back(kIdle);
   const bool first = servers_.empty();
-  for (std::size_t k = 0; k < config_.size; ++k) {
+  for (std::size_t k = 0; k < config_.size + config_.spares; ++k) {
     auto channel =
         net::Channel::make(sim_, config_.channel, name, server_name(k));
     if (config_.obs) channel->set_obs(config_.obs);
@@ -42,8 +51,14 @@ EdgeFleet::ClientLink EdgeFleet::connect_client(const std::string& name) {
       edge::EdgeServerConfig server_config = config_.server;
       server_config.obs = config_.obs;
       // A real fleet namespaces each server's metrics/spans; the
-      // degenerate fleet keeps the caller's obs_name untouched.
-      if (config_.size > 1) server_config.obs_name = server_name(k);
+      // degenerate fleet keeps the caller's obs_name untouched — except
+      // for its spares, which take the historical "-b" suffix.
+      if (config_.size > 1) {
+        server_config.obs_name = server_name(k);
+      } else if (k >= config_.size) {
+        server_config.obs_name +=
+            "-" + std::string(1, static_cast<char>('b' + (k - config_.size)));
+      }
       servers_.push_back(std::make_unique<edge::EdgeServer>(
           sim_, channel->b(), std::move(server_config)));
     } else {
@@ -73,6 +88,11 @@ void EdgeFleet::configure_client(edge::ClientConfig& config,
 std::vector<std::size_t> EdgeFleet::route_for(std::size_t client,
                                               const std::string& session) {
   std::vector<std::size_t> order = balancer_->route(session, outstanding_);
+  // Spares trail every candidate list: reached only after the balanced
+  // servers are exhausted, exactly like the historical secondary server.
+  for (std::size_t j = 0; j < config_.spares; ++j) {
+    order.push_back(config_.size + j);
+  }
   const std::size_t primary = order.empty() ? 0 : order.front();
   // Charge the primary for the whole inference. Completion (wherever the
   // inference actually finished) releases the same charge, so the

@@ -30,8 +30,15 @@
 namespace offload::fleet {
 
 struct FleetConfig {
-  /// Number of edge servers. 1 reproduces the single-server runtime.
+  /// Number of balancer-routed edge servers. 1 reproduces the
+  /// single-server runtime.
   std::size_t size = 1;
+  /// Extra standby servers appended after the balanced set. Spares are
+  /// never balancer-routed; they sit at the tail of every candidate list,
+  /// so clients only reach them by exhausting the routed servers
+  /// (failover). A fleet of one with one spare reproduces the historical
+  /// client/"server-b" secondary-server wiring bit-for-bit.
+  std::size_t spares = 0;
   BalancerConfig balancer;
   /// Turn on content-addressed pre-send for every connected client.
   bool dedup = false;
@@ -71,6 +78,7 @@ class EdgeFleet {
                         const std::string& session);
 
   std::size_t size() const { return config_.size; }
+  std::size_t spares() const { return config_.spares; }
   edge::EdgeServer& server(std::size_t k) { return *servers_[k]; }
   std::size_t servers_up() const { return servers_.size(); }
   Balancer& balancer() { return *balancer_; }
@@ -86,7 +94,9 @@ class EdgeFleet {
   std::uint64_t dedup_bytes_saved() const;
   /// "server" for a fleet of one (degenerate naming), else
   /// "fleet/server<k>" — used for channel endpoint names and obs
-  /// resources alike.
+  /// resources alike. Spares (k >= size) are "server-b", "server-c", …
+  /// for a fleet of one (the historical secondary-server names) and
+  /// "fleet/spare<j>" otherwise.
   std::string server_name(std::size_t k) const;
 
  private:

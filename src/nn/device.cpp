@@ -119,4 +119,17 @@ DeviceProfile DeviceProfile::edge_server() {
   return p;
 }
 
+DeviceProfile DeviceProfile::cloud_server() {
+  DeviceProfile p = edge_server();
+  p.name = "x86-cloud-caffejs";
+  // A regional-cloud machine: newer cores, wider vectors, more memory
+  // bandwidth — ~3x the edge box per lane across the board.
+  for (auto& g : p.gflops) g *= 3.0;
+  p.per_layer_overhead_s = 0.05e-3;
+  p.snapshot_serialize_Bps = 600e6;
+  p.snapshot_parse_Bps = 1200e6;
+  p.batch_marginal_speedup = 2.0;
+  return p;
+}
+
 }  // namespace offload::nn

@@ -69,6 +69,10 @@ struct DeviceProfile {
   /// Conv/fc throughput scales by that factor; memory-bound layers by
   /// less.
   static DeviceProfile edge_server_gpu();
+  /// Regional cloud machine above the edge tier: newer cores and wider
+  /// SIMD than the edge box, reached over a fatter but higher-latency WAN
+  /// uplink (src/tier escalation target).
+  static DeviceProfile cloud_server();
 };
 
 }  // namespace offload::nn

@@ -45,6 +45,9 @@ enum class SpanKind : std::uint8_t {
   kLaneBusy,        // a scheduler lane occupied by one launch
   kMarker,          // instant event (crash, restart, shed, expired, ...)
   kCtrlDecision,    // one controller cut decision (adaptive policies only)
+  kEscalate,        // a shed/expiring job forwarded up-tier (src/tier)
+  kMigrate,         // a queued session drained to a peer or the cloud
+  kSteal,           // an idle edge pulling a queued job from a hot peer
 };
 
 const char* span_kind_name(SpanKind kind);

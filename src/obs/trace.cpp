@@ -22,6 +22,9 @@ const char* span_kind_name(SpanKind kind) {
     case SpanKind::kLaneBusy: return "lane_busy";
     case SpanKind::kMarker: return "marker";
     case SpanKind::kCtrlDecision: return "ctrl_decision";
+    case SpanKind::kEscalate: return "escalate";
+    case SpanKind::kMigrate: return "migrate";
+    case SpanKind::kSteal: return "steal";
   }
   return "unknown";
 }

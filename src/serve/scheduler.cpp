@@ -70,6 +70,20 @@ SubmitResult Scheduler::submit_infer(const std::string& model, std::size_t cut,
   return admit(std::move(job));
 }
 
+bool Scheduler::cancel(std::uint64_t id) {
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    if (pending_[i].id != id) continue;
+    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+    ++stats_.cancelled;
+    if (config_.obs) {
+      config_.obs->metrics.add(config_.obs_name + ".cancelled");
+    }
+    note_queue_depth();
+    return true;
+  }
+  return false;
+}
+
 void Scheduler::note_queue_depth() {
   if (config_.obs) {
     config_.obs->metrics.set_gauge(config_.obs_name + ".queue_depth",

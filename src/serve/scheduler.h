@@ -91,6 +91,11 @@ class Scheduler {
                             ExpiredFn on_expired = nullptr,
                             obs::TraceContext ctx = {});
 
+  /// Withdraw a still-queued job (work stealing / session migration). The
+  /// job's callbacks never fire; the caller owns its fate from here on.
+  /// Returns false when `id` is unknown, already dispatched, or done.
+  bool cancel(std::uint64_t id);
+
   std::size_t queue_depth() const { return pending_.size(); }
   /// Cheap pull-style load signals for the partition-point controller (and
   /// tests): no metrics-registry round-trip, just the scheduler's own
@@ -130,6 +135,7 @@ class Scheduler {
     std::uint64_t completed = 0;
     std::uint64_t rejected = 0;   ///< load-shed at admission
     std::uint64_t expired = 0;    ///< cancelled in-queue past their deadline
+    std::uint64_t cancelled = 0;  ///< withdrawn in-queue via cancel()
     std::uint64_t launches = 0;   ///< lane dispatches (batches + singles)
     std::uint64_t fused_jobs = 0; ///< jobs that rode in a batch of size > 1
     std::size_t peak_queue_depth = 0;

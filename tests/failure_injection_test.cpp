@@ -118,19 +118,20 @@ TEST(FailureInjection, ModelMissingOnServerRepliesGracefully) {
   EXPECT_EQ(server.stats().snapshots_executed, 0);
 }
 
-TEST(FailureInjection, PrimaryCrashFailsOverToSecondaryServer) {
+TEST(FailureInjection, PrimaryCrashFailsOverToSpareServer) {
   // Mid-session handoff under failure: the primary crashes right after
   // the click, the supervisor's deadlines fire, the circuit breaker
-  // opens, and the inference migrates to the secondary server (model
-  // re-presend + snapshot replay — snapshots are self-contained, so
-  // nothing else moves). The answer must match the no-fault run.
+  // opens, and the inference migrates along the fleet candidate list to
+  // the spare server (model re-presend + snapshot replay — snapshots are
+  // self-contained, so nothing else moves). The answer must match the
+  // no-fault run.
   edge::AppBundle bundle = make_benchmark_app(tiny_model(), false);
   RuntimeConfig config;
   config.client.supervisor.enabled = true;
   // No hedging: this test is about the failover path, and a local hedge
   // would win the race long before the breaker gives up on the primary.
   config.client.supervisor.hedge_after = sim::SimTime::zero();
-  config.secondary_server = true;
+  config.fleet.spares = 1;
   config.click_at = after_ack_click_time(*bundle.network, false, 0, 30e6);
   fault::CrashSpec crash;
   crash.first_at = config.click_at + sim::SimTime::millis(1);
@@ -144,8 +145,8 @@ TEST(FailureInjection, PrimaryCrashFailsOverToSecondaryServer) {
   EXPECT_TRUE(result.offloaded);
   EXPECT_EQ(result.timeline.server_index, 1);
   EXPECT_GE(runtime.client().supervisor_stats().failovers, 1);
-  ASSERT_NE(runtime.secondary(), nullptr);
-  EXPECT_GE(runtime.secondary()->stats().snapshots_executed, 1);
+  ASSERT_EQ(runtime.fleet().servers_up(), 2u);
+  EXPECT_GE(runtime.fleet().server(1).stats().snapshots_executed, 1);
   EXPECT_EQ(runtime.server().stats().snapshots_executed, 0);
 
   RunResult clean = run_scenario(tiny_model(), Scenario::kOffloadAfterAck);

@@ -441,7 +441,7 @@ TEST(Supervisor, CompletesEveryClickUnderFaultsAndCrashes) {
   // still completes (failing over, retrying, or falling back locally).
   edge::AppBundle bundle = make_benchmark_app(tiny_model(), false);
   RuntimeConfig config = supervised_config(bundle);
-  config.secondary_server = true;
+  config.fleet.spares = 1;
   fault::FaultPlanConfig faults = fault::FaultPlanConfig::uniform(0.05, 11);
   fault::CrashSpec crash;
   crash.first_at = config.click_at + sim::SimTime::millis(1);
@@ -488,7 +488,7 @@ TEST(Supervisor, FaultedRunsAreBitReproducible) {
     edge::AppBundle bundle = make_benchmark_app(tiny_model(), false);
     RuntimeConfig config;
     config.client.supervisor.enabled = true;
-    config.secondary_server = true;
+    config.fleet.spares = 1;
     config.click_at = after_ack_click_time(*bundle.network, false, 0, 30e6);
     fault::FaultPlanConfig faults = fault::FaultPlanConfig::uniform(0.08, 23);
     fault::CrashSpec crash;

@@ -153,6 +153,86 @@ TEST(FleetDedup, CorruptedBlobIsEvictedAndReuploaded) {
   EXPECT_EQ(second.result_text(), first.result_text());
 }
 
+TEST(FleetDedup, CrashDuringPresendFailsOverWithDigestSizedReoffer) {
+  // Crash the primary mid-model-pre-send, after the supervisor has a
+  // snapshot riding on the pending ACK. The retry policy burns through the
+  // dead server, the breaker opens, and the failover re-presends to the
+  // replacement — as a digest offer. The replacement's blob cache already
+  // holds all but one file, so it re-requests exactly the missing blob.
+  std::string expected;
+  {
+    Harness clean(1, "hash", false);
+    edge::ClientDevice& reference = clean.add_client("client");
+    clean.run_one_inference(reference);
+    expected = reference.result_text();
+  }
+
+  sim::Simulation sim;
+  obs::Obs obs;
+  FleetConfig fleet_config;
+  fleet_config.size = 2;
+  fleet_config.dedup = true;
+  fleet_config.server.ack_snapshots = true;
+  fleet_config.channel = core::RuntimeConfig::default_channel();
+  fleet_config.obs = &obs;
+  EdgeFleet fleet(sim, fleet_config);
+
+  // Servers materialize on the first connect, so link before warming.
+  EdgeFleet::ClientLink link = fleet.connect_client("client");
+
+  // Warm the replacement the way an earlier tenant would have: every model
+  // blob except the first is already cached on server 1.
+  edge::AppBundle warm = core::make_benchmark_app(tiny_model(), false);
+  const std::vector<nn::ModelFile> files = nn::model_files(*warm.network);
+  ASSERT_GE(files.size(), 2u);
+  for (std::size_t i = 1; i < files.size(); ++i) {
+    fleet.server(1).blob_store().put(util::fnv1a(std::span(files[i].content)),
+                                     files[i].content);
+  }
+
+  edge::ClientConfig client_config;
+  client_config.obs = &obs;
+  client_config.supervisor.enabled = true;
+  // No hedge: a local run winning the race would mask the failover path
+  // this test is about.
+  client_config.supervisor.hedge_after = sim::SimTime::zero();
+  // What configure_client would set; skipping the balancer hook pins the
+  // candidate order to [0, 1] so the crash victim is always the primary.
+  client_config.dedup_presend = true;
+  edge::AppBundle bundle = core::make_benchmark_app(tiny_model(), false);
+  edge::ClientDevice client(sim, *link.endpoints[0], client_config,
+                            std::move(bundle));
+  client.attach_server(*link.endpoints[1]);
+
+  client.start();
+  // 2 ms in, the offer/send_files round trip is still in flight — the
+  // primary dies holding a partial upload and stays down past the whole
+  // retry budget. The click lands before any ACK could, so the snapshot
+  // rides the pre-send and funnels timeouts into the failover policy.
+  fleet.server(0).schedule_crash(sim.now() + sim::SimTime::millis(2),
+                                 sim::SimTime::seconds(600));
+  client.click_at(sim.now() + sim::SimTime::millis(60));
+  sim.run();
+
+  ASSERT_TRUE(client.finished());
+  EXPECT_TRUE(client.timeline().offloaded);
+  EXPECT_EQ(client.timeline().server_index, 1);
+  EXPECT_GE(client.supervisor_stats().failovers, 1);
+  EXPECT_EQ(client.result_text(), expected);
+
+  // The replacement saw one digest offer, hit on every pre-warmed blob,
+  // and asked for (then received) only the one it was missing.
+  const edge::EdgeServer::Stats& replacement = fleet.server(1).stats();
+  EXPECT_EQ(replacement.model_offers, 1);
+  EXPECT_EQ(replacement.dedup_hit_files, static_cast<int>(files.size()) - 1);
+  EXPECT_EQ(replacement.dedup_miss_files, 1);
+  EXPECT_EQ(replacement.snapshots_executed, 1);
+  EXPECT_GT(replacement.dedup_bytes_saved, 0u);
+  // The dead primary never executed anything and never ACKed the model.
+  EXPECT_EQ(fleet.server(0).stats().snapshots_executed, 0);
+  EXPECT_EQ(fleet.server(0).stats().models_stored, 0);
+}
+
 TEST(FleetBalance, LeastOutstandingSpreadsConcurrentClients) {
   Harness h(2, "least_outstanding", false);
   edge::ClientDevice& first = h.add_client("client1");
@@ -197,22 +277,25 @@ TEST(FleetNaming, DegenerateFleetKeepsLegacyServerName) {
   EXPECT_THROW(EdgeFleet(sim, FleetConfig{.size = 0}), std::invalid_argument);
 }
 
-TEST(FleetRuntime, SecondaryServerShimStillAttaches) {
-  // The pre-fleet failover API (secondary_server + attach_secondary) must
-  // keep working: the secondary lands after the fleet servers in the
-  // client's candidate list.
+TEST(FleetRuntime, SpareServerAttachesAfterBalancedSet) {
+  // A spare lands after the fleet servers in the client's candidate list
+  // (the historical "server-b" secondary wiring, now fleet-owned) and is
+  // never routed while the balanced set is healthy.
   edge::AppBundle bundle = core::make_benchmark_app(tiny_model(), false);
   core::RuntimeConfig config;
   config.client.supervisor.enabled = true;
-  config.secondary_server = true;
+  config.fleet.spares = 1;
   config.click_at =
       core::after_ack_click_time(*bundle.network, false, 0, 30e6);
   core::OffloadingRuntime runtime(config, std::move(bundle));
   EXPECT_EQ(runtime.client().server_count(), 2u);
   EXPECT_EQ(runtime.fleet().size(), 1u);
+  EXPECT_EQ(runtime.fleet().servers_up(), 2u);
+  EXPECT_EQ(runtime.fleet().server_name(1), "server-b");
   core::RunResult result = runtime.run();
   EXPECT_TRUE(result.offloaded);
   EXPECT_EQ(result.timeline.server_index, 0);
+  EXPECT_EQ(runtime.fleet().server(1).stats().snapshots_executed, 0);
 }
 
 TEST(FleetRuntime, RoutedFleetRunsThroughTheRuntime) {

@@ -315,7 +315,7 @@ TEST(ObsAccounting, FaultedSupervisedTreeIsWellFormed) {
   edge::AppBundle bundle = make_benchmark_app(tiny_model(), false);
   RuntimeConfig config;
   config.client.supervisor.enabled = true;
-  config.secondary_server = true;
+  config.fleet.spares = 1;
   config.click_at = after_ack_click_time(*bundle.network, false, 0, 30e6);
   fault::FaultPlanConfig faults = fault::FaultPlanConfig::uniform(0.08, 23);
   fault::CrashSpec crash;
