@@ -5,6 +5,7 @@
 
 #include "src/jsvm/snapshot.h"
 #include "src/jsvm/snapshot_diff.h"
+#include "src/nn/kernels.h"
 #include "src/util/hash.h"
 #include "src/util/logging.h"
 #include "src/util/strings.h"
@@ -345,8 +346,10 @@ void ClientDevice::perform_recut(const ctrl::Decision& decision) {
   timeline_.client_exec_s += exec_s;
   const sim::SimTime exec_end = sim_.now() + sim::SimTime::seconds(exec_s);
   if (obs_) {
-    obs_->trace.emit(trace_, root_span_, obs::SpanKind::kClientExec,
-                     "exec_recut", "client", sim_.now(), exec_end, exec_s);
+    const obs::SpanId exec_span =
+        obs_->trace.emit(trace_, root_span_, obs::SpanKind::kClientExec,
+                         "exec_recut", "client", sim_.now(), exec_end, exec_s);
+    nn::tag_kernel_backend_span(obs_->trace, exec_span);
   }
   auto pending = interp.take_pending_offload();
   if (!pending) {
@@ -516,9 +519,11 @@ void ClientDevice::run_locally() {
   timeline_.client_exec_s += exec_s;
   timeline_.finished = sim_.now() + sim::SimTime::seconds(exec_s);
   if (obs_) {
-    obs_->trace.emit(trace_, root_span_, obs::SpanKind::kClientExec,
-                     "exec_local", "client", sim_.now(), *timeline_.finished,
-                     exec_s);
+    const obs::SpanId exec_span =
+        obs_->trace.emit(trace_, root_span_, obs::SpanKind::kClientExec,
+                         "exec_local", "client", sim_.now(),
+                         *timeline_.finished, exec_s);
+    nn::tag_kernel_backend_span(obs_->trace, exec_span);
   }
   finish_trace();
 }
@@ -569,8 +574,10 @@ void ClientDevice::run_app_events() {
   timeline_.client_exec_s += exec_s;
   const sim::SimTime exec_end = sim_.now() + sim::SimTime::seconds(exec_s);
   if (obs_) {
-    obs_->trace.emit(trace_, root_span_, obs::SpanKind::kClientExec,
-                     "exec_front", "client", sim_.now(), exec_end, exec_s);
+    const obs::SpanId exec_span =
+        obs_->trace.emit(trace_, root_span_, obs::SpanKind::kClientExec,
+                         "exec_front", "client", sim_.now(), exec_end, exec_s);
+    nn::tag_kernel_backend_span(obs_->trace, exec_span);
   }
 
   auto pending = interp.take_pending_offload();
@@ -970,9 +977,11 @@ void ClientDevice::finish_hedge() {
   timeline_.client_exec_s += hedge_exec_s_;
   timeline_.finished = sim_.now();
   if (obs_) {
-    obs_->trace.emit(trace_, root_span_, obs::SpanKind::kClientExec,
-                     "exec_hedge", "client", hedge_started_at_, sim_.now(),
-                     hedge_exec_s_);
+    const obs::SpanId exec_span =
+        obs_->trace.emit(trace_, root_span_, obs::SpanKind::kClientExec,
+                         "exec_hedge", "client", hedge_started_at_,
+                         sim_.now(), hedge_exec_s_);
+    nn::tag_kernel_backend_span(obs_->trace, exec_span);
   }
   if (!awaiting_result_) {
     // Remote was abandoned earlier; this hedge run is the fallback result.

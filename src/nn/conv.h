@@ -1,14 +1,18 @@
 // 2-D convolution layer (Caffe semantics: floor output rounding, zero
 // padding, optional channel groups). Forward runs as im2col + a packed,
 // cache-blocked, register-tiled GEMM parallelized over output tiles through
-// util::parallel_for — see layers.cpp for the kernel.
+// util::parallel_for; the inner micro-kernel comes from the active kernel
+// backend (src/nn/kernels.h) — see layers.cpp for the orchestration.
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <mutex>
 #include <vector>
 
 #include "src/nn/layer.h"
+#include "src/nn/quant.h"
+#include "src/util/aligned.h"
 
 namespace offload::nn {
 
@@ -44,29 +48,46 @@ class ConvLayer final : public Layer {
   std::string config_str() const override;
 
   const ConvConfig& config() const { return config_; }
-  /// Mutable access invalidates the packed GEMM panels; they are rebuilt
-  /// lazily on the next forward().
+  /// Mutable access invalidates every packed weight cache (fp32 panels and
+  /// the int8 quantization); they are rebuilt lazily on the next forward().
   Tensor& weights() {
-    packed_valid_.store(false, std::memory_order_release);
+    invalidate_packs();
     return weights_;
   }
   Tensor& bias() { return bias_; }
 
  private:
+  /// Panel-packed copy of weights_ for one micro-kernel geometry, built
+  /// once per weight mutation so steady-state forward passes touch no heap.
+  /// Guarded by pack_mutex_ for the (rare) rebuild; `valid` uses
+  /// acquire/release so readers that observe `true` also observe the data.
+  struct PackCache {
+    std::vector<float, util::AlignedAllocator<float, 64>> panels;
+    std::atomic<bool> valid{false};
+  };
+  /// int8 pack: symmetric per-layer weight quantization + mr=4 panels.
+  struct PackCacheI8 {
+    std::vector<std::int8_t, util::AlignedAllocator<std::int8_t, 64>> panels;
+    QuantParams qw;
+    std::atomic<bool> valid{false};
+  };
+
   void check_input(const Shape& in) const;
-  /// Repack weights_ into kMR-row panels (k-major within a panel) if stale.
-  void ensure_packed() const;
+  /// Pack weights_ into mr-row panels (mr in {4, 8}) if stale; returns the
+  /// panel base.
+  const float* ensure_packed(std::int64_t mr) const;
+  const PackCacheI8& ensure_packed_i8() const;
+  /// Warm the cache the active backend will use (called after param load so
+  /// the first forward never repacks).
+  void warm_pack() const;
+  void invalidate_packs();
 
   ConvConfig config_;
   Tensor weights_;  ///< {out_ch, in_ch/groups, k, k}
   Tensor bias_;     ///< {out_ch}
 
-  // Panel-packed copy of weights_, built once per weight mutation so
-  // steady-state forward passes touch no heap. Guarded by pack_mutex_ for
-  // the (rare) rebuild; packed_valid_ uses acquire/release so readers that
-  // observe `true` also observe the packed data.
-  mutable std::vector<float> packed_;
-  mutable std::atomic<bool> packed_valid_{false};
+  mutable PackCache packs_[2];  ///< slot 0: mr == 4, slot 1: mr == 8
+  mutable PackCacheI8 pack_i8_;
   mutable std::mutex pack_mutex_;
 };
 

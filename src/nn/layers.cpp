@@ -7,6 +7,7 @@
 #include "src/nn/concat.h"
 #include "src/nn/conv.h"
 #include "src/nn/dense.h"
+#include "src/nn/kernels.h"
 #include "src/nn/lrn.h"
 #include "src/nn/pool.h"
 #include "src/util/arena.h"
@@ -58,6 +59,15 @@ std::int64_t pool_out_dim(std::int64_t in, std::int64_t k, std::int64_t s,
       (in + 2 * p - k + s - 1) / s + 1;  // ceil division for non-negatives
   if (p > 0 && (out - 1) * s >= in + p) --out;
   return out;
+}
+
+/// int8 GEMM accumulators are int32: depth * 127 * 127 must not overflow.
+void check_i8_depth(std::int64_t depth, const std::string& what) {
+  if (depth > 130000) {
+    throw std::runtime_error(what + ": int8 backend: reduction depth " +
+                             std::to_string(depth) +
+                             " would overflow int32 accumulation");
+  }
 }
 
 }  // namespace
@@ -163,31 +173,35 @@ std::string InputLayer::config_str() const {
 //
 // forward() = parallel im2col + packed, register-tiled GEMM. The GEMM
 // partitions the output matrix into kRowBlock x kColBlock macro-tiles that
-// run as independent parallel_for tasks (disjoint output ranges), and each
-// macro-tile is computed with a kMR x kNR register micro-kernel over
+// run as independent parallel_for tasks (disjoint output ranges); each
+// macro-tile is computed by the active backend's micro-kernel over
 // panel-packed weights. Every output element accumulates bias-first then k
-// ascending, so results are bit-identical at any thread count.
+// ascending (the DESIGN §11 contract), so results are bit-identical at any
+// thread count and across the fp32 backends.
 
 namespace {
 
-constexpr std::int64_t kMR = 4;   ///< micro-kernel rows (output channels)
-constexpr std::int64_t kNR = 8;   ///< micro-kernel cols (output pixels)
-constexpr std::int64_t kRowBlock = 64;   ///< C rows per task (multiple of kMR)
-constexpr std::int64_t kColBlock = 512;  ///< C cols per task (multiple of kNR)
+/// Macro-tile task geometry. Multiples of every backend's micro-kernel
+/// (mr in {4, 8}, nr in {8, 16}), so tile starts always land on panel
+/// boundaries.
+constexpr std::int64_t kRowBlock = 64;   ///< C rows per task
+constexpr std::int64_t kColBlock = 512;  ///< C cols per task
 
 /// col[r][ow..] rows for r in [row_lo, row_hi), r = (c*K + kh)*K + kw.
 /// Writes zeros where the window reads padding, so the buffer needs no
-/// pre-clearing (it comes from the scratch arena, not calloc).
-void im2col_rows(const float* src, std::int64_t H, std::int64_t W,
-                 std::int64_t K, std::int64_t S, std::int64_t P,
-                 std::int64_t OH, std::int64_t OW, float* col,
-                 std::int64_t row_lo, std::int64_t row_hi) {
+/// pre-clearing (it comes from the scratch arena, not calloc). Templated so
+/// the int8 path can im2col quantized activations with the same indexing.
+template <typename T>
+void im2col_rows(const T* src, std::int64_t H, std::int64_t W, std::int64_t K,
+                 std::int64_t S, std::int64_t P, std::int64_t OH,
+                 std::int64_t OW, T* col, std::int64_t row_lo,
+                 std::int64_t row_hi) {
   const std::int64_t N = OH * OW;
   for (std::int64_t r = row_lo; r < row_hi; ++r) {
     const std::int64_t c = r / (K * K);
     const std::int64_t kh = (r / K) % K;
     const std::int64_t kw = r % K;
-    float* dst = col + r * N;
+    T* dst = col + r * N;
     // ow range whose input column iw = ow*S + kw - P lands inside [0, W).
     const std::int64_t ow0 =
         kw >= P ? 0 : std::min(OW, (P - kw + S - 1) / S);
@@ -198,93 +212,167 @@ void im2col_rows(const float* src, std::int64_t H, std::int64_t W,
     for (std::int64_t oh = 0; oh < OH; ++oh) {
       const std::int64_t ih = oh * S + kh - P;
       if (ih < 0 || ih >= H) {
-        std::fill(dst, dst + OW, 0.0f);
+        std::fill(dst, dst + OW, T(0));
         dst += OW;
         continue;
       }
-      const float* row = src + (c * H + ih) * W;
-      std::fill(dst, dst + ow0, 0.0f);
+      const T* row = src + (c * H + ih) * W;
+      std::fill(dst, dst + ow0, T(0));
       if (S == 1) {
-        const float* from = row + ow0 + kw - P;
+        const T* from = row + ow0 + kw - P;
         std::copy(from, from + (ow1 - ow0), dst + ow0);
       } else {
         for (std::int64_t ow = ow0; ow < ow1; ++ow) {
           dst[ow] = row[ow * S + kw - P];
         }
       }
-      std::fill(dst + ow1, dst + OW, 0.0f);
+      std::fill(dst + ow1, dst + OW, T(0));
       dst += OW;
     }
   }
 }
 
-/// One macro-tile: C[i0:i1) x [j0:j1) = Apack * B + bias, full depth Kd.
-/// Apack holds kMR-row panels (panel[k*kMR + m]); B is row-major Kd x N.
-void gemm_tile(const float* apack, std::int64_t kd, const float* b,
-               std::int64_t n, const float* bias, float* c, std::int64_t m_total,
-               std::int64_t i0, std::int64_t i1, std::int64_t j0,
-               std::int64_t j1) {
-  for (std::int64_t i = i0; i < i1; i += kMR) {
-    const float* panel = apack + (i / kMR) * (kd * kMR);
-    const std::int64_t mr = std::min(kMR, m_total - i);
-    for (std::int64_t j = j0; j < j1; j += kNR) {
-      const std::int64_t nr = std::min(kNR, j1 - j);
-      float acc[kMR][kNR];
-      if (mr == kMR && nr == kNR) {
-        for (std::int64_t m = 0; m < kMR; ++m) {
-          const float bm = bias[i + m];
-          for (std::int64_t v = 0; v < kNR; ++v) acc[m][v] = bm;
-        }
-        for (std::int64_t k = 0; k < kd; ++k) {
-          const float* bk = b + k * n + j;
-          const float* ak = panel + k * kMR;
-          for (std::int64_t m = 0; m < kMR; ++m) {
-            const float a = ak[m];
-            for (std::int64_t v = 0; v < kNR; ++v) acc[m][v] += a * bk[v];
-          }
-        }
-        for (std::int64_t m = 0; m < kMR; ++m) {
-          float* crow = c + (i + m) * n + j;
-          for (std::int64_t v = 0; v < kNR; ++v) crow[v] = acc[m][v];
-        }
-      } else {
-        for (std::int64_t m = 0; m < mr; ++m) {
-          const float bm = bias[i + m];
-          for (std::int64_t v = 0; v < nr; ++v) acc[m][v] = bm;
-        }
-        for (std::int64_t k = 0; k < kd; ++k) {
-          const float* bk = b + k * n + j;
-          const float* ak = panel + k * kMR;
-          for (std::int64_t m = 0; m < mr; ++m) {
-            const float a = ak[m];
-            for (std::int64_t v = 0; v < nr; ++v) acc[m][v] += a * bk[v];
-          }
-        }
-        for (std::int64_t m = 0; m < mr; ++m) {
-          float* crow = c + (i + m) * n + j;
-          for (std::int64_t v = 0; v < nr; ++v) crow[v] = acc[m][v];
-        }
-      }
-    }
-  }
-}
+/// fp32 conv core shared by forward (batch == 1) and forward_batch: one
+/// im2col over all samples, then one parallel GEMM over every (sample,
+/// group, macro-tile) task. Each task runs the identical micro-kernel the
+/// single-sample path would, so the batched output is bit-identical to B
+/// per-sample forwards — but the thread pool sees B x the tiles, which
+/// keeps every core busy even on the small late-network feature maps.
+void conv_forward_fp32(const KernelOps& ops, const float* panels,
+                       const float* src, float* out_data, const float* bias,
+                       std::int64_t batch, std::int64_t C, std::int64_t H,
+                       std::int64_t W, std::int64_t K, std::int64_t S,
+                       std::int64_t P, std::int64_t OH, std::int64_t OW,
+                       std::int64_t M, std::int64_t G) {
+  const std::int64_t N = OH * OW;
+  const std::int64_t Mg = M / G;
+  const std::int64_t Kd = (C / G) * K * K;
+  const std::int64_t CKK = C * K * K;
+  const std::int64_t CHW = C * H * W;
+  util::ScratchArena::Frame scratch(util::ScratchArena::local());
 
-/// C[m_total x n] = Apack * B + bias, parallel over macro-tiles.
-void gemm_parallel(const float* apack, std::int64_t kd, const float* b,
-                   std::int64_t n, const float* bias, float* c,
-                   std::int64_t m_total) {
-  const std::int64_t row_blocks = (m_total + kRowBlock - 1) / kRowBlock;
-  const std::int64_t col_blocks = (n + kColBlock - 1) / kColBlock;
+  // im2col: col[(c*K+kh)*K+kw][oh*OW+ow] = in[c][oh*S+kh-P][ow*S+kw-P].
+  // Rows are independent, so they im2col in parallel; a 1x1/s1/p0 conv is
+  // the identity im2col and reads the input directly (GoogLeNet is full of
+  // those).
+  const float* col_base;
+  std::int64_t col_stride;  // floats between consecutive samples' columns
+  if (K == 1 && S == 1 && P == 0) {
+    col_base = src;
+    col_stride = CHW;
+  } else {
+    float* buf = scratch.floats(static_cast<std::size_t>(batch * CKK * N));
+    auto fill = [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t t = lo; t < hi; ++t) {
+        const std::int64_t b = t / CKK;
+        const std::int64_t r = t % CKK;
+        im2col_rows(src + b * CHW, H, W, K, S, P, OH, OW, buf + b * CKK * N,
+                    r, r + 1);
+      }
+    };
+    util::parallel_for(0, batch * CKK, 1, fill);
+    col_base = buf;
+    col_stride = CKK * N;
+  }
+
+  const std::int64_t mr = ops.gemm_mr;
+  const std::int64_t tiles = (Mg + mr - 1) / mr;
+  const std::int64_t row_blocks = (Mg + kRowBlock - 1) / kRowBlock;
+  const std::int64_t col_blocks = (N + kColBlock - 1) / kColBlock;
+  const std::int64_t per_sample = G * row_blocks * col_blocks;
   auto run = [&](std::int64_t lo, std::int64_t hi) {
     for (std::int64_t t = lo; t < hi; ++t) {
-      const std::int64_t rb = t / col_blocks;
-      const std::int64_t cb = t % col_blocks;
-      gemm_tile(apack, kd, b, n, bias, c, m_total, rb * kRowBlock,
-                std::min(m_total, (rb + 1) * kRowBlock), cb * kColBlock,
-                std::min(n, (cb + 1) * kColBlock));
+      const std::int64_t b = t / per_sample;
+      std::int64_t rem = t % per_sample;
+      const std::int64_t g = rem / (row_blocks * col_blocks);
+      rem %= row_blocks * col_blocks;
+      const std::int64_t rb = rem / col_blocks;
+      const std::int64_t cb = rem % col_blocks;
+      ops.gemm_tile(panels + g * tiles * Kd * mr, Kd,
+                    col_base + b * col_stride + g * Kd * N, N, bias + g * Mg,
+                    out_data + (b * M + g * Mg) * N, Mg, rb * kRowBlock,
+                    std::min(Mg, (rb + 1) * kRowBlock), cb * kColBlock,
+                    std::min(N, (cb + 1) * kColBlock));
     }
   };
-  util::parallel_for(0, row_blocks * col_blocks, 1, run);
+  util::parallel_for(0, batch * per_sample, 1, run);
+}
+
+/// int8 conv core: per-sample symmetric activation quantization, int8
+/// im2col, exact-int32 GEMM, fp32 dequant on the way out. Accumulation is
+/// integer so every decomposition is bit-identical; simd == scalar by
+/// construction.
+void conv_forward_i8(const KernelOps& ops, const std::int8_t* qpanels,
+                     float wscale, const float* src, float* out_data,
+                     const float* bias, std::int64_t batch, std::int64_t C,
+                     std::int64_t H, std::int64_t W, std::int64_t K,
+                     std::int64_t S, std::int64_t P, std::int64_t OH,
+                     std::int64_t OW, std::int64_t M, std::int64_t G) {
+  const std::int64_t N = OH * OW;
+  const std::int64_t Mg = M / G;
+  const std::int64_t Kd = (C / G) * K * K;
+  const std::int64_t CKK = C * K * K;
+  const std::int64_t CHW = C * H * W;
+  util::ScratchArena::Frame scratch(util::ScratchArena::local());
+
+  std::int8_t* qsrc = reinterpret_cast<std::int8_t*>(
+      scratch.bytes(static_cast<std::size_t>(batch * CHW)));
+  float* dequants = scratch.floats(static_cast<std::size_t>(batch));
+  auto quant = [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t b = lo; b < hi; ++b) {
+      const QuantParams qa = choose_symmetric_scale(
+          {src + b * CHW, static_cast<std::size_t>(CHW)});
+      quantize_symmetric(src + b * CHW, qsrc + b * CHW, CHW, qa.inv_scale);
+      dequants[b] = wscale * qa.scale;
+    }
+  };
+  util::parallel_for(0, batch, 1, quant);
+
+  // Quantize-then-im2col == im2col-then-quantize: padding zeros quantize to
+  // zero, everything else is elementwise.
+  const std::int8_t* col_base;
+  std::int64_t col_stride;
+  if (K == 1 && S == 1 && P == 0) {
+    col_base = qsrc;
+    col_stride = CHW;
+  } else {
+    std::int8_t* buf = reinterpret_cast<std::int8_t*>(
+        scratch.bytes(static_cast<std::size_t>(batch * CKK * N)));
+    auto fill = [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t t = lo; t < hi; ++t) {
+        const std::int64_t b = t / CKK;
+        const std::int64_t r = t % CKK;
+        im2col_rows(qsrc + b * CHW, H, W, K, S, P, OH, OW, buf + b * CKK * N,
+                    r, r + 1);
+      }
+    };
+    util::parallel_for(0, batch * CKK, 1, fill);
+    col_base = buf;
+    col_stride = CKK * N;
+  }
+
+  constexpr std::int64_t kMRq = 4;  // int8 panels are mr=4 for every backend
+  const std::int64_t tiles = (Mg + kMRq - 1) / kMRq;
+  const std::int64_t row_blocks = (Mg + kRowBlock - 1) / kRowBlock;
+  const std::int64_t col_blocks = (N + kColBlock - 1) / kColBlock;
+  const std::int64_t per_sample = G * row_blocks * col_blocks;
+  auto run = [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t t = lo; t < hi; ++t) {
+      const std::int64_t b = t / per_sample;
+      std::int64_t rem = t % per_sample;
+      const std::int64_t g = rem / (row_blocks * col_blocks);
+      rem %= row_blocks * col_blocks;
+      const std::int64_t rb = rem / col_blocks;
+      const std::int64_t cb = rem % col_blocks;
+      ops.gemm_tile_i8(qpanels + g * tiles * Kd * kMRq, Kd,
+                       col_base + b * col_stride + g * Kd * N, N,
+                       bias + g * Mg, dequants[b],
+                       out_data + (b * M + g * Mg) * N, Mg, rb * kRowBlock,
+                       std::min(Mg, (rb + 1) * kRowBlock), cb * kColBlock,
+                       std::min(N, (cb + 1) * kColBlock));
+    }
+  };
+  util::parallel_for(0, batch * per_sample, 1, run);
 }
 
 }  // namespace
@@ -339,29 +427,66 @@ std::uint64_t ConvLayer::flops(std::span<const Shape> inputs) const {
   return static_cast<std::uint64_t>(out.elements()) * per_elem;
 }
 
-void ConvLayer::ensure_packed() const {
-  if (packed_valid_.load(std::memory_order_acquire)) return;
-  std::lock_guard<std::mutex> lk(pack_mutex_);
-  if (packed_valid_.load(std::memory_order_relaxed)) return;
-  const std::int64_t G = config_.groups;
-  const std::int64_t Mg = config_.out_channels / G;
-  const std::int64_t Kd =
-      (config_.in_channels / G) * config_.kernel * config_.kernel;
-  const std::int64_t tiles = (Mg + kMR - 1) / kMR;
-  packed_.assign(static_cast<std::size_t>(G * tiles * Kd * kMR), 0.0f);
-  const float* w = weights_.data().data();
-  for (std::int64_t g = 0; g < G; ++g) {
-    for (std::int64_t t = 0; t < tiles; ++t) {
-      float* panel = packed_.data() + (g * tiles + t) * Kd * kMR;
-      for (std::int64_t m = 0; m < kMR; ++m) {
-        const std::int64_t row = t * kMR + m;
-        if (row >= Mg) continue;  // padding rows stay zero
-        const float* src = w + (g * Mg + row) * Kd;
-        for (std::int64_t k = 0; k < Kd; ++k) panel[k * kMR + m] = src[k];
-      }
+const float* ConvLayer::ensure_packed(std::int64_t mr) const {
+  if (mr != 4 && mr != 8) {
+    throw std::logic_error("conv " + name() + ": unsupported panel mr " +
+                           std::to_string(mr));
+  }
+  PackCache& cache = packs_[mr == 8 ? 1 : 0];
+  if (!cache.valid.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lk(pack_mutex_);
+    if (!cache.valid.load(std::memory_order_relaxed)) {
+      const std::int64_t G = config_.groups;
+      const std::int64_t Mg = config_.out_channels / G;
+      const std::int64_t Kd =
+          (config_.in_channels / G) * config_.kernel * config_.kernel;
+      const std::int64_t tiles = (Mg + mr - 1) / mr;
+      cache.panels.assign(static_cast<std::size_t>(G * tiles * Kd * mr), 0.0f);
+      pack_gemm_panels(weights_.data().data(), G, Mg, Kd, mr,
+                       cache.panels.data());
+      cache.valid.store(true, std::memory_order_release);
     }
   }
-  packed_valid_.store(true, std::memory_order_release);
+  return cache.panels.data();
+}
+
+const ConvLayer::PackCacheI8& ConvLayer::ensure_packed_i8() const {
+  if (!pack_i8_.valid.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lk(pack_mutex_);
+    if (!pack_i8_.valid.load(std::memory_order_relaxed)) {
+      const std::int64_t G = config_.groups;
+      const std::int64_t Mg = config_.out_channels / G;
+      const std::int64_t Kd =
+          (config_.in_channels / G) * config_.kernel * config_.kernel;
+      check_i8_depth(Kd, "conv " + name());
+      constexpr std::int64_t kMRq = 4;
+      const std::int64_t tiles = (Mg + kMRq - 1) / kMRq;
+      pack_i8_.qw = choose_symmetric_scale(weights_.data());
+      std::vector<std::int8_t> rows(
+          static_cast<std::size_t>(weights_.elements()));
+      quantize_symmetric(weights_.data().data(), rows.data(),
+                         weights_.elements(), pack_i8_.qw.inv_scale);
+      pack_i8_.panels.assign(static_cast<std::size_t>(G * tiles * Kd * kMRq),
+                             0);
+      pack_gemm_panels_i8(rows.data(), G, Mg, Kd, kMRq, pack_i8_.panels.data());
+      pack_i8_.valid.store(true, std::memory_order_release);
+    }
+  }
+  return pack_i8_;
+}
+
+void ConvLayer::warm_pack() const {
+  const KernelOps& ops = active_kernel_ops();
+  if (ops.quantized) {
+    ensure_packed_i8();
+  } else {
+    ensure_packed(ops.gemm_mr);
+  }
+}
+
+void ConvLayer::invalidate_packs() {
+  for (auto& p : packs_) p.valid.store(false, std::memory_order_release);
+  pack_i8_.valid.store(false, std::memory_order_release);
 }
 
 Tensor ConvLayer::forward(std::span<const Tensor* const> inputs) const {
@@ -378,38 +503,18 @@ Tensor ConvLayer::forward(std::span<const Tensor* const> inputs) const {
   const std::int64_t OW = conv_out_dim(W, K, S, P);
   const std::int64_t M = config_.out_channels;
   const std::int64_t G = config_.groups;
-  const std::int64_t N = OH * OW;
-  const std::int64_t Mg = M / G;
-  const std::int64_t Kd = (C / G) * K * K;  // per-group GEMM depth
 
-  ensure_packed();
+  const KernelOps& ops = active_kernel_ops();
   Tensor out(Shape{M, OH, OW});
-  util::ScratchArena::Frame scratch(util::ScratchArena::local());
-
-  // im2col: col[(c*K+kh)*K+kw][oh*OW+ow] = in[c][oh*S+kh-P][ow*S+kw-P].
-  // Rows are independent, so they im2col in parallel; a 1x1/s1/p0 conv is
-  // the identity im2col and reads the input directly (GoogLeNet is full of
-  // those).
-  const float* src = in.data().data();
-  const float* col;
-  if (K == 1 && S == 1 && P == 0) {
-    col = src;
+  if (ops.quantized) {
+    const PackCacheI8& qp = ensure_packed_i8();
+    conv_forward_i8(ops, qp.panels.data(), qp.qw.scale, in.data().data(),
+                    out.data().data(), bias_.data().data(), 1, C, H, W, K, S,
+                    P, OH, OW, M, G);
   } else {
-    float* buf = scratch.floats(static_cast<std::size_t>(C * K * K * N));
-    auto fill = [&](std::int64_t lo, std::int64_t hi) {
-      im2col_rows(src, H, W, K, S, P, OH, OW, buf, lo, hi);
-    };
-    util::parallel_for(0, C * K * K, 1, fill);
-    col = buf;
-  }
-
-  // Per-group GEMM over the packed panels; group g's col rows and output
-  // rows are contiguous slices.
-  const std::int64_t tiles = (Mg + kMR - 1) / kMR;
-  for (std::int64_t g = 0; g < G; ++g) {
-    gemm_parallel(packed_.data() + g * tiles * Kd * kMR, Kd,
-                  col + g * Kd * N, N, bias_.data().data() + g * Mg,
-                  out.data().data() + g * Mg * N, Mg);
+    const float* panels = ensure_packed(ops.gemm_mr);
+    conv_forward_fp32(ops, panels, in.data().data(), out.data().data(),
+                      bias_.data().data(), 1, C, H, W, K, S, P, OH, OW, M, G);
   }
   return out;
 }
@@ -430,66 +535,20 @@ Tensor ConvLayer::forward_batch(std::span<const Tensor* const> inputs,
   const std::int64_t OW = conv_out_dim(W, K, S, P);
   const std::int64_t M = config_.out_channels;
   const std::int64_t G = config_.groups;
-  const std::int64_t N = OH * OW;
-  const std::int64_t Mg = M / G;
-  const std::int64_t Kd = (C / G) * K * K;
-  const std::int64_t CKK = C * K * K;
 
-  ensure_packed();
+  const KernelOps& ops = active_kernel_ops();
   Tensor out(Shape{batch, M, OH, OW});
-  util::ScratchArena::Frame scratch(util::ScratchArena::local());
-
-  // im2col every sample into one buffer (rows of all samples fill in
-  // parallel); each task computes the same rows the single-sample path
-  // would, so the column data is identical.
-  const float* src = in.data().data();
-  const float* col_base;
-  std::int64_t col_stride;  // floats between consecutive samples' columns
-  if (K == 1 && S == 1 && P == 0) {
-    col_base = src;
-    col_stride = C * H * W;
+  if (ops.quantized) {
+    const PackCacheI8& qp = ensure_packed_i8();
+    conv_forward_i8(ops, qp.panels.data(), qp.qw.scale, in.data().data(),
+                    out.data().data(), bias_.data().data(), batch, C, H, W, K,
+                    S, P, OH, OW, M, G);
   } else {
-    float* buf = scratch.floats(static_cast<std::size_t>(batch * CKK * N));
-    auto fill = [&](std::int64_t lo, std::int64_t hi) {
-      for (std::int64_t t = lo; t < hi; ++t) {
-        const std::int64_t b = t / CKK;
-        const std::int64_t r = t % CKK;
-        im2col_rows(src + b * C * H * W, H, W, K, S, P, OH, OW,
-                    buf + b * CKK * N, r, r + 1);
-      }
-    };
-    util::parallel_for(0, batch * CKK, 1, fill);
-    col_base = buf;
-    col_stride = CKK * N;
+    const float* panels = ensure_packed(ops.gemm_mr);
+    conv_forward_fp32(ops, panels, in.data().data(), out.data().data(),
+                      bias_.data().data(), batch, C, H, W, K, S, P, OH, OW, M,
+                      G);
   }
-
-  // One parallel GEMM over every (sample, group, macro-tile) task. Each
-  // task runs the identical gemm_tile the single-sample path runs, so the
-  // batched output is bit-identical to B per-sample forwards — but the
-  // thread pool sees B x the tiles, which keeps every core busy even on
-  // the small late-network feature maps.
-  const std::int64_t tiles = (Mg + kMR - 1) / kMR;
-  const std::int64_t row_blocks = (Mg + kRowBlock - 1) / kRowBlock;
-  const std::int64_t col_blocks = (N + kColBlock - 1) / kColBlock;
-  const std::int64_t per_sample_tasks = G * row_blocks * col_blocks;
-  const float* bias = bias_.data().data();
-  float* out_data = out.data().data();
-  auto run = [&](std::int64_t lo, std::int64_t hi) {
-    for (std::int64_t t = lo; t < hi; ++t) {
-      const std::int64_t b = t / per_sample_tasks;
-      std::int64_t rem = t % per_sample_tasks;
-      const std::int64_t g = rem / (row_blocks * col_blocks);
-      rem %= row_blocks * col_blocks;
-      const std::int64_t rb = rem / col_blocks;
-      const std::int64_t cb = rem % col_blocks;
-      gemm_tile(packed_.data() + g * tiles * Kd * kMR, Kd,
-                col_base + b * col_stride + g * Kd * N, N, bias + g * Mg,
-                out_data + (b * M + g * Mg) * N, Mg, rb * kRowBlock,
-                std::min(Mg, (rb + 1) * kRowBlock), cb * kColBlock,
-                std::min(N, (cb + 1) * kColBlock));
-    }
-  };
-  util::parallel_for(0, batch * per_sample_tasks, 1, run);
   return out;
 }
 
@@ -510,8 +569,8 @@ void ConvLayer::init_params(util::Pcg32& rng) {
   for (auto& v : bias_.data()) {
     v = static_cast<float>(rng.uniform(-0.01, 0.01));
   }
-  packed_valid_.store(false, std::memory_order_release);
-  ensure_packed();  // pack once up front; forward never repacks
+  invalidate_packs();
+  warm_pack();  // pack once up front; forward never repacks
 }
 
 void ConvLayer::write_params(util::BinaryWriter& w) const {
@@ -522,8 +581,8 @@ void ConvLayer::write_params(util::BinaryWriter& w) const {
 void ConvLayer::read_params(util::BinaryReader& r) {
   for (auto& v : weights_.data()) v = r.f32();
   for (auto& v : bias_.data()) v = r.f32();
-  packed_valid_.store(false, std::memory_order_release);
-  ensure_packed();
+  invalidate_packs();
+  warm_pack();
 }
 
 std::string ConvLayer::config_str() const {
@@ -539,45 +598,6 @@ std::string ConvLayer::config_str() const {
 }
 
 // ----------------------------------------------------------------- PoolLayer
-
-namespace {
-
-/// Pool one CHW channel plane. Both the single-sample and the batched
-/// kernels funnel through this, so their per-element arithmetic (and hence
-/// their bits) is identical.
-void pool_plane(const float* in, float* out, std::int64_t H, std::int64_t W,
-                std::int64_t OH, std::int64_t OW, const PoolConfig& cfg,
-                bool average) {
-  for (std::int64_t oh = 0; oh < OH; ++oh) {
-    for (std::int64_t ow = 0; ow < OW; ++ow) {
-      const std::int64_t h0 = oh * cfg.stride - cfg.pad;
-      const std::int64_t w0 = ow * cfg.stride - cfg.pad;
-      const std::int64_t h1 = std::min(h0 + cfg.kernel, H);
-      const std::int64_t w1 = std::min(w0 + cfg.kernel, W);
-      const std::int64_t hs = std::max<std::int64_t>(h0, 0);
-      const std::int64_t ws = std::max<std::int64_t>(w0, 0);
-      if (average) {
-        float sum = 0.0f;
-        for (std::int64_t h = hs; h < h1; ++h) {
-          for (std::int64_t w = ws; w < w1; ++w) sum += in[h * W + w];
-        }
-        // Caffe averages over the full kernel area including padding.
-        out[oh * OW + ow] =
-            sum / static_cast<float>(cfg.kernel * cfg.kernel);
-      } else {
-        float m = -std::numeric_limits<float>::infinity();
-        for (std::int64_t h = hs; h < h1; ++h) {
-          for (std::int64_t w = ws; w < w1; ++w) {
-            m = std::max(m, in[h * W + w]);
-          }
-        }
-        out[oh * OW + ow] = m;
-      }
-    }
-  }
-}
-
-}  // namespace
 
 PoolLayer::PoolLayer(std::string name, const PoolConfig& config, bool average)
     : Layer(std::move(name)), config_(config), average_(average) {
@@ -621,12 +641,13 @@ Tensor PoolLayer::forward(std::span<const Tensor* const> inputs) const {
   // Channels are independent → parallel over c; each task writes only its
   // own output plane, and per-element window math is order-identical at
   // any thread count.
+  const KernelOps& ops = active_kernel_ops();
   const float* src = in.data().data();
   float* dst = out.data().data();
   auto pool_channels = [&](std::int64_t c_lo, std::int64_t c_hi) {
     for (std::int64_t c = c_lo; c < c_hi; ++c) {
-      pool_plane(src + c * H * W, dst + c * OH * OW, H, W, OH, OW, config_,
-                 average_);
+      ops.pool_plane(src + c * H * W, dst + c * OH * OW, H, W, OH, OW,
+                     config_.kernel, config_.stride, config_.pad, average_);
     }
   };
   util::parallel_for(0, C, 1, pool_channels);
@@ -647,12 +668,13 @@ Tensor PoolLayer::forward_batch(std::span<const Tensor* const> inputs,
   const std::int64_t OW = out_per[2];
   Tensor out(with_batch(out_per, batch));
   // All B*C planes are independent — one flat parallel_for across them.
+  const KernelOps& ops = active_kernel_ops();
   const float* src = in.data().data();
   float* dst = out.data().data();
   auto pool_planes = [&](std::int64_t lo, std::int64_t hi) {
     for (std::int64_t t = lo; t < hi; ++t) {
-      pool_plane(src + t * H * W, dst + t * OH * OW, H, W, OH, OW, config_,
-                 average_);
+      ops.pool_plane(src + t * H * W, dst + t * OH * OW, H, W, OH, OW,
+                     config_.kernel, config_.stride, config_.pad, average_);
     }
   };
   util::parallel_for(0, batch * C, 1, pool_planes);
@@ -666,6 +688,64 @@ std::string PoolLayer::config_str() const {
 }
 
 // ------------------------------------------------------- FullyConnectedLayer
+
+namespace {
+
+/// fp32 fc core: parallel over blocks of exactly ops.fc_block output rows
+/// (last block ragged), so parallel_for chunking can never split a vector
+/// panel. Per-row arithmetic is the DESIGN §11 mul-then-add chain at any
+/// decomposition.
+void fc_forward_fp32(const KernelOps& ops, const float* w, const float* wt,
+                     std::int64_t in, std::int64_t out, const float* bias,
+                     const float* x, float* y, std::int64_t batch) {
+  const std::int64_t B = ops.fc_block;
+  const std::int64_t nblocks = (out + B - 1) / B;
+  auto run = [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t t = lo; t < hi; ++t) {
+      const std::int64_t b = t / nblocks;
+      const std::int64_t blk = t % nblocks;
+      const std::int64_t r0 = blk * B;
+      const std::int64_t r1 = std::min(out, r0 + B);
+      ops.fc_rows(w, wt, in, x + b * in, bias, y + b * out, r0, r1);
+    }
+  };
+  util::parallel_for(0, batch * nblocks, 1, run);
+}
+
+/// int8 fc core: per-sample activation quantization + exact int32 dots.
+void fc_forward_i8(const KernelOps& ops, const std::int8_t* qw, float wscale,
+                   std::int64_t in, std::int64_t out, const float* bias,
+                   const float* x, float* y, std::int64_t batch) {
+  util::ScratchArena::Frame scratch(util::ScratchArena::local());
+  std::int8_t* qx = reinterpret_cast<std::int8_t*>(
+      scratch.bytes(static_cast<std::size_t>(batch * in)));
+  float* dequants = scratch.floats(static_cast<std::size_t>(batch));
+  auto quant = [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t b = lo; b < hi; ++b) {
+      const QuantParams qa = choose_symmetric_scale(
+          {x + b * in, static_cast<std::size_t>(in)});
+      quantize_symmetric(x + b * in, qx + b * in, in, qa.inv_scale);
+      dequants[b] = wscale * qa.scale;
+    }
+  };
+  util::parallel_for(0, batch, 1, quant);
+
+  const std::int64_t B = ops.fc_block;
+  const std::int64_t nblocks = (out + B - 1) / B;
+  auto run = [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t t = lo; t < hi; ++t) {
+      const std::int64_t b = t / nblocks;
+      const std::int64_t blk = t % nblocks;
+      const std::int64_t r0 = blk * B;
+      const std::int64_t r1 = std::min(out, r0 + B);
+      ops.fc_rows_i8(qw, in, qx + b * in, bias, dequants[b], y + b * out, r0,
+                     r1);
+    }
+  };
+  util::parallel_for(0, batch * nblocks, 1, run);
+}
+
+}  // namespace
 
 FullyConnectedLayer::FullyConnectedLayer(std::string name,
                                          std::int64_t in_features,
@@ -697,6 +777,54 @@ std::uint64_t FullyConnectedLayer::flops(std::span<const Shape> inputs) const {
          static_cast<std::uint64_t>(out_);
 }
 
+const float* FullyConnectedLayer::ensure_transposed(std::int64_t block) const {
+  if (tcache_.valid.load(std::memory_order_acquire) &&
+      tcache_.block == block) {
+    return tcache_.panels.data();
+  }
+  std::lock_guard<std::mutex> lk(pack_mutex_);
+  if (!(tcache_.valid.load(std::memory_order_relaxed) &&
+        tcache_.block == block)) {
+    const std::int64_t tiles = (out_ + block - 1) / block;
+    tcache_.panels.assign(static_cast<std::size_t>(tiles * block * in_), 0.0f);
+    pack_fc_transposed(weights_.data().data(), out_, in_, block,
+                       tcache_.panels.data());
+    tcache_.block = block;
+    tcache_.valid.store(true, std::memory_order_release);
+  }
+  return tcache_.panels.data();
+}
+
+const FullyConnectedLayer::QCache& FullyConnectedLayer::ensure_quantized()
+    const {
+  if (!qcache_.valid.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lk(pack_mutex_);
+    if (!qcache_.valid.load(std::memory_order_relaxed)) {
+      check_i8_depth(in_, "fc " + name());
+      qcache_.params = choose_symmetric_scale(weights_.data());
+      qcache_.qw.assign(static_cast<std::size_t>(out_ * in_), 0);
+      quantize_symmetric(weights_.data().data(), qcache_.qw.data(), out_ * in_,
+                         qcache_.params.inv_scale);
+      qcache_.valid.store(true, std::memory_order_release);
+    }
+  }
+  return qcache_;
+}
+
+void FullyConnectedLayer::warm_pack() const {
+  const KernelOps& ops = active_kernel_ops();
+  if (ops.quantized) {
+    ensure_quantized();
+  } else if (ops.fc_transposed) {
+    ensure_transposed(ops.fc_block);
+  }
+}
+
+void FullyConnectedLayer::invalidate_packs() {
+  tcache_.valid.store(false, std::memory_order_release);
+  qcache_.valid.store(false, std::memory_order_release);
+}
+
 Tensor FullyConnectedLayer::forward(
     std::span<const Tensor* const> inputs) const {
   if (inputs.size() != 1) throw std::invalid_argument("fc: one input");
@@ -704,19 +832,19 @@ Tensor FullyConnectedLayer::forward(
   if (in.elements() != in_) {
     throw std::invalid_argument("fc " + name() + ": feature count mismatch");
   }
+  const KernelOps& ops = active_kernel_ops();
   Tensor out(Shape{out_});
   const float* x = in.data().data();
-  const float* wts = weights_.data().data();
-  // Output rows are independent dot products → parallel over i.
-  auto rows = [&](std::int64_t lo, std::int64_t hi) {
-    for (std::int64_t i = lo; i < hi; ++i) {
-      const float* row = wts + i * in_;
-      float acc = bias_[i];
-      for (std::int64_t j = 0; j < in_; ++j) acc += row[j] * x[j];
-      out[i] = acc;
-    }
-  };
-  util::parallel_for(0, out_, 8, rows);
+  if (ops.quantized) {
+    const QCache& qc = ensure_quantized();
+    fc_forward_i8(ops, qc.qw.data(), qc.params.scale, in_, out_,
+                  bias_.data().data(), x, out.data().data(), 1);
+  } else {
+    const float* wt =
+        ops.fc_transposed ? ensure_transposed(ops.fc_block) : nullptr;
+    fc_forward_fp32(ops, weights_.data().data(), wt, in_, out_,
+                    bias_.data().data(), x, out.data().data(), 1);
+  }
   return out;
 }
 
@@ -729,24 +857,19 @@ Tensor FullyConnectedLayer::forward_batch(
     throw std::invalid_argument("fc " + name() +
                                 ": batched feature count mismatch");
   }
+  const KernelOps& ops = active_kernel_ops();
   Tensor out(Shape{batch, out_});
   const float* x = in.data().data();
-  const float* wts = weights_.data().data();
-  float* y = out.data().data();
-  // All B*out_ dot products are independent; each accumulates in the same
-  // j-ascending order as the single-sample kernel.
-  auto rows = [&](std::int64_t lo, std::int64_t hi) {
-    for (std::int64_t t = lo; t < hi; ++t) {
-      const std::int64_t b = t / out_;
-      const std::int64_t i = t % out_;
-      const float* row = wts + i * in_;
-      const float* xb = x + b * in_;
-      float acc = bias_[i];
-      for (std::int64_t j = 0; j < in_; ++j) acc += row[j] * xb[j];
-      y[t] = acc;
-    }
-  };
-  util::parallel_for(0, batch * out_, 8, rows);
+  if (ops.quantized) {
+    const QCache& qc = ensure_quantized();
+    fc_forward_i8(ops, qc.qw.data(), qc.params.scale, in_, out_,
+                  bias_.data().data(), x, out.data().data(), batch);
+  } else {
+    const float* wt =
+        ops.fc_transposed ? ensure_transposed(ops.fc_block) : nullptr;
+    fc_forward_fp32(ops, weights_.data().data(), wt, in_, out_,
+                    bias_.data().data(), x, out.data().data(), batch);
+  }
   return out;
 }
 
@@ -763,6 +886,8 @@ void FullyConnectedLayer::init_params(util::Pcg32& rng) {
   for (auto& v : bias_.data()) {
     v = static_cast<float>(rng.uniform(-0.01, 0.01));
   }
+  invalidate_packs();
+  warm_pack();
 }
 
 void FullyConnectedLayer::write_params(util::BinaryWriter& w) const {
@@ -773,6 +898,8 @@ void FullyConnectedLayer::write_params(util::BinaryWriter& w) const {
 void FullyConnectedLayer::read_params(util::BinaryReader& r) {
   for (auto& v : weights_.data()) v = r.f32();
   for (auto& v : bias_.data()) v = r.f32();
+  invalidate_packs();
+  warm_pack();
 }
 
 std::string FullyConnectedLayer::config_str() const {
@@ -794,9 +921,10 @@ std::uint64_t ReluLayer::flops(std::span<const Shape> inputs) const {
 Tensor ReluLayer::forward(std::span<const Tensor* const> inputs) const {
   if (inputs.size() != 1) throw std::invalid_argument("relu: one input");
   Tensor out = *inputs[0];
+  const KernelOps& ops = active_kernel_ops();
   float* data = out.data().data();
   auto clamp = [&](std::int64_t lo, std::int64_t hi) {
-    for (std::int64_t i = lo; i < hi; ++i) data[i] = std::max(data[i], 0.0f);
+    ops.relu_range(data, lo, hi);
   };
   util::parallel_for(0, out.elements(), 1 << 15, clamp);
   return out;
@@ -809,9 +937,10 @@ Tensor ReluLayer::forward_batch(std::span<const Tensor* const> inputs,
   // Elementwise: identical arithmetic no matter how the index space is
   // chunked, so the flat batched range is trivially bit-exact.
   Tensor out = *inputs[0];
+  const KernelOps& ops = active_kernel_ops();
   float* data = out.data().data();
   auto clamp = [&](std::int64_t lo, std::int64_t hi) {
-    for (std::int64_t i = lo; i < hi; ++i) data[i] = std::max(data[i], 0.0f);
+    ops.relu_range(data, lo, hi);
   };
   util::parallel_for(0, out.elements(), 1 << 15, clamp);
   return out;
@@ -879,33 +1008,6 @@ std::uint64_t LrnLayer::flops(std::span<const Shape> inputs) const {
          (2ull * static_cast<std::uint64_t>(config_.local_size) + 3ull);
 }
 
-namespace {
-
-/// Normalizes one spatial row (all W positions × all C channels) of a CHW
-/// plane. Shared by the single-sample and batched paths so both produce the
-/// same bits for the same row.
-void lrn_row(const float* in, float* out, std::int64_t C, std::int64_t H,
-             std::int64_t W, std::int64_t h, const LrnConfig& cfg) {
-  const std::int64_t half = cfg.local_size / 2;
-  const double alpha_over_n = cfg.alpha / static_cast<double>(cfg.local_size);
-  for (std::int64_t w = 0; w < W; ++w) {
-    for (std::int64_t c = 0; c < C; ++c) {
-      const std::int64_t c0 = std::max<std::int64_t>(0, c - half);
-      const std::int64_t c1 = std::min(C - 1, c + half);
-      double sum = 0.0;
-      for (std::int64_t cc = c0; cc <= c1; ++cc) {
-        const double v = in[(cc * H + h) * W + w];
-        sum += v * v;
-      }
-      const double denom = std::pow(cfg.k + alpha_over_n * sum, cfg.beta);
-      out[(c * H + h) * W + w] =
-          static_cast<float>(in[(c * H + h) * W + w] / denom);
-    }
-  }
-}
-
-}  // namespace
-
 Tensor LrnLayer::forward(std::span<const Tensor* const> inputs) const {
   if (inputs.size() != 1) throw std::invalid_argument("lrn: one input");
   const Tensor& in = *inputs[0];
@@ -913,12 +1015,14 @@ Tensor LrnLayer::forward(std::span<const Tensor* const> inputs) const {
   const std::int64_t H = in.shape()[1];
   const std::int64_t W = in.shape()[2];
   Tensor out(in.shape());
+  const KernelOps& ops = active_kernel_ops();
   const float* src = in.data().data();
   float* dst = out.data().data();
   // Spatial positions are independent → parallel over rows.
   auto lrn_rows = [&](std::int64_t h_lo, std::int64_t h_hi) {
     for (std::int64_t h = h_lo; h < h_hi; ++h) {
-      lrn_row(src, dst, C, H, W, h, config_);
+      ops.lrn_row(src, dst, C, H, W, h, config_.local_size, config_.alpha,
+                  config_.beta, config_.k);
     }
   };
   util::parallel_for(0, H, 1, lrn_rows);
@@ -936,6 +1040,7 @@ Tensor LrnLayer::forward_batch(std::span<const Tensor* const> inputs,
   const std::int64_t W = per[2];
   const std::int64_t plane = C * H * W;
   Tensor out(in.shape());
+  const KernelOps& ops = active_kernel_ops();
   const float* src = in.data().data();
   float* dst = out.data().data();
   // Flat task space over every (sample, row) pair; each task runs the same
@@ -944,7 +1049,8 @@ Tensor LrnLayer::forward_batch(std::span<const Tensor* const> inputs,
     for (std::int64_t t = lo; t < hi; ++t) {
       const std::int64_t b = t / H;
       const std::int64_t h = t % H;
-      lrn_row(src + b * plane, dst + b * plane, C, H, W, h, config_);
+      ops.lrn_row(src + b * plane, dst + b * plane, C, H, W, h,
+                  config_.local_size, config_.alpha, config_.beta, config_.k);
     }
   };
   util::parallel_for(0, batch * H, 1, lrn_rows);

@@ -1,0 +1,67 @@
+// Symmetric int8 quantization used by the `int8` kernel backend.
+//
+// Scheme (DESIGN §11): weights get a static per-layer symmetric scale
+// computed when parameters are (re)loaded, activations get a dynamic
+// per-tensor scale computed at layer entry; accumulation is exact int32, so
+// the quantized GEMM is trivially order-free and bit-deterministic. Tensors
+// flowing *between* layers (and across the offload cut) stay fp32 — the
+// layer dequantizes on exit, so snapshots, compression, and the wire
+// protocol are untouched by the backend choice.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+
+namespace offload::nn {
+
+/// Symmetric scale mapping [-amax, amax] onto [-127, 127]. amax == 0 (an
+/// all-zero tensor) degenerates to scale 0 / inv_scale 0, which quantizes
+/// everything to 0 — exact.
+struct QuantParams {
+  float scale = 0.0f;      ///< dequant multiplier: real = q * scale
+  float inv_scale = 0.0f;  ///< quant multiplier: q = round(real * inv_scale)
+  float amax = 0.0f;       ///< max |v| observed
+};
+
+inline float max_abs(std::span<const float> v) {
+  float m = 0.0f;
+  for (float x : v) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+inline QuantParams choose_symmetric_scale(std::span<const float> v) {
+  QuantParams p;
+  p.amax = max_abs(v);
+  if (p.amax > 0.0f) {
+    p.scale = p.amax / 127.0f;
+    p.inv_scale = 127.0f / p.amax;
+  }
+  return p;
+}
+
+/// Round-to-nearest-even, clamped to [-127, 127] (symmetric: -128 unused so
+/// negation is closed).
+inline std::int8_t quantize_one(float v, float inv_scale) {
+  const long q = std::lrintf(v * inv_scale);
+  return static_cast<std::int8_t>(q < -127 ? -127 : (q > 127 ? 127 : q));
+}
+
+inline void quantize_symmetric(const float* src, std::int8_t* dst,
+                               std::int64_t n, float inv_scale) {
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = quantize_one(src[i], inv_scale);
+}
+
+/// Per-element error bound for an int8 GEMM output against the fp32
+/// reference: `depth` multiply-adds of values bounded by amax_a / amax_b.
+/// Each side quantizes with error <= scale/2 = amax/254, so each product
+/// errs by <= amax_a*amax_b * (1/254 + 1/254 + small), i.e. ~amax_a*amax_b/127.
+/// The 1.10 headroom covers fp32 reference rounding and the dequant multiply;
+/// the epsilon covers layers whose true outputs are ~0.
+inline float int8_error_bound(std::int64_t depth, float amax_a, float amax_b) {
+  return static_cast<float>(depth) * amax_a * amax_b * (127.5f / 16129.0f) *
+             1.10f +
+         1e-5f;
+}
+
+}  // namespace offload::nn

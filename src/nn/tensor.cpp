@@ -28,13 +28,19 @@ Tensor::Tensor(Shape shape)
     : shape_(std::move(shape)),
       data_(static_cast<std::size_t>(shape_.elements()), 0.0f) {}
 
-Tensor::Tensor(Shape shape, std::vector<float> data)
+Tensor::Tensor(Shape shape, AlignedFloats data)
     : shape_(std::move(shape)), data_(std::move(data)) {
   if (static_cast<std::int64_t>(data_.size()) != shape_.elements()) {
     throw std::invalid_argument("Tensor: data size does not match shape " +
                                 shape_.str());
   }
 }
+
+Tensor::Tensor(Shape shape, const std::vector<float>& data)
+    : Tensor(std::move(shape), AlignedFloats(data.begin(), data.end())) {}
+
+Tensor::Tensor(Shape shape, std::initializer_list<float> data)
+    : Tensor(std::move(shape), AlignedFloats(data.begin(), data.end())) {}
 
 Tensor Tensor::full(Shape shape, float value) {
   Tensor t(std::move(shape));

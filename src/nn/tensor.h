@@ -12,9 +12,14 @@
 #include <string>
 #include <vector>
 
+#include "src/util/aligned.h"
 #include "src/util/rng.h"
 
 namespace offload::nn {
+
+/// Tensor element storage: 64-byte aligned so SIMD kernels can issue full
+/// cache-line loads from any tensor without peeling.
+using AlignedFloats = std::vector<float, util::AlignedAllocator<float, 64>>;
 
 /// Tensor extents, outermost first. A CHW image is {C, H, W}; a flat
 /// feature vector is {N}.
@@ -44,7 +49,11 @@ class Tensor {
  public:
   Tensor() = default;
   explicit Tensor(Shape shape);
-  Tensor(Shape shape, std::vector<float> data);
+  Tensor(Shape shape, AlignedFloats data);
+  /// Compatibility ctors for callers holding a plain vector or a brace
+  /// list; both copy into aligned storage.
+  Tensor(Shape shape, const std::vector<float>& data);
+  Tensor(Shape shape, std::initializer_list<float> data);
 
   static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
   static Tensor full(Shape shape, float value);
@@ -93,7 +102,7 @@ class Tensor {
 
  private:
   Shape shape_;
-  std::vector<float> data_;
+  AlignedFloats data_;
 };
 
 }  // namespace offload::nn

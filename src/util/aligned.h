@@ -1,0 +1,45 @@
+// Minimal aligned allocator so hot value types (nn::Tensor storage, packed
+// GEMM panels) land on cache-line boundaries: vector loads never split a
+// line and aligned SIMD kernels can assume their base pointers. Uses the
+// C++17 aligned operator new, so no platform #ifdefs.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace offload::util {
+
+template <typename T, std::size_t Alignment = 64>
+struct AlignedAllocator {
+  static_assert(Alignment >= alignof(T) && (Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two >= alignof(T)");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}  // NOLINT
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  bool operator==(const AlignedAllocator&) const noexcept { return true; }
+  bool operator!=(const AlignedAllocator&) const noexcept { return false; }
+};
+
+/// True when `p` sits on an `alignment`-byte boundary.
+inline bool is_aligned(const void* p, std::size_t alignment) {
+  return (reinterpret_cast<std::uintptr_t>(p) & (alignment - 1)) == 0;
+}
+
+}  // namespace offload::util

@@ -16,6 +16,7 @@
 
 #include "src/core/offload.h"
 #include "src/core/trace_breakdown.h"
+#include "src/nn/kernels.h"
 #include "src/obs/obs.h"
 
 namespace offload::core {
@@ -260,6 +261,43 @@ TEST(ObsAccounting, LeafSumsReconcileAcrossConfigGrid) {
         check_accounting(run);
         check_tree_basics(run.obs.trace, run.label);
         check_tree_geometry(run.obs.trace, run.label);
+      }
+    }
+  }
+}
+
+TEST(ObsAccounting, ReconcilesUnderEveryKernelBackend) {
+  // The kernel backend changes which code computes the tensors, not how
+  // time is accounted: the reconciliation must hold verbatim under all
+  // three, and every NN exec leaf span must say which backend ran it
+  // (scalar — the golden default — tags nothing).
+  for (nn::KernelBackend k :
+       {nn::KernelBackend::kScalar, nn::KernelBackend::kSimd,
+        nn::KernelBackend::kInt8}) {
+    nn::ScopedKernelBackend scoped(k);
+    TracedRun run;
+    ScenarioOptions options;
+    options.bandwidth_bps = 30e6;
+    run.label = std::string("backend=") + nn::kernel_backend_name(k);
+    run_traced(Scenario::kOffloadPartial, options, run);
+    check_accounting(run);
+    check_tree_basics(run.obs.trace, run.label);
+    check_tree_geometry(run.obs.trace, run.label);
+    for (const obs::Span& s : run.obs.trace.spans()) {
+      if (s.kind != obs::SpanKind::kClientExec &&
+          s.kind != obs::SpanKind::kServerExec) {
+        continue;
+      }
+      std::string tagged;
+      for (const auto& [key, value] : s.attrs) {
+        if (key == "kernels.backend") tagged = value;
+      }
+      if (k == nn::KernelBackend::kScalar) {
+        EXPECT_TRUE(tagged.empty())
+            << run.label << ": scalar must not tag " << s.name;
+      } else {
+        EXPECT_EQ(tagged, nn::kernel_backend_name(k))
+            << run.label << ": exec span " << s.name << " untagged";
       }
     }
   }

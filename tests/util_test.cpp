@@ -2,6 +2,8 @@
 // strings, tables.
 #include <gtest/gtest.h>
 
+#include "src/nn/tensor.h"
+#include "src/util/aligned.h"
 #include "src/util/base64.h"
 #include "src/util/bytes.h"
 #include "src/util/crc32.h"
@@ -234,6 +236,48 @@ TEST(Table, RendersAlignedColumns) {
   EXPECT_NE(out.find("|---"), std::string::npos);
   // Numeric cells right-align: "7.79" is padded on the left.
   EXPECT_NE(out.find(" 7.79 |"), std::string::npos);
+}
+
+TEST(Aligned, AllocatorReturnsAlignedStorage) {
+  // Grow a 64-byte-aligned vector through several reallocations; every
+  // data() the allocator hands back must keep the alignment.
+  std::vector<float, AlignedAllocator<float, 64>> v;
+  for (int i = 0; i < 1000; ++i) {
+    v.push_back(static_cast<float>(i));
+    EXPECT_TRUE(is_aligned(v.data(), 64));
+  }
+  std::vector<double, AlignedAllocator<double, 64>> d(3);
+  EXPECT_TRUE(is_aligned(d.data(), 64));
+  EXPECT_TRUE(is_aligned(nullptr, 64));
+  alignas(64) float buf[32];
+  EXPECT_TRUE(is_aligned(buf, 64));
+  EXPECT_FALSE(is_aligned(buf + 1, 64));
+}
+
+TEST(Aligned, TensorStorageIsCacheLineAligned) {
+  // SIMD kernels assume any tensor can be read with full cache-line loads:
+  // the guarantee must survive every construction path, including the
+  // copies made by stack() and sample().
+  using offload::nn::Shape;
+  using offload::nn::Tensor;
+  Pcg32 rng(99);
+  const Tensor zeros = Tensor::zeros({3, 5, 7});
+  const Tensor rand = Tensor::random_uniform({2, 4, 4}, rng);
+  const Tensor from_list({3}, {1.0f, 2.0f, 3.0f});
+  const Tensor from_vec({2}, std::vector<float>{4.0f, 5.0f});
+  EXPECT_TRUE(is_aligned(zeros.data().data(), 64));
+  EXPECT_TRUE(is_aligned(rand.data().data(), 64));
+  EXPECT_TRUE(is_aligned(from_list.data().data(), 64));
+  EXPECT_TRUE(is_aligned(from_vec.data().data(), 64));
+
+  const Tensor samples[] = {Tensor::random_uniform({3, 3}, rng),
+                            Tensor::random_uniform({3, 3}, rng)};
+  const Tensor stacked = Tensor::stack(samples);
+  EXPECT_TRUE(is_aligned(stacked.data().data(), 64));
+  EXPECT_TRUE(is_aligned(stacked.sample(1).data().data(), 64));
+  EXPECT_TRUE(is_aligned(stacked.reshaped({18}).data().data(), 64));
+  const Tensor copy = stacked;  // deep copy re-allocates — still aligned
+  EXPECT_TRUE(is_aligned(copy.data().data(), 64));
 }
 
 }  // namespace
