@@ -187,18 +187,11 @@ __attribute__((target("avx512f,fma"))) void avx512_fc_rows(
   _mm512_storeu_ps(y + row0, acc);
 }
 
-// --------------------------------------------------------------- relu
-
-__attribute__((target("avx2"))) void avx2_relu_range(float* data,
-                                                     std::int64_t lo,
-                                                     std::int64_t hi) {
-  const __m256 zero = _mm256_setzero_ps();
-  std::int64_t i = lo;
-  for (; i + 8 <= hi; i += 8) {
-    _mm256_storeu_ps(data + i, _mm256_max_ps(_mm256_loadu_ps(data + i), zero));
-  }
-  for (; i < hi; ++i) data[i] = std::max(data[i], 0.0f);
-}
+// relu: no AVX2 variant. An explicit _mm256_max_ps loop measured 0.73x
+// the scalar loop (bench_micro_kernels, relu 64x112²): the op is purely
+// memory-bound, the compiler already vectorizes the scalar max, and the
+// hand-written version only added dispatch and alignment overhead. The
+// simd (and therefore int8) tables keep scalar_relu_range.
 
 // --------------------------------------------------------------- pool
 
@@ -423,7 +416,7 @@ KernelOps make_simd_ops() {
     ops.fc_rows = &avx2_fc_rows;
     ops.fc_transposed = true;
     ops.fc_rows_i8 = &avx2_fc_rows_i8;
-    ops.relu_range = &avx2_relu_range;
+    // relu_range stays scalar — see the note above the pool kernels.
     ops.pool_plane = &avx2_pool_plane;
     ops.lrn_row = &avx2_lrn_row;
     if (cpu_supports_avx512()) {

@@ -120,4 +120,9 @@ std::size_t Simulation::run_until(SimTime deadline) {
 
 bool Simulation::step() { return fire_next(); }
 
+SimTime Simulation::next_event_time() {
+  EventNode* node = peek_next();
+  return node == nullptr ? SimTime::max() : node->when;
+}
+
 }  // namespace offload::sim

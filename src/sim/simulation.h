@@ -89,6 +89,12 @@ class Simulation {
   /// Fire the single next event, if any. Returns false when idle.
   bool step();
 
+  /// Timestamp of the earliest pending event, or SimTime::max() when the
+  /// queue is empty. Never runs user code (it may advance wheel cursors
+  /// and prune cancelled tombstones). The partitioned engine
+  /// (src/sim/partition.h) uses this to compute conservative windows.
+  SimTime next_event_time();
+
   std::size_t pending() const { return pending_; }
 
   /// Arena introspection for benches/tests: slabs ever allocated and the

@@ -27,6 +27,29 @@ double unit_fraction(std::uint64_t h) {
 
 }  // namespace
 
+std::uint64_t shard_begin(std::uint64_t n, std::uint32_t s,
+                          std::uint32_t count) {
+  // count <= 2^32 and n * count stays in 64 bits for every population
+  // this project simulates (n < 2^32 even at the 10^6-client sweeps).
+  return n * static_cast<std::uint64_t>(s) / count;
+}
+
+std::uint32_t shard_of(std::uint64_t client, std::uint64_t n,
+                       std::uint32_t count) {
+  std::uint64_t s = client * count / n;
+  // Floor-division range bounds can be off by one around the estimate;
+  // settle onto the shard whose [begin, end) actually holds the client.
+  while (s > 0 && client < shard_begin(n, static_cast<std::uint32_t>(s),
+                                       count)) {
+    --s;
+  }
+  while (s + 1 < count &&
+         client >= shard_begin(n, static_cast<std::uint32_t>(s) + 1, count)) {
+    ++s;
+  }
+  return static_cast<std::uint32_t>(s);
+}
+
 std::vector<DeviceClass> default_device_classes() {
   // The three paper apps across a fast/slow device split; edge service
   // times follow the WebGL-server ablation (DESIGN.md §6), uplinks span
@@ -48,11 +71,28 @@ Generator::Generator(Simulation& sim, Config config, RequestFn on_request)
     : sim_(sim),
       config_(std::move(config)),
       on_request_(std::move(on_request)),
-      arrival_rng_(config_.seed, 0xa221),
-      session_rng_(config_.seed, 0x5e55) {
+      // Shard 0 keeps the historical stream constants, so a 1-shard
+      // generator is stream-identical to the unsharded one.
+      arrival_rng_(config_.seed,
+                   0xa221 ^ (static_cast<std::uint64_t>(config_.shard_index)
+                             << 16)),
+      session_rng_(config_.seed,
+                   0x5e55 ^ (static_cast<std::uint64_t>(config_.shard_index)
+                             << 16)) {
   if (config_.clients == 0) {
     throw std::invalid_argument("workload::Generator: zero clients");
   }
+  if (config_.shard_count == 0 ||
+      config_.shard_index >= config_.shard_count) {
+    throw std::invalid_argument(
+        "workload::Generator: shard_index must be < shard_count (>= 1)");
+  }
+  shard_lo_ = shard_begin(config_.clients, config_.shard_index,
+                          config_.shard_count);
+  shard_hi_ = shard_begin(config_.clients, config_.shard_index + 1,
+                          config_.shard_count);
+  shard_share_ = static_cast<double>(shard_hi_ - shard_lo_) /
+                 static_cast<double>(config_.clients);
   classes_ = config_.device_classes.empty() ? default_device_classes()
                                             : config_.device_classes;
   double total = 0;
@@ -66,10 +106,12 @@ Generator::Generator(Simulation& sim, Config config, RequestFn on_request)
     class_cdf_.push_back(acc);
   }
   class_cdf_.back() = 1.0;  // close rounding gaps
-  clients_.assign(config_.clients, ClientState{SimTime::nanos(-1)});
+  clients_.assign(shard_hi_ - shard_lo_, ClientState{SimTime::nanos(-1)});
 
   const ArrivalConfig& a = config_.arrivals;
-  rate_max_ = a.session_rate_per_s;
+  // The shard sees its population share of the aggregate rate. x * 1.0
+  // is exact, so the 1-shard generator draws the identical stream.
+  rate_max_ = a.session_rate_per_s * shard_share_;
   if (a.pattern == ArrivalConfig::Pattern::kBursty) {
     rate_max_ *= a.burst_multiplier;
   }
@@ -79,7 +121,7 @@ Generator::Generator(Simulation& sim, Config config, RequestFn on_request)
   for (const FlashCrowd& f : a.flash_crowds) {
     rate_max_ *= std::max(1.0, f.multiplier);  // envelope covers overlaps
   }
-  if (rate_max_ <= 0) {
+  if (rate_max_ <= 0 && shard_hi_ > shard_lo_) {
     throw std::invalid_argument("workload::Generator: arrival rate <= 0");
   }
 }
@@ -94,7 +136,7 @@ std::uint32_t Generator::device_class_of(std::uint64_t client) const {
 
 double Generator::rate_at(double t_s) const {
   const ArrivalConfig& a = config_.arrivals;
-  double rate = a.session_rate_per_s * a.diurnal.factor(t_s);
+  double rate = a.session_rate_per_s * shard_share_ * a.diurnal.factor(t_s);
   for (const FlashCrowd& f : a.flash_crowds) {
     if (t_s >= f.at_s && t_s < f.at_s + f.duration_s) rate *= f.multiplier;
   }
@@ -106,6 +148,7 @@ double Generator::exp_draw(util::Pcg32& rng, double mean) {
 }
 
 void Generator::start(SimTime until) {
+  if (shard_hi_ == shard_lo_) return;  // empty shard: nothing to emit
   until_s_ = until.to_seconds();
   arrival_cursor_s_ = sim_.now().to_seconds();
   if (config_.arrivals.pattern == ArrivalConfig::Pattern::kBursty) {
@@ -143,9 +186,10 @@ void Generator::schedule_next_arrival() {
 }
 
 void Generator::begin_session() {
-  std::uint64_t client = session_rng_.next_below64(config_.clients);
+  std::uint64_t client =
+      shard_lo_ + session_rng_.next_below64(shard_hi_ - shard_lo_);
   std::uint32_t klass = device_class_of(client);
-  ClientState& st = clients_[client];
+  ClientState& st = clients_[client - shard_lo_];
   if (st.warm_until.ns() < 0) {
     // First touch: some clients start the experiment with a warm cache.
     double u = unit_fraction(
@@ -176,7 +220,7 @@ void Generator::emit_request(std::uint64_t client, std::uint64_t session,
   req.cold_model = cold;
   req.at = sim_.now();
   ++requests_emitted_;
-  clients_[client].warm_until =
+  clients_[client - shard_lo_].warm_until =
       sim_.now() + SimTime::seconds(config_.session.cache_ttl_s);
   on_request_(req);
   if (remaining > 0) {

@@ -92,7 +92,29 @@ struct Config {
   ArrivalConfig arrivals;
   SessionConfig session;
   std::uint64_t seed = 1;
+  /// Stable population sharding for partitioned simulations: this
+  /// generator emits only the clients of range shard `shard_index` out
+  /// of `shard_count`, with the aggregate arrival rate scaled by the
+  /// shard's population share and RNG streams salted per shard. Shard
+  /// membership depends only on (client, clients, shard_count) — never
+  /// on how many partitions the shards are later mapped onto — so the
+  /// same client id lands in the same slice at any partition count, and
+  /// the union of all shards' request streams is byte-identical no
+  /// matter how they are distributed (tests/sim_partition_test.cpp).
+  /// The default (1 shard) is stream-identical to the unsharded
+  /// generator.
+  std::uint32_t shard_count = 1;
+  std::uint32_t shard_index = 0;
 };
+
+/// First client id of range shard `s` out of `count` over `n` clients.
+std::uint64_t shard_begin(std::uint64_t n, std::uint32_t s,
+                          std::uint32_t count);
+
+/// Stable shard of a client id: independent of partition count and of
+/// everything except (client, n, count).
+std::uint32_t shard_of(std::uint64_t client, std::uint64_t n,
+                       std::uint32_t count);
 
 /// One unit of demand handed to the serving side.
 struct Request {
@@ -124,6 +146,10 @@ class Generator {
   std::uint64_t requests_emitted() const { return requests_emitted_; }
   std::uint64_t cold_sessions() const { return cold_sessions_; }
 
+  /// The client-id range this generator's shard owns: [begin, end).
+  std::uint64_t shard_client_begin() const { return shard_lo_; }
+  std::uint64_t shard_client_end() const { return shard_hi_; }
+
  private:
   struct ClientState {
     SimTime warm_until;  ///< cache considered warm through this time
@@ -142,7 +168,10 @@ class Generator {
   RequestFn on_request_;
   std::vector<DeviceClass> classes_;
   std::vector<double> class_cdf_;
-  std::vector<ClientState> clients_;
+  std::vector<ClientState> clients_;  ///< indexed by client - shard_lo_
+  std::uint64_t shard_lo_ = 0;
+  std::uint64_t shard_hi_ = 0;
+  double shard_share_ = 1.0;  ///< population fraction this shard owns
   util::Pcg32 arrival_rng_;
   util::Pcg32 session_rng_;
   double until_s_ = 0;

@@ -1,0 +1,129 @@
+// Single-producer single-consumer mailbox: an unbounded chunked queue
+// with wait-free push on the producer side and batch drain on the
+// consumer side. Built for the partitioned simulation's cross-partition
+// channels (src/sim/partition.h): during a round exactly one worker
+// thread appends posts, and the consumer drains only after a barrier —
+// but the queue is a real SPSC structure (release/acquire publication,
+// no locks), so a drain that races a push is still well-defined: it
+// simply observes a prefix of the pushed elements.
+//
+// Chunks are cache-line aligned and never freed while the mailbox lives
+// (the consumer recycles fully-drained chunks back to the producer
+// through an atomic free hand-off), so steady-state traffic allocates
+// nothing.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <utility>
+
+namespace offload::util {
+
+template <typename T>
+class SpscMailbox {
+ public:
+  static constexpr std::size_t kChunkCapacity = 128;
+
+  SpscMailbox() {
+    head_ = tail_ = new Chunk();
+  }
+  SpscMailbox(const SpscMailbox&) = delete;
+  SpscMailbox& operator=(const SpscMailbox&) = delete;
+
+  ~SpscMailbox() {
+    // Destroy unconsumed elements, then every chunk (live list + free
+    // hand-off). Destruction is single-threaded by contract.
+    Chunk* c = head_;
+    std::size_t read = read_;
+    while (c != nullptr) {
+      std::size_t count = c->count.load(std::memory_order_acquire);
+      for (std::size_t i = read; i < count; ++i) c->slot(i)->~T();
+      Chunk* next = c->next.load(std::memory_order_acquire);
+      delete c;
+      c = next;
+      read = 0;
+    }
+    delete spare_.load(std::memory_order_acquire);
+  }
+
+  /// Producer side. Wait-free except when a fresh chunk must be
+  /// allocated (amortized over kChunkCapacity pushes, and only when the
+  /// recycle hand-off is empty).
+  void push(T value) {
+    Chunk* t = tail_;
+    std::size_t n = t->count.load(std::memory_order_relaxed);
+    if (n == kChunkCapacity) {
+      Chunk* fresh = spare_.exchange(nullptr, std::memory_order_acquire);
+      if (fresh == nullptr) fresh = new Chunk();
+      fresh->count.store(0, std::memory_order_relaxed);
+      fresh->next.store(nullptr, std::memory_order_relaxed);
+      // Publish the link before the producer-visible tail moves; the
+      // consumer follows `next` only after exhausting this chunk.
+      t->next.store(fresh, std::memory_order_release);
+      tail_ = fresh;
+      t = fresh;
+      n = 0;
+    }
+    ::new (t->raw(n)) T(std::move(value));
+    t->count.store(n + 1, std::memory_order_release);
+    produced_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Consumer side: move every element visible at this instant into
+  /// `out` (a callable taking T&&), in push order. Returns the number
+  /// drained. Fully-consumed chunks are recycled to the producer.
+  template <typename Sink>
+  std::size_t drain(Sink&& out) {
+    std::size_t drained = 0;
+    while (true) {
+      Chunk* c = head_;
+      std::size_t count = c->count.load(std::memory_order_acquire);
+      while (read_ < count) {
+        T* slot = c->slot(read_);
+        out(std::move(*slot));
+        slot->~T();
+        ++read_;
+        ++drained;
+      }
+      if (read_ < kChunkCapacity) break;  // producer still filling here
+      Chunk* next = c->next.load(std::memory_order_acquire);
+      if (next == nullptr) break;  // full chunk, successor not linked yet
+      head_ = next;
+      read_ = 0;
+      // Hand the drained chunk back to the producer; if a spare is
+      // already parked, this one is surplus.
+      Chunk* prev = spare_.exchange(c, std::memory_order_release);
+      delete prev;
+    }
+    consumed_ += drained;
+    return drained;
+  }
+
+  /// Producer-side push count minus consumer-side drain count. Exact
+  /// only when producer and consumer are quiescent (e.g. at a barrier).
+  std::size_t in_flight() const {
+    return produced_.load(std::memory_order_relaxed) - consumed_;
+  }
+
+ private:
+  struct alignas(64) Chunk {
+    std::atomic<std::size_t> count{0};
+    std::atomic<Chunk*> next{nullptr};
+    alignas(alignof(T)) unsigned char storage[sizeof(T) * kChunkCapacity];
+    void* raw(std::size_t i) { return storage + i * sizeof(T); }
+    T* slot(std::size_t i) {
+      return std::launder(reinterpret_cast<T*>(storage + i * sizeof(T)));
+    }
+  };
+
+  Chunk* head_;            ///< consumer cursor chunk
+  std::size_t read_ = 0;   ///< consumed elements within head_
+  Chunk* tail_;            ///< producer cursor chunk
+  std::atomic<Chunk*> spare_{nullptr};  ///< drained-chunk recycle hand-off
+  std::atomic<std::uint64_t> produced_{0};
+  std::uint64_t consumed_ = 0;
+};
+
+}  // namespace offload::util

@@ -34,6 +34,11 @@ class Accumulator {
 class Samples {
  public:
   void add(double x) { values_.push_back(x); }
+  /// Append another collector's samples (partitioned benches merge their
+  /// per-shard collectors in deterministic shard order).
+  void merge(const Samples& other) {
+    values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  }
   std::size_t count() const { return values_.size(); }
   double mean() const;
   /// Exact percentile via linear interpolation; p in [0,100].

@@ -293,6 +293,39 @@ TEST(SimulationArena, SlabIsRecycledUnderChurn) {
   EXPECT_EQ(sim.arena_capacity(), EventArena::kSlabNodes);
 }
 
+TEST(SimulationArena, GenerationSkipsZeroOnWrap) {
+  // Generation 0 is the universal "invalid handle" encoding, so a slot
+  // whose generation counter wraps must land on 1, never 0 — otherwise a
+  // default EventHandle could suddenly resolve to a live event.
+  EventArena arena;
+  EventNode* node = arena.allocate(SimTime::nanos(1), 1, [] {});
+  const std::uint32_t index = node->index;
+  node->gen = 0xffffffffu;  // fast-forward a lifetime of churn
+  EXPECT_EQ(arena.resolve(index, 0xffffffffu), node);
+  arena.release(node);
+  EXPECT_EQ(node->gen, 1u) << "wrap must skip generation 0";
+  EXPECT_EQ(arena.resolve(index, 0u), nullptr);
+}
+
+TEST(SimulationArena, CancelAfterGenerationWrapIsStale) {
+  // A handle minted just before the wrap must stay stale after the slot
+  // is recycled, even though the raw index is reused.
+  EventArena arena;
+  EventNode* node = arena.allocate(SimTime::nanos(1), 1, [] {});
+  const std::uint32_t index = node->index;
+  node->gen = 0xffffffffu;
+  arena.release(node);  // old occupant retired; gen wrapped to 1
+
+  EventNode* reused = arena.allocate(SimTime::nanos(2), 2, [] {});
+  ASSERT_EQ(reused, node) << "free list must hand the slot back";
+  EXPECT_EQ(arena.resolve(index, 0xffffffffu), nullptr)
+      << "pre-wrap handle must not resurrect the recycled slot";
+  EXPECT_EQ(arena.resolve(index, 1u), reused);
+  arena.release(reused);
+  // Freed slot (seq == 0): even a matching generation must not resolve.
+  EXPECT_EQ(arena.resolve(index, node->gen), nullptr);
+}
+
 TEST(SimulationEnv, SchedulerKindFromEnvironment) {
   ASSERT_EQ(setenv("OFFLOAD_SIM_SCHED", "heap", 1), 0);
   EXPECT_EQ(Simulation().scheduler(), SchedulerKind::kHeap);
